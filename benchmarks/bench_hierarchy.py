@@ -1,0 +1,55 @@
+"""E5 — Lemma 6.2 / Corollary 6.3: the relay mapping hierarchy.
+
+Checks every level of ``time(Ã, b̃) → B_{n-1} → … → B_0 → B`` in
+lockstep along seeded runs, for increasing line lengths; benchmarks the
+chain checker (the cost grows with the number of levels — the price of
+the recurrence-structured proof, paid once per hop).
+"""
+
+import random
+from fractions import Fraction as F
+
+from repro.analysis.report import Table
+from repro.core import check_chain_on_run
+from repro.sim import Simulator, UniformStrategy
+from repro.systems import RelayParams, RelaySystem, relay_hierarchy
+from repro.timed import Interval
+
+from conftest import emit
+
+LENGTHS = [1, 2, 3, 5, 8]
+
+
+def check_hierarchy(system, chain, seeds=range(8), steps=100):
+    total = 0
+    for seed in seeds:
+        run = Simulator(system.algorithm, UniformStrategy(random.Random(seed))).run(
+            max_steps=steps
+        )
+        outcome = check_chain_on_run(chain, run)
+        outcome.raise_if_failed()
+        total += outcome.steps_checked
+    return total
+
+
+def test_e5_hierarchy(benchmark):
+    table = Table(
+        "E5 / Lemma 6.2 — hierarchical mapping chain, all levels lockstep",
+        ["n", "levels", "per-level obligations checked", "verdict"],
+    )
+    systems = {}
+    for n in LENGTHS:
+        params = RelayParams(n=n, d1=F(1), d2=F(2))
+        system = RelaySystem(params, dummy_interval=Interval(F(1, 2), F(1)))
+        systems[n] = system
+        chain = relay_hierarchy(system)
+        steps = check_hierarchy(system, chain)
+        table.add_row(n, len(chain), steps * len(chain), "holds")
+    emit(table)
+
+    system = systems[3]
+    chain = relay_hierarchy(system)
+    run = Simulator(system.algorithm, UniformStrategy(random.Random(0))).run(
+        max_steps=100
+    )
+    benchmark(lambda: check_chain_on_run(chain, run))

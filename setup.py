@@ -1,0 +1,8 @@
+"""Setup shim for environments without the ``wheel`` package, where
+``pip install -e .`` must fall back to the legacy (non-PEP-517) editable
+install.  All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

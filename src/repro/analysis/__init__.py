@@ -1,0 +1,53 @@
+"""Measurement, property checking, the operational baseline, and report
+formatting for the experiments."""
+
+from repro.analysis.bounds import (
+    BoundsAccumulator,
+    first_occurrence,
+    gaps,
+    occurrence_times,
+    separations_after,
+)
+from repro.analysis.properties import PropertyReport, check_P_prefix, check_Q_prefix
+from repro.analysis.recurrence import (
+    Milestone,
+    MilestoneChain,
+    chain_bound,
+    relay_chain,
+    rm_first_grant_chain,
+    rm_grant_gap_chain,
+)
+from repro.analysis.report import Table, format_value
+from repro.analysis.stats import (
+    exact_percentile,
+    five_number_summary,
+    interval_coverage,
+    text_histogram,
+)
+from repro.analysis.timeline import render_predictions, render_timeline, timeline_lines
+
+__all__ = [
+    "occurrence_times",
+    "first_occurrence",
+    "gaps",
+    "separations_after",
+    "BoundsAccumulator",
+    "PropertyReport",
+    "check_P_prefix",
+    "check_Q_prefix",
+    "Milestone",
+    "MilestoneChain",
+    "rm_first_grant_chain",
+    "rm_grant_gap_chain",
+    "relay_chain",
+    "chain_bound",
+    "Table",
+    "format_value",
+    "render_timeline",
+    "render_predictions",
+    "timeline_lines",
+    "exact_percentile",
+    "five_number_summary",
+    "interval_coverage",
+    "text_histogram",
+]

@@ -1,0 +1,122 @@
+"""The paper's requirement sets ``P`` (Section 4.2) and ``Q``
+(Section 6.2) as checkable predicates on *finite prefixes* of timed
+behaviors.
+
+``P`` and ``Q`` constrain infinite behaviors; on a finite prefix we
+check every obligation whose deadline falls inside the observed window
+(the safety reading, matching Definition 3.1), plus a progress floor
+for "infinitely many GRANTs".
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.timed.timed_sequence import TimedEvent
+from repro.systems.resource_manager import GRANT, ResourceManagerParams
+from repro.systems.signal_relay import SIGNAL, RelayParams
+from repro.analysis.bounds import gaps, occurrence_times
+
+__all__ = ["PropertyReport", "check_P_prefix", "check_Q_prefix"]
+
+
+@dataclass(frozen=True)
+class PropertyReport:
+    """Outcome of a prefix property check."""
+
+    holds: bool
+    detail: str = ""
+
+    def __bool__(self) -> bool:
+        return self.holds
+
+
+def check_P_prefix(
+    behavior: Sequence[TimedEvent],
+    params: ResourceManagerParams,
+    horizon,
+) -> PropertyReport:
+    """The Section 4.2 property set ``P``, on a prefix observed up to
+    time ``horizon``:
+
+    1. progress — at least ``floor(horizon / (k·c2 + l))`` GRANTs;
+    2. the first GRANT time in ``[k·c1, k·c2 + l]`` (or none due yet);
+    3. every inter-GRANT gap in ``[k·c1 − l, k·c2 + l]``.
+    """
+    times = occurrence_times(behavior, GRANT)
+    period = params.k * params.c2 + params.l
+    expected_floor = int(horizon // period)
+    if len(times) < expected_floor:
+        return PropertyReport(
+            False,
+            "only {} GRANTs by time {!r}; at least {} are forced".format(
+                len(times), horizon, expected_floor
+            ),
+        )
+    if not times:
+        if horizon > period:
+            return PropertyReport(False, "no GRANT although the deadline passed")
+        return PropertyReport(True, "no GRANT due yet")
+    first = times[0]
+    if not params.first_grant_interval.contains(first):
+        return PropertyReport(
+            False,
+            "first GRANT at {!r} outside {!r}".format(first, params.first_grant_interval),
+        )
+    for index, gap in enumerate(gaps(times)):
+        if not params.grant_gap_interval.contains(gap):
+            return PropertyReport(
+                False,
+                "gap #{} = {!r} outside {!r}".format(
+                    index + 1, gap, params.grant_gap_interval
+                ),
+            )
+    return PropertyReport(True, "{} GRANTs, all bounds met".format(len(times)))
+
+
+def check_Q_prefix(
+    behavior: Sequence[TimedEvent],
+    params: RelayParams,
+    horizon,
+) -> PropertyReport:
+    """The Section 6.2 property set ``Q`` on a prefix observed up to
+    time ``horizon``:
+
+    1. at most one ``SIGNAL_0`` and at most one ``SIGNAL_n``, with any
+       ``SIGNAL_n`` preceded by a ``SIGNAL_0``;
+    2. if ``SIGNAL_0`` occurred at ``t1`` and the deadline
+       ``t1 + n·d2`` lies within the prefix, ``SIGNAL_n`` occurred;
+    3. if both occurred, ``t2 − t1 ∈ [n·d1, n·d2]``.
+    """
+    t0s = occurrence_times(behavior, SIGNAL(0))
+    tns = occurrence_times(behavior, SIGNAL(params.n))
+    if len(t0s) > 1:
+        return PropertyReport(False, "SIGNAL_0 occurred {} times".format(len(t0s)))
+    if len(tns) > 1:
+        return PropertyReport(False, "SIGNAL_n occurred {} times".format(len(tns)))
+    if tns and not t0s:
+        return PropertyReport(False, "SIGNAL_n without a SIGNAL_0")
+    if not t0s:
+        return PropertyReport(True, "no SIGNAL_0 yet")
+    t1 = t0s[0]
+    if not tns:
+        if horizon > t1 + params.n * params.d2:
+            return PropertyReport(
+                False,
+                "SIGNAL_n missing although its deadline {!r} passed".format(
+                    t1 + params.n * params.d2
+                ),
+            )
+        return PropertyReport(True, "SIGNAL_n not due yet")
+    t2 = tns[0]
+    if t2 < t1:
+        return PropertyReport(False, "SIGNAL_n precedes SIGNAL_0")
+    delay = t2 - t1
+    if not params.end_to_end_interval.contains(delay):
+        return PropertyReport(
+            False,
+            "delay {!r} outside {!r}".format(delay, params.end_to_end_interval),
+        )
+    return PropertyReport(True, "delay {!r} within bounds".format(delay))

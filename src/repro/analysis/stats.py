@@ -1,0 +1,105 @@
+"""Exact descriptive statistics for measured timing values.
+
+Everything stays in exact arithmetic: percentiles interpolate with
+Fractions, and interval coverage (how much of an exact bound interval a
+sampler actually explored — the metric of experiment E14) is a
+Fraction in ``[0, 1]``.
+"""
+
+from __future__ import annotations
+
+import math
+from fractions import Fraction
+from typing import List, Sequence, Tuple
+
+from repro.errors import ReproError
+from repro.timed.interval import Interval
+
+__all__ = ["exact_percentile", "five_number_summary", "interval_coverage", "text_histogram"]
+
+
+def exact_percentile(values: Sequence, q) -> object:
+    """The ``q``-quantile (``0 ≤ q ≤ 1``) with exact linear
+    interpolation between order statistics."""
+    if not values:
+        raise ReproError("percentile of an empty sample")
+    q = Fraction(q)
+    if not (0 <= q <= 1):
+        raise ReproError("quantile must be within [0, 1]")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    position = q * (len(ordered) - 1)
+    index = int(position)  # floor for nonnegative positions
+    remainder = position - index
+    if remainder == 0:
+        return ordered[index]
+    return ordered[index] + (ordered[index + 1] - ordered[index]) * remainder
+
+
+def five_number_summary(values: Sequence) -> Tuple:
+    """(min, Q1, median, Q3, max) with exact interpolation."""
+    return tuple(
+        exact_percentile(values, q)
+        for q in (0, Fraction(1, 4), Fraction(1, 2), Fraction(3, 4), 1)
+    )
+
+
+def interval_coverage(values: Sequence, interval: Interval):
+    """How much of ``interval`` the sample's span covers, as a Fraction
+    in ``[0, 1]``: ``(max − min) / (hi − lo)``.
+
+    1 means both ends were attained; 0 means at most a point was seen.
+    Degenerate (zero-width) intervals count as fully covered by any
+    non-empty sample; samples outside the interval raise.
+    """
+    if not values:
+        return Fraction(0)
+    low, high = min(values), max(values)
+    if not (interval.contains(low) and interval.contains(high)):
+        raise ReproError(
+            "sample span [{!r}, {!r}] escapes the interval {!r}".format(
+                low, high, interval
+            )
+        )
+    width = interval.width
+    if isinstance(width, float) and math.isinf(width):
+        raise ReproError("coverage of an unbounded interval is undefined")
+    if width == 0:
+        return Fraction(1)
+    return Fraction(high - low) / Fraction(width)
+
+
+def text_histogram(values: Sequence, bins: int = 8, width: int = 40) -> List[str]:
+    """A plain-text histogram (one line per bin) over the sample span."""
+    if not values:
+        return ["(empty sample)"]
+    if bins < 1:
+        raise ReproError("need at least one bin")
+    low = Fraction(min(values))
+    high = Fraction(max(values))
+    if low == high:
+        return ["{} | {} ({} values)".format(low, "#" * width, len(values))]
+    step = (high - low) / bins
+    counts = [0] * bins
+    for value in values:
+        index = int((Fraction(value) - low) / step)
+        if index == bins:  # the maximum lands in the last bin
+            index -= 1
+        counts[index] += 1
+    peak = max(counts)
+    lines = []
+    for i, count in enumerate(counts):
+        left = low + step * i
+        bar = "#" * (0 if peak == 0 else round(width * count / peak))
+        lines.append(
+            "{:>10} | {} ({})".format(_short(left), bar, count)
+        )
+    return lines
+
+
+def _short(value) -> str:
+    value = Fraction(value)
+    if value.denominator == 1:
+        return str(value.numerator)
+    return "{:.3g}".format(float(value))

@@ -1,0 +1,319 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Exposes the paper's two systems for quick experimentation without
+writing code:
+
+- ``rm``       simulate the resource manager, measure Theorem 4.4's
+               bounds and machine-check the Section 4.3 mapping;
+- ``relay``    simulate the signal relay and machine-check the whole
+               Section 6 mapping hierarchy;
+- ``zones``    exact bounds for either system via zone reachability;
+- ``verify``   exact verdict for a user-claimed interval;
+- ``timeline`` print one run as a timeline with predictions;
+- ``fischer``  exact mutual-exclusion verdict for Fischer's protocol.
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+from fractions import Fraction
+from typing import List, Optional
+
+from repro.analysis.bounds import BoundsAccumulator, gaps, occurrence_times, separations_after
+from repro.analysis.report import Table
+from repro.analysis.timeline import render_timeline
+from repro.core import check_chain_on_run, check_mapping_on_run, project, undum
+from repro.sim import Simulator, UniformStrategy
+from repro.sim.trace import timed_behavior_of_run
+from repro.systems import (
+    GRANT,
+    SIGNAL,
+    RelayParams,
+    RelaySystem,
+    ResourceManagerParams,
+    ResourceManagerSystem,
+    relay_hierarchy,
+    resource_manager,
+    resource_manager_mapping,
+    signal_relay,
+)
+from repro.timed import Interval
+from repro.zones import (
+    absolute_event_bounds,
+    event_separation_bounds,
+    verify_event_condition,
+)
+
+__all__ = ["main"]
+
+
+def _fraction(text: str) -> Fraction:
+    """Accept '3', '3/2' or '1.5'."""
+    if "/" in text:
+        numerator, denominator = text.split("/", 1)
+        return Fraction(int(numerator), int(denominator))
+    return Fraction(text)
+
+
+def _rm_params(args) -> ResourceManagerParams:
+    return ResourceManagerParams(k=args.k, c1=args.c1, c2=args.c2, l=args.l)
+
+
+def _relay_params(args) -> RelayParams:
+    return RelayParams(n=args.n, d1=args.d1, d2=args.d2)
+
+
+def _add_rm_arguments(parser) -> None:
+    parser.add_argument("--k", type=int, default=3, help="ticks per grant")
+    parser.add_argument("--c1", type=_fraction, default=Fraction(2), help="tick lower bound")
+    parser.add_argument("--c2", type=_fraction, default=Fraction(3), help="tick upper bound")
+    parser.add_argument("--l", type=_fraction, default=Fraction(1), help="local step bound")
+
+
+def _add_relay_arguments(parser) -> None:
+    parser.add_argument("--n", type=int, default=3, help="line length")
+    parser.add_argument("--d1", type=_fraction, default=Fraction(1), help="hop lower bound")
+    parser.add_argument("--d2", type=_fraction, default=Fraction(2), help="hop upper bound")
+
+
+def cmd_rm(args) -> int:
+    params = _rm_params(args)
+    system = ResourceManagerSystem(params)
+    mapping = resource_manager_mapping(system)
+    first = BoundsAccumulator()
+    gap = BoundsAccumulator()
+    for seed in range(args.seeds):
+        run = Simulator(system.algorithm, UniformStrategy(random.Random(seed))).run(
+            max_steps=args.steps
+        )
+        check_mapping_on_run(mapping, run).raise_if_failed()
+        times = occurrence_times(
+            timed_behavior_of_run(system.timed.automaton, run), GRANT
+        )
+        if times:
+            first.add(times[0])
+            gap.add_all(gaps(times))
+    table = Table("resource manager — Theorem 4.4", [
+        "quantity", "paper", "measured", "within",
+    ])
+    table.add_row("first GRANT", repr(params.first_grant_interval),
+                  repr(first.span()), first.all_within(params.first_grant_interval))
+    table.add_row("GRANT gap", repr(params.grant_gap_interval),
+                  repr(gap.span()), gap.all_within(params.grant_gap_interval))
+    table.print()
+    print("\nSection 4.3 mapping checked on {} runs: holds".format(args.seeds))
+    return 0
+
+
+def cmd_relay(args) -> int:
+    params = _relay_params(args)
+    system = RelaySystem(params)
+    chain = relay_hierarchy(system)
+    delays = BoundsAccumulator()
+    for seed in range(args.seeds):
+        run = Simulator(system.algorithm, UniformStrategy(random.Random(seed))).run(
+            max_steps=args.steps
+        )
+        check_chain_on_run(chain, run).raise_if_failed()
+        seq = undum(project(run))
+        delays.add_all(separations_after(seq.events, SIGNAL(0), SIGNAL(params.n)))
+    table = Table("signal relay — Theorem 6.4", [
+        "quantity", "paper", "measured", "within",
+    ])
+    table.add_row("SIGNAL_0 → SIGNAL_n", repr(params.end_to_end_interval),
+                  repr(delays.span()), delays.all_within(params.end_to_end_interval))
+    table.print()
+    print("\n{}-level hierarchy checked on {} runs: holds".format(len(chain), args.seeds))
+    return 0
+
+
+def cmd_zones(args) -> int:
+    table = Table("exact bounds (zone reachability)", [
+        "quantity", "paper", "exact", "tight",
+    ])
+    if args.system == "rm":
+        params = _rm_params(args)
+        timed = resource_manager(params)
+        first = absolute_event_bounds(timed, GRANT)
+        table.add_row("first GRANT", repr(params.first_grant_interval), repr(first),
+                      first.tight(params.first_grant_interval))
+        gap = event_separation_bounds(timed, GRANT, occurrence=2, reset_on=[GRANT])
+        table.add_row("GRANT gap", repr(params.grant_gap_interval), repr(gap),
+                      gap.tight(params.grant_gap_interval))
+    else:
+        params = _relay_params(args)
+        bounds = event_separation_bounds(
+            signal_relay(params), SIGNAL(params.n), occurrence=1, reset_on=[SIGNAL(0)]
+        )
+        table.add_row("SIGNAL_0 → SIGNAL_n", repr(params.end_to_end_interval),
+                      repr(bounds), bounds.tight(params.end_to_end_interval))
+    table.print()
+    return 0
+
+
+def cmd_verify(args) -> int:
+    claimed = Interval(args.lo, args.hi)
+    if args.system == "rm":
+        params = _rm_params(args)
+        report = verify_event_condition(
+            resource_manager(params), GRANT, GRANT, claimed, occurrences=2
+        )
+        subject = "GRANT-to-GRANT gap"
+    else:
+        params = _relay_params(args)
+        report = verify_event_condition(
+            signal_relay(params), SIGNAL(0), SIGNAL(params.n), claimed
+        )
+        subject = "SIGNAL_0-to-SIGNAL_n delay"
+    print("claim: {} in {!r}".format(subject, claimed))
+    print("verdict: {}".format(report.verdict.value))
+    if report.exact is not None:
+        print("exact reachable separation: {!r}".format(report.exact))
+    return 0 if report.verdict.holds else 1
+
+
+def cmd_timeline(args) -> int:
+    if args.system == "rm":
+        system = ResourceManagerSystem(_rm_params(args))
+        automaton = system.algorithm
+    else:
+        system = RelaySystem(_relay_params(args))
+        automaton = system.algorithm
+    run = Simulator(automaton, UniformStrategy(random.Random(args.seed))).run(
+        max_steps=args.steps
+    )
+    print(render_timeline(run, automaton, limit=args.steps))
+    return 0
+
+
+def cmd_fischer(args) -> int:
+    import math
+
+    from repro.systems.extensions.fischer import (
+        FischerParams,
+        fischer_system,
+        mutual_exclusion_violated,
+    )
+    from repro.zones.analysis import find_reachable_state
+
+    e = math.inf if args.e is None else args.e
+    params = FischerParams(n=args.n, a=args.a, b=args.b, e=e)
+    bad = find_reachable_state(
+        fischer_system(params), mutual_exclusion_violated, max_nodes=args.max_nodes
+    )
+    print(
+        "Fischer n={} a={} b={} e={}".format(
+            params.n, params.a, params.b, "inf" if e == math.inf else e
+        )
+    )
+    if bad is None:
+        print("verdict: SAFE (no double-critical state is timed-reachable)")
+        return 0
+    print("verdict: VIOLABLE — reachable state {!r}".format(bad))
+    return 1
+
+
+def cmd_peterson(args) -> int:
+    from repro.analysis.recurrence import peterson_first_entry_chain
+    from repro.systems.extensions.peterson import (
+        ENTER,
+        PetersonParams,
+        both_critical,
+        peterson_system,
+    )
+    from repro.zones.analysis import event_separation_bounds, find_reachable_state
+
+    params = PetersonParams(s1=args.s1, s2=args.s2)
+    bounds = event_separation_bounds(
+        peterson_system(params), {ENTER(1), ENTER(2)}, occurrence=1,
+        max_nodes=args.max_nodes,
+    )
+    operational = peterson_first_entry_chain(params.step_interval).total()
+    bad = find_reachable_state(
+        peterson_system(PetersonParams(s1=args.s1, s2=args.s2, e=args.s2, repeat=True)),
+        both_critical,
+        max_nodes=args.max_nodes,
+    )
+    print("Peterson 2-process, step bound [{}, {}]".format(params.s1, params.s2))
+    print("mutual exclusion: {}".format("holds" if bad is None else "VIOLATED (bug!)"))
+    print("first entry under contention (exact): {!r}".format(bounds))
+    print("recurrence argument (3 winner steps): {!r}".format(operational))
+    agree = (bounds.lo, bounds.hi) == (operational.lo, operational.hi)
+    print("agreement: {}".format("yes" if agree else "no"))
+    return 0 if (bad is None and agree) else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Lynch & Attiya (PODC 1990) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    rm = sub.add_parser("rm", help="simulate + check the resource manager")
+    _add_rm_arguments(rm)
+    rm.add_argument("--seeds", type=int, default=10)
+    rm.add_argument("--steps", type=int, default=300)
+    rm.set_defaults(func=cmd_rm)
+
+    relay = sub.add_parser("relay", help="simulate + check the signal relay")
+    _add_relay_arguments(relay)
+    relay.add_argument("--seeds", type=int, default=10)
+    relay.add_argument("--steps", type=int, default=120)
+    relay.set_defaults(func=cmd_relay)
+
+    zones = sub.add_parser("zones", help="exact bounds via zone reachability")
+    zones.add_argument("system", choices=["rm", "relay"])
+    _add_rm_arguments(zones)
+    _add_relay_arguments(zones)
+    zones.set_defaults(func=cmd_zones)
+
+    verify = sub.add_parser("verify", help="verify a claimed interval exactly")
+    verify.add_argument("system", choices=["rm", "relay"])
+    verify.add_argument("lo", type=_fraction, help="claimed lower bound")
+    verify.add_argument("hi", type=_fraction, help="claimed upper bound")
+    _add_rm_arguments(verify)
+    _add_relay_arguments(verify)
+    verify.set_defaults(func=cmd_verify)
+
+    timeline = sub.add_parser("timeline", help="print one run as a timeline")
+    timeline.add_argument("system", choices=["rm", "relay"])
+    timeline.add_argument("--seed", type=int, default=0)
+    timeline.add_argument("--steps", type=int, default=25)
+    _add_rm_arguments(timeline)
+    _add_relay_arguments(timeline)
+    timeline.set_defaults(func=cmd_timeline)
+
+    fischer = sub.add_parser(
+        "fischer", help="exact mutual-exclusion verdict for Fischer's protocol"
+    )
+    fischer.add_argument("--n", type=int, default=2, help="number of processes")
+    fischer.add_argument("--a", type=_fraction, default=Fraction(1), help="set delay bound")
+    fischer.add_argument("--b", type=_fraction, default=Fraction(2), help="wait-before-check")
+    fischer.add_argument(
+        "--e", type=_fraction, default=None,
+        help="critical-section bound (default: unbounded)",
+    )
+    fischer.add_argument("--max-nodes", type=int, default=400_000)
+    fischer.set_defaults(func=cmd_fischer)
+
+    peterson = sub.add_parser(
+        "peterson", help="Peterson 2-process: mutex + exact contention bound"
+    )
+    peterson.add_argument("--s1", type=_fraction, default=Fraction(1), help="step lower bound")
+    peterson.add_argument("--s2", type=_fraction, default=Fraction(2), help="step upper bound")
+    peterson.add_argument("--max-nodes", type=int, default=400_000)
+    peterson.set_defaults(func=cmd_peterson)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,119 @@
+"""The explicit special case ``time(A, b)`` (paper Section 3.2).
+
+This is an *independent* implementation of the boundmap case, written
+directly from the paper's instantiated rules (enabled/disabled classes,
+no general timing-condition machinery).  The test suite cross-validates
+it step-for-step against the general construction
+``time(A, U_b)`` of :mod:`repro.core.time_automaton`; any divergence
+would expose a misreading of one of the two definitions.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Hashable, Iterable, List, Optional, Tuple
+
+from repro.errors import TimingViolationError
+from repro.timed.boundmap import TimedAutomaton
+from repro.core.time_state import DEFAULT_PREDICTION, Prediction, TimeState
+
+__all__ = ["ExplicitBoundmapTime"]
+
+
+class ExplicitBoundmapTime:
+    """``time(A, b)`` implemented from the Section 3.2 rules verbatim.
+
+    State ``preds`` are indexed by partition class order; component ``i``
+    is ``(Ft(C_i), Lt(C_i))``.
+    """
+
+    def __init__(self, timed: TimedAutomaton):
+        self.timed = timed
+        self.base = timed.automaton
+        self.classes = timed.classes()
+        self.name = "explicit-time({}, b)".format(self.base.name)
+
+    # -- start states ---------------------------------------------------
+
+    def initial(self, astate: Hashable) -> TimeState:
+        preds: List[Prediction] = []
+        for cls in self.classes:
+            interval = self.timed.class_interval(cls)
+            if self.base.class_enabled(astate, cls):
+                preds.append(Prediction(interval.lo, interval.hi))
+            else:
+                preds.append(DEFAULT_PREDICTION)
+        return TimeState(astate, 0, tuple(preds))
+
+    def start_states(self) -> Iterable[TimeState]:
+        for astate in self.base.start_states():
+            yield self.initial(astate)
+
+    # -- steps ------------------------------------------------------------
+
+    def _class_of(self, action: Hashable):
+        return self.base.partition.class_of(action)
+
+    def time_violation(self, state: TimeState, action: Hashable, t) -> Optional[str]:
+        """Conditions 2, 3(a) and 4(a) of the Section 3.2 definition."""
+        if t < state.now:
+            return "time {!r} precedes Ct = {!r}".format(t, state.now)
+        own = self._class_of(action)
+        for i, cls in enumerate(self.classes):
+            pred = state.preds[i]
+            if own is not None and cls.name == own.name:
+                if not (pred.ft <= t <= pred.lt):
+                    return "class {!r} window [{!r}, {!r}] excludes {!r}".format(
+                        cls.name, pred.ft, pred.lt, t
+                    )
+            elif t > pred.lt:
+                return "class {!r} deadline Lt = {!r} exceeded by t = {!r}".format(
+                    cls.name, pred.lt, t
+                )
+        return None
+
+    def successors(self, state: TimeState, action: Hashable, t) -> List[TimeState]:
+        if self.time_violation(state, action, t) is not None:
+            return []
+        own = self._class_of(action)
+        posts: List[TimeState] = []
+        seen = set()
+        for post_astate in self.base.transitions(state.astate, action):
+            if post_astate in seen:
+                continue
+            seen.add(post_astate)
+            preds: List[Prediction] = []
+            for i, cls in enumerate(self.classes):
+                interval = self.timed.class_interval(cls)
+                pred = state.preds[i]
+                now_enabled = self.base.class_enabled(post_astate, cls)
+                if own is not None and cls.name == own.name:
+                    # Condition 3: π belongs to this class.
+                    if now_enabled:
+                        preds.append(Prediction(t + interval.lo, t + interval.hi))
+                    else:
+                        preds.append(DEFAULT_PREDICTION)
+                else:
+                    # Condition 4: π outside this class.
+                    was_enabled = self.base.class_enabled(state.astate, cls)
+                    if now_enabled and not was_enabled:
+                        preds.append(Prediction(t + interval.lo, t + interval.hi))
+                    elif now_enabled and was_enabled:
+                        preds.append(pred)
+                    else:
+                        preds.append(DEFAULT_PREDICTION)
+            posts.append(TimeState(post_astate, t, tuple(preds)))
+        return posts
+
+    def is_step(self, pre: TimeState, action: Hashable, t, post: TimeState) -> bool:
+        return any(post == candidate for candidate in self.successors(pre, action, t))
+
+    def successor(self, state: TimeState, action: Hashable, t) -> TimeState:
+        posts = self.successors(state, action, t)
+        if len(posts) != 1:
+            raise TimingViolationError(
+                "{}: expected exactly one successor for ({!r}, {!r}), got {}".format(
+                    self.name, action, t, len(posts)
+                )
+            )
+        return posts[0]

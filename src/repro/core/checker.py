@@ -1,0 +1,216 @@
+"""Machine-checking strong possibilities mappings.
+
+The paper's mapping proofs (Lemmas 4.3 and 6.2) are per-step case
+analyses: for every source step, the *witness* target step is obtained
+by "applying the ``time(A, V)`` definition to ``u'``" on the same
+``(π, t)`` and the same ``A``-step, after which two obligations remain:
+
+- **enabledness** — the witness step must be permitted by the target's
+  ``Ft``/``Lt`` windows (this is where a wrong requirement bound fails);
+- **containment** — the witness state must lie back in the image.
+
+:func:`check_mapping_on_run` discharges exactly those obligations along
+a concrete execution of the source automaton;
+:func:`check_mapping_exhaustive` discharges them for *all* executions
+under a rational time discretisation (exhaustive for the grid
+semantics).  :func:`check_chain_on_run` threads a witness through every
+level of a mapping hierarchy simultaneously.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Hashable, List, Optional, Sequence, Tuple
+
+from repro.errors import MappingCheckError, TimingViolationError
+from repro.timed.timed_sequence import TimedSequence
+from repro.core.discretize import discrete_options
+from repro.core.mappings import MappingChain, StrongPossibilitiesMapping
+from repro.core.time_state import TimeState
+
+__all__ = [
+    "CheckOutcome",
+    "check_mapping_on_run",
+    "check_chain_on_run",
+    "check_mapping_exhaustive",
+]
+
+
+@dataclass(frozen=True)
+class CheckOutcome:
+    """The verdict of a mapping check."""
+
+    ok: bool
+    steps_checked: int
+    detail: str = ""
+    failing_source_state: Optional[TimeState] = None
+    failing_target_state: Optional[TimeState] = None
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+    def raise_if_failed(self) -> "CheckOutcome":
+        """Raise :class:`MappingCheckError` when the check failed."""
+        if not self.ok:
+            raise MappingCheckError(
+                self.detail,
+                source_state=self.failing_source_state,
+                target_state=self.failing_target_state,
+            )
+        return self
+
+
+def _initial_witness(
+    mapping: StrongPossibilitiesMapping, source_start: TimeState
+) -> Tuple[Optional[TimeState], Optional[CheckOutcome]]:
+    """Definition 3.2 condition 1 for the unique start state over the
+    same ``A``-state."""
+    witness = mapping.target.initial(source_start.astate)
+    if not mapping.contains(witness, source_start):
+        return None, CheckOutcome(
+            False,
+            0,
+            "initial condition fails for {}: {}".format(
+                mapping.name, mapping.describe_failure(witness, source_start)
+            ),
+            failing_source_state=source_start,
+            failing_target_state=witness,
+        )
+    return witness, None
+
+
+def _witness_step(
+    mapping: StrongPossibilitiesMapping,
+    witness: TimeState,
+    action: Hashable,
+    time,
+    source_post: TimeState,
+    steps_done: int,
+) -> Tuple[Optional[TimeState], Optional[CheckOutcome]]:
+    """One simulation step: construct the target step and check both
+    proof obligations."""
+    try:
+        next_witness = mapping.target.successor_matching(
+            witness, action, time, source_post.astate
+        )
+    except TimingViolationError as exc:
+        return None, CheckOutcome(
+            False,
+            steps_done,
+            "target step not enabled for {} on ({!r}, {!r}): {}".format(
+                mapping.name, action, time, exc
+            ),
+            failing_source_state=source_post,
+            failing_target_state=witness,
+        )
+    if not mapping.contains(next_witness, source_post):
+        return None, CheckOutcome(
+            False,
+            steps_done,
+            "containment fails for {} after ({!r}, {!r}): {}".format(
+                mapping.name, action, time,
+                mapping.describe_failure(next_witness, source_post),
+            ),
+            failing_source_state=source_post,
+            failing_target_state=next_witness,
+        )
+    return next_witness, None
+
+
+def check_mapping_on_run(
+    mapping: StrongPossibilitiesMapping, run: TimedSequence
+) -> CheckOutcome:
+    """Check a mapping along one execution of the source automaton.
+
+    ``run`` must be a :class:`TimedSequence` whose states are
+    :class:`TimeState` values of ``mapping.source`` (as produced by the
+    simulator).
+    """
+    witness, failure = _initial_witness(mapping, run.first_state)
+    if failure is not None:
+        return failure
+    steps = 0
+    for _pre, event, post in run.triples():
+        witness, failure = _witness_step(
+            mapping, witness, event.action, event.time, post, steps
+        )
+        if failure is not None:
+            return failure
+        steps += 1
+    return CheckOutcome(True, steps)
+
+
+def check_chain_on_run(chain: MappingChain, run: TimedSequence) -> CheckOutcome:
+    """Check every level of a mapping hierarchy in lockstep along one
+    execution of the chain's source automaton (paper Section 6.3)."""
+    witnesses: List[TimeState] = []
+    previous: TimeState = run.first_state
+    for mapping in chain:
+        witness, failure = _initial_witness(mapping, previous)
+        if failure is not None:
+            return failure
+        witnesses.append(witness)
+        previous = witness
+    steps = 0
+    for _pre, event, post in run.triples():
+        previous = post
+        for level, mapping in enumerate(chain):
+            witness, failure = _witness_step(
+                mapping, witnesses[level], event.action, event.time, previous, steps
+            )
+            if failure is not None:
+                return failure
+            witnesses[level] = witness
+            previous = witness
+        steps += 1
+    return CheckOutcome(True, steps)
+
+
+def check_mapping_exhaustive(
+    mapping: StrongPossibilitiesMapping,
+    grid,
+    horizon,
+    max_pairs: int = 200_000,
+) -> CheckOutcome:
+    """Check a mapping on *every* execution of the source automaton
+    whose event times are multiples of ``grid``, up to absolute time
+    ``horizon``.
+
+    Explores the product of source states and deterministic witnesses
+    breadth-first.  Exhaustive for the grid semantics; raises the same
+    two obligations as :func:`check_mapping_on_run` at every step.
+    """
+    seen = set()
+    frontier: deque = deque()
+    for source_start in mapping.source.start_states():
+        witness, failure = _initial_witness(mapping, source_start)
+        if failure is not None:
+            return failure
+        pair = (source_start, witness)
+        if pair not in seen:
+            seen.add(pair)
+            frontier.append(pair)
+    steps = 0
+    while frontier:
+        source_state, witness = frontier.popleft()
+        for action, time in discrete_options(mapping.source, source_state, grid, horizon):
+            for source_post in mapping.source.successors(source_state, action, time):
+                next_witness, failure = _witness_step(
+                    mapping, witness, action, time, source_post, steps
+                )
+                if failure is not None:
+                    return failure
+                steps += 1
+                pair = (source_post, next_witness)
+                if pair in seen:
+                    continue
+                if len(seen) >= max_pairs:
+                    return CheckOutcome(
+                        True,
+                        steps,
+                        "truncated at {} state pairs".format(max_pairs),
+                    )
+                seen.add(pair)
+                frontier.append(pair)
+    return CheckOutcome(True, steps, "exhaustive over grid={!r} horizon={!r}".format(grid, horizon))

@@ -1,0 +1,68 @@
+"""Rational time discretisation of ``time(A, U)``.
+
+Continuous-time automata have uncountably many timed steps; for
+*exhaustive* checking we restrict event times to multiples of a rational
+``grid`` and bound the absolute ``horizon``.  When every constant of the
+model is a multiple of the grid, all ``Ft``/``Lt`` components stay on
+the grid, so window endpoints are themselves explorable times and the
+grid semantics exercises every boundary case of the definitions.
+"""
+
+from __future__ import annotations
+
+import math
+from fractions import Fraction
+from typing import Hashable, Iterator, List, Tuple
+
+from repro.errors import TimingConditionError
+from repro.core.time_automaton import PredictiveTimeAutomaton
+from repro.core.time_state import TimeState
+
+__all__ = ["grid_times", "discrete_options", "grid_aligned"]
+
+
+def grid_aligned(value, grid) -> bool:
+    """True when ``value`` is a multiple of ``grid`` (or infinite)."""
+    if isinstance(value, float) and math.isinf(value):
+        return True
+    return Fraction(value) % Fraction(grid) == 0
+
+
+def grid_times(lo, hi, grid) -> List[Fraction]:
+    """All multiples of ``grid`` in ``[lo, hi]`` (empty when ``lo > hi``)."""
+    grid = Fraction(grid)
+    if grid <= 0:
+        raise TimingConditionError("grid must be positive")
+    if isinstance(hi, float) and math.isinf(hi):
+        raise TimingConditionError("grid_times needs a finite upper end; cap hi first")
+    lo_f = Fraction(lo)
+    hi_f = Fraction(hi)
+    if lo_f > hi_f:
+        return []
+    first_index = -((-lo_f) // grid)  # ceil(lo / grid)
+    last_index = hi_f // grid  # floor(hi / grid)
+    return [grid * i for i in range(int(first_index), int(last_index) + 1)]
+
+
+def discrete_options(
+    automaton: PredictiveTimeAutomaton,
+    state: TimeState,
+    grid,
+    horizon,
+) -> Iterator[Tuple[Hashable, Fraction]]:
+    """All grid-time steps available from ``state``: pairs ``(π, t)``
+    with ``t`` a multiple of ``grid``, inside the action's time window,
+    and at most ``horizon``.
+
+    Events at times beyond ``horizon`` are pruned — callers choose a
+    horizon large enough that every obligation of interest resolves
+    earlier.
+    """
+    horizon_f = Fraction(horizon)
+    for action, lo, hi in automaton.schedulable_actions(state):
+        if isinstance(hi, float) and math.isinf(hi):
+            capped_hi = horizon_f
+        else:
+            capped_hi = min(Fraction(hi), horizon_f)
+        for t in grid_times(lo, capped_hi, grid):
+            yield (action, t)

@@ -1,0 +1,134 @@
+"""Dummification (paper Section 5).
+
+Mapping proofs need all timed executions to be infinite (Theorem 3.4
+quantifies over infinite executions).  Systems like the signal relay
+have finite timed executions; the fix is to compose in a *dummy*
+component whose single ``NULL`` output has a finite upper bound, forcing
+every timed execution to keep going (Lemma 5.1), while ``undum`` erases
+the dummy from executions (Lemmas 5.2/5.3) so conclusions transfer back
+to the original system (Theorem 5.4).
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Optional, Sequence, Tuple
+
+from repro.errors import ExecutionError
+from repro.ioa.actions import Act, Kind
+from repro.ioa.automaton import IOAutomaton
+from repro.ioa.composition import Composition
+from repro.ioa.guarded import ActionSpec, GuardedAutomaton
+from repro.ioa.partition import Partition
+from repro.timed.boundmap import TimedAutomaton
+from repro.timed.conditions import TimingCondition
+from repro.timed.interval import Interval
+from repro.timed.timed_sequence import TimedSequence
+
+__all__ = [
+    "NULL",
+    "DUMMY_STATE",
+    "dummy_automaton",
+    "dummify",
+    "undum",
+    "dummify_condition",
+    "dummify_conditions",
+]
+
+#: The dummy's single output action.
+NULL = Act("NULL")
+
+#: The dummy's single state.
+DUMMY_STATE = "dummystate"
+
+
+def dummy_automaton(null_action: Hashable = NULL) -> GuardedAutomaton:
+    """The one-state *dummy* component: ``null_action`` always enabled,
+    no effect."""
+    return GuardedAutomaton(
+        name="dummy",
+        start=[DUMMY_STATE],
+        specs=[ActionSpec(null_action, Kind.OUTPUT)],
+        partition=Partition.from_pairs([("NULL", [null_action])]),
+    )
+
+
+def dummify(
+    timed: TimedAutomaton,
+    interval: Interval = Interval(0, 1),
+    null_action: Hashable = NULL,
+) -> TimedAutomaton:
+    """The dummification ``(Ã, b̃)`` of ``(A, b)``.
+
+    ``Ã`` composes ``A`` with the dummy (states become
+    ``(a_state, DUMMY_STATE)``); ``b̃`` extends ``b`` with the interval
+    for the new ``NULL`` class.  The interval must have a finite upper
+    bound (``n_2 < ∞``), otherwise the dummy would not force progress.
+    """
+    if not interval.is_upper_bounded:
+        raise ExecutionError("the dummy's interval must have a finite upper bound")
+    composed = Composition(
+        [timed.automaton, dummy_automaton(null_action)],
+        name="dummified({})".format(timed.automaton.name),
+    )
+    return TimedAutomaton(composed, timed.boundmap.extended("NULL", interval))
+
+
+def undum(seq: TimedSequence, null_action: Hashable = NULL) -> TimedSequence:
+    """The paper's ``undum``: drop the dummy state component and the
+    ``NULL`` steps from a timed sequence of ``Ã``."""
+    states = [seq.first_state[0]]
+    events = []
+    for pre, event, post in seq.triples():
+        if event.action == null_action:
+            if post[0] != pre[0]:
+                raise ExecutionError(
+                    "NULL step changed the A-state: {!r} -> {!r}".format(
+                        pre[0], post[0]
+                    )
+                )
+            continue
+        events.append(event)
+        states.append(post[0])
+    return TimedSequence(tuple(states), tuple(events))
+
+
+def dummify_condition(
+    condition: TimingCondition, null_action: Hashable = NULL
+) -> TimingCondition:
+    """The lifted condition ``Ũ`` on ``Ã`` (Section 5): triggers and
+    disabling refer to the ``A``-component, ``NULL`` steps never trigger
+    and ``NULL`` is never in ``Π̃``."""
+    inner_starts = condition.starts
+    inner_triggers = condition.triggers
+    inner_in_pi = condition.in_pi
+    inner_disables = condition.disables
+
+    def starts(state: Hashable) -> bool:
+        return inner_starts(state[0])
+
+    def triggers(pre: Hashable, action: Hashable, post: Hashable) -> bool:
+        if action == null_action:
+            return False
+        return inner_triggers(pre[0], action, post[0])
+
+    def in_pi(action: Hashable) -> bool:
+        return action != null_action and inner_in_pi(action)
+
+    def disables(state: Hashable) -> bool:
+        return inner_disables(state[0])
+
+    return TimingCondition(
+        name=condition.name,
+        interval=condition.interval,
+        starts=starts,
+        triggers=triggers,
+        in_pi=in_pi,
+        disables=disables,
+    )
+
+
+def dummify_conditions(
+    conditions: Sequence[TimingCondition], null_action: Hashable = NULL
+) -> Tuple[TimingCondition, ...]:
+    """Lift a whole condition set ``U`` to ``Ũ``."""
+    return tuple(dummify_condition(c, null_action) for c in conditions)

@@ -1,0 +1,194 @@
+"""Strong possibilities mappings (paper Definition 3.2).
+
+A strong possibilities mapping ``f`` relates states of
+``time(A, U)`` (the *source*, typically the algorithm with its timing
+assumptions) to sets of states of ``time(A, V)`` (the *target*,
+typically the requirements automaton).  It must:
+
+1. map some start state of the target into the image of every start
+   state of the source;
+2. allow every source step to be matched by a target step staying in
+   the image; and
+3. be the identity on the ``A``-state components.
+
+Concrete mappings in the paper are systems of *inequalities* over the
+predictive ``Ft``/``Lt`` components; :class:`InequalityMapping` captures
+exactly that.  :class:`ProjectionMapping` covers the paper's "trivial"
+mappings (dropping or renaming conditions with equal predictions).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Callable, Dict, Optional, Sequence
+
+from repro.errors import MappingError
+from repro.core.time_automaton import PredictiveTimeAutomaton
+from repro.core.time_state import TimeState
+
+__all__ = [
+    "StrongPossibilitiesMapping",
+    "InequalityMapping",
+    "ProjectionMapping",
+    "MappingChain",
+]
+
+
+class StrongPossibilitiesMapping(ABC):
+    """Base class: a candidate strong possibilities mapping.
+
+    Subclasses provide :meth:`image_contains`; the identity-on-``A``
+    requirement (condition 3 of Definition 3.2) is enforced here in
+    :meth:`contains` so no subclass can forget it.
+    """
+
+    def __init__(
+        self,
+        source: PredictiveTimeAutomaton,
+        target: PredictiveTimeAutomaton,
+        name: Optional[str] = None,
+    ):
+        self.source = source
+        self.target = target
+        self.name = name or "{} -> {}".format(source.name, target.name)
+
+    @abstractmethod
+    def image_contains(self, target_state: TimeState, source_state: TimeState) -> bool:
+        """True when ``target_state ∈ f(source_state)``, assuming the
+        ``A``-components already agree."""
+
+    def contains(self, target_state: TimeState, source_state: TimeState) -> bool:
+        """``target_state ∈ f(source_state)`` including the identity
+        requirement on ``A``-state components."""
+        if target_state.astate != source_state.astate:
+            return False
+        return self.image_contains(target_state, source_state)
+
+    def describe_failure(
+        self, target_state: TimeState, source_state: TimeState
+    ) -> str:
+        """Diagnostic text for a containment failure; subclasses may
+        refine this with the violated inequality."""
+        if target_state.astate != source_state.astate:
+            return "A-state components differ: {!r} vs {!r}".format(
+                target_state.astate, source_state.astate
+            )
+        return "target state {!r} is outside the image of {!r}".format(
+            target_state, source_state
+        )
+
+    def __repr__(self) -> str:
+        return "<{} {}>".format(type(self).__name__, self.name)
+
+
+class InequalityMapping(StrongPossibilitiesMapping):
+    """A mapping given by a predicate over (target, source) state pairs —
+    in the paper's examples, a conjunction of inequalities relating the
+    target's ``Ft/Lt`` components to expressions over the source state.
+    """
+
+    def __init__(
+        self,
+        source: PredictiveTimeAutomaton,
+        target: PredictiveTimeAutomaton,
+        predicate: Callable[[TimeState, TimeState], bool],
+        name: Optional[str] = None,
+        explain: Optional[Callable[[TimeState, TimeState], str]] = None,
+    ):
+        super().__init__(source, target, name=name)
+        self._predicate = predicate
+        self._explain = explain
+
+    def image_contains(self, target_state: TimeState, source_state: TimeState) -> bool:
+        return bool(self._predicate(target_state, source_state))
+
+    def describe_failure(self, target_state: TimeState, source_state: TimeState) -> str:
+        if self._explain is not None and target_state.astate == source_state.astate:
+            return self._explain(target_state, source_state)
+        return super().describe_failure(target_state, source_state)
+
+
+class ProjectionMapping(StrongPossibilitiesMapping):
+    """The paper's "trivial" mappings: every target condition's
+    prediction must *equal* the prediction of a designated source
+    condition (by default the one with the same name); source-only
+    conditions are simply forgotten.
+
+    Used for ``B_0 → B`` (drop boundmap conditions) and
+    ``time(Ã, b̃) → B_{n-1}`` (rename ``SIGNAL_n``'s class condition to
+    ``U_{n-1,n}``).
+    """
+
+    def __init__(
+        self,
+        source: PredictiveTimeAutomaton,
+        target: PredictiveTimeAutomaton,
+        name_map: Optional[Dict[str, str]] = None,
+        name: Optional[str] = None,
+    ):
+        super().__init__(source, target, name=name)
+        self._name_map: Dict[str, str] = dict(name_map or {})
+        for cond in target.conditions:
+            source_name = self._name_map.get(cond.name, cond.name)
+            # Fail fast if the projection is not well defined.
+            source.index_of(source_name)
+            self._name_map[cond.name] = source_name
+
+    def image_contains(self, target_state: TimeState, source_state: TimeState) -> bool:
+        for cond in self.target.conditions:
+            source_name = self._name_map[cond.name]
+            target_pred = target_state.preds[self.target.index_of(cond.name)]
+            source_pred = source_state.preds[self.source.index_of(source_name)]
+            if target_pred != source_pred:
+                return False
+        return True
+
+    def describe_failure(self, target_state: TimeState, source_state: TimeState) -> str:
+        if target_state.astate != source_state.astate:
+            return super().describe_failure(target_state, source_state)
+        diffs = []
+        for cond in self.target.conditions:
+            source_name = self._name_map[cond.name]
+            target_pred = target_state.preds[self.target.index_of(cond.name)]
+            source_pred = source_state.preds[self.source.index_of(source_name)]
+            if target_pred != source_pred:
+                diffs.append(
+                    "{} = {!r} but source {} = {!r}".format(
+                        cond.name, target_pred, source_name, source_pred
+                    )
+                )
+        return "; ".join(diffs) or "no difference (?)"
+
+
+class MappingChain:
+    """A hierarchy ``time(A, U_m) → … → time(A, U_0)`` of mappings whose
+    composition witnesses the overall requirement (paper Section 6.3,
+    Corollary 6.3).  The chain is checked level-by-level in lockstep by
+    :func:`repro.core.checker.check_chain_on_run`.
+    """
+
+    def __init__(self, mappings: Sequence[StrongPossibilitiesMapping]):
+        self.mappings = tuple(mappings)
+        if not self.mappings:
+            raise MappingError("a mapping chain needs at least one mapping")
+        for first, second in zip(self.mappings, self.mappings[1:]):
+            if first.target is not second.source:
+                raise MappingError(
+                    "chain mismatch: {} targets {} but {} starts from {}".format(
+                        first.name, first.target.name, second.name, second.source.name
+                    )
+                )
+
+    @property
+    def source(self) -> PredictiveTimeAutomaton:
+        return self.mappings[0].source
+
+    @property
+    def target(self) -> PredictiveTimeAutomaton:
+        return self.mappings[-1].target
+
+    def __len__(self) -> int:
+        return len(self.mappings)
+
+    def __iter__(self):
+        return iter(self.mappings)

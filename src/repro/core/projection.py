@@ -1,0 +1,73 @@
+"""Projection between executions of ``time(A, U)`` and timed sequences
+of ``A`` (paper Lemmas 3.2 / 3.3).
+
+An execution of ``time(A, U)`` is represented as a
+:class:`~repro.timed.timed_sequence.TimedSequence` whose states are
+:class:`~repro.core.time_state.TimeState` values.  ``project`` keeps the
+``(action, time)`` pairs and maps every state to its ``A``-component;
+``lift`` is the inverse construction from the proof of Lemma 3.2(1).
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from repro.errors import ExecutionError, TimingViolationError
+from repro.timed.timed_sequence import TimedSequence
+from repro.core.time_automaton import PredictiveTimeAutomaton
+from repro.core.time_state import TimeState
+
+__all__ = ["project", "lift", "validate_run"]
+
+
+def project(run: TimedSequence) -> TimedSequence:
+    """The paper's ``project(α)``: map each :class:`TimeState` to its
+    ``A``-state, keeping the (action, time) pairs intact."""
+    states = []
+    for state in run.states:
+        if not isinstance(state, TimeState):
+            raise ExecutionError(
+                "project expects TimeState states, got {!r}".format(state)
+            )
+        states.append(state.astate)
+    return TimedSequence(tuple(states), run.events)
+
+
+def lift(automaton: PredictiveTimeAutomaton, seq: TimedSequence) -> TimedSequence:
+    """Lemma 3.2(1): the unique execution ``α`` of ``time(A, U)`` with
+    ``project(α) = seq``, provided ``seq`` is a timed semi-execution of
+    ``(A, U)``.
+
+    Raises :class:`TimingViolationError` (with the violated clause) when
+    no such execution exists — i.e. when ``seq`` is *not* a timed
+    semi-execution.
+    """
+    start = automaton.initial(seq.first_state)
+    current = start
+    states = [start]
+    for pre_astate, event, post_astate in seq.triples():
+        del pre_astate  # the time-state already carries it
+        current = automaton.successor_matching(
+            current, event.action, event.time, post_astate
+        )
+        states.append(current)
+    return TimedSequence(tuple(states), seq.events)
+
+
+def validate_run(automaton: PredictiveTimeAutomaton, run: TimedSequence) -> None:
+    """Check that ``run`` is an execution of ``time(A, U)`` beginning in
+    a start state; raises on the first bad step."""
+    first = run.first_state
+    if not isinstance(first, TimeState):
+        raise ExecutionError("runs of time(A, U) must consist of TimeState states")
+    if first != automaton.initial(first.astate):
+        raise ExecutionError(
+            "run does not begin in the start state over {!r}".format(first.astate)
+        )
+    for index, (pre, event, post) in enumerate(run.triples()):
+        if not automaton.is_step(pre, event.action, event.time, post):
+            raise ExecutionError(
+                "run step {} = ({!r}, {!r}) is not a step of {}".format(
+                    index, event.action, event.time, automaton.name
+                )
+            )

@@ -1,0 +1,90 @@
+"""Exception hierarchy shared by all :mod:`repro` subpackages.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch library failures without masking programming errors
+such as :class:`TypeError`.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "SignatureError",
+    "PartitionError",
+    "AutomatonError",
+    "NotEnabledError",
+    "CompositionError",
+    "ExecutionError",
+    "TimedSequenceError",
+    "TimingConditionError",
+    "TimingViolationError",
+    "SchedulingDeadlockError",
+    "MappingError",
+    "MappingCheckError",
+    "ZoneError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class SignatureError(ReproError):
+    """An action signature is malformed (e.g. overlapping action kinds)."""
+
+
+class PartitionError(ReproError):
+    """A partition of locally controlled actions is malformed."""
+
+
+class AutomatonError(ReproError):
+    """An automaton definition is malformed or used inconsistently."""
+
+
+class NotEnabledError(AutomatonError):
+    """A step was requested for an action that is not enabled."""
+
+
+class CompositionError(ReproError):
+    """Components are not strongly compatible or otherwise uncomposable."""
+
+
+class ExecutionError(ReproError):
+    """A sequence of states and actions is not an execution of an automaton."""
+
+
+class TimedSequenceError(ReproError):
+    """A timed sequence is malformed (e.g. decreasing time components)."""
+
+
+class TimingConditionError(ReproError):
+    """A timing condition violates the paper's technical requirements."""
+
+
+class TimingViolationError(ReproError):
+    """A timed step violates the predictive Ft/Lt bounds of time(A, U)."""
+
+
+class SchedulingDeadlockError(ReproError):
+    """The simulator reached a state with a pending deadline but no
+    schedulable action — the modelled system cannot satisfy its own
+    timing conditions from here."""
+
+
+class MappingError(ReproError):
+    """A strong possibilities mapping is malformed."""
+
+
+class MappingCheckError(MappingError):
+    """A strong possibilities mapping check failed; carries the failing
+    step for diagnosis."""
+
+    def __init__(self, message, *, step=None, source_state=None, target_state=None):
+        super().__init__(message)
+        self.step = step
+        self.source_state = source_state
+        self.target_state = target_state
+
+
+class ZoneError(ReproError):
+    """A DBM/zone operation was applied to incompatible operands."""

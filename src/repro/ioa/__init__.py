@@ -1,0 +1,57 @@
+"""I/O automaton substrate (paper Section 2.1).
+
+Exports the kernel types: actions and signatures, partitions, the
+:class:`IOAutomaton` base class, guarded and table automata,
+composition/hiding, executions and the reachability explorer.
+"""
+
+from repro.ioa.actions import Act, ActionSignature, Kind, act
+from repro.ioa.automaton import IOAutomaton, Step
+from repro.ioa.composition import Composition, HiddenAutomaton, compose, hide
+from repro.ioa.execution import Execution, validate_execution
+from repro.ioa.explorer import (
+    ExplorationResult,
+    InvariantReport,
+    check_invariant,
+    explore,
+)
+from repro.ioa.guarded import ActionSpec, GuardedAutomaton
+from repro.ioa.partition import Partition, PartitionClass
+from repro.ioa.rename import RenamedAutomaton, rename_actions
+from repro.ioa.simulations import (
+    UntimedCheckOutcome,
+    check_possibilities_mapping,
+    schedule_inclusion,
+    schedules_up_to,
+)
+from repro.ioa.table import TableAutomaton
+
+__all__ = [
+    "Act",
+    "act",
+    "Kind",
+    "ActionSignature",
+    "IOAutomaton",
+    "Step",
+    "Partition",
+    "PartitionClass",
+    "ActionSpec",
+    "GuardedAutomaton",
+    "TableAutomaton",
+    "Composition",
+    "compose",
+    "HiddenAutomaton",
+    "hide",
+    "RenamedAutomaton",
+    "rename_actions",
+    "UntimedCheckOutcome",
+    "check_possibilities_mapping",
+    "schedule_inclusion",
+    "schedules_up_to",
+    "Execution",
+    "validate_execution",
+    "ExplorationResult",
+    "explore",
+    "InvariantReport",
+    "check_invariant",
+]

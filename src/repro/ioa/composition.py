@@ -1,0 +1,193 @@
+"""Composition and hiding of I/O automata (paper Section 2.1).
+
+Composition requires *strong compatibility*: no action is an output of
+more than one component, internal actions are not shared, and (trivially
+here) no action is shared by infinitely many components.  A composed
+state is the tuple of component states; on a shared action every
+component having it in its signature takes a step simultaneously.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Hashable, Iterable, Iterator, List, Sequence, Tuple
+
+from repro.errors import CompositionError
+from repro.ioa.actions import ActionSignature
+from repro.ioa.automaton import IOAutomaton
+from repro.ioa.partition import Partition, PartitionClass
+
+__all__ = ["Composition", "compose", "HiddenAutomaton", "hide"]
+
+
+class Composition(IOAutomaton):
+    """The composition of finitely many strongly compatible automata."""
+
+    def __init__(self, components: Sequence[IOAutomaton], name: str = "composition"):
+        if not components:
+            raise CompositionError("cannot compose zero components")
+        self.name = name
+        self._components: Tuple[IOAutomaton, ...] = tuple(components)
+        self._check_strong_compatibility()
+        inputs: set = set()
+        outputs: set = set()
+        internals: set = set()
+        for comp in self._components:
+            sig = comp.signature
+            outputs |= sig.outputs
+            internals |= sig.internals
+            inputs |= sig.inputs
+        # An input of one component driven by another's output becomes
+        # an output of the composition, not an input.
+        inputs -= outputs
+        self._signature = ActionSignature(
+            inputs=frozenset(inputs),
+            outputs=frozenset(outputs),
+            internals=frozenset(internals),
+        )
+        self._partition = self._merge_partitions()
+        # Per-component incidence: which components participate in each action.
+        self._participants: Dict[Hashable, Tuple[int, ...]] = {}
+        for idx, comp in enumerate(self._components):
+            for action in comp.signature.all_actions:
+                self._participants.setdefault(action, ())
+                self._participants[action] += (idx,)
+
+    def _check_strong_compatibility(self) -> None:
+        for i, a in enumerate(self._components):
+            for j, b in enumerate(self._components):
+                if i >= j:
+                    continue
+                shared_outputs = a.signature.outputs & b.signature.outputs
+                if shared_outputs:
+                    raise CompositionError(
+                        "components {} and {} share output actions {!r}".format(
+                            a.name, b.name, sorted(map(repr, shared_outputs))
+                        )
+                    )
+                leaked = (a.signature.internals & b.signature.all_actions) | (
+                    b.signature.internals & a.signature.all_actions
+                )
+                if leaked:
+                    raise CompositionError(
+                        "internal actions shared between {} and {}: {!r}".format(
+                            a.name, b.name, sorted(map(repr, leaked))
+                        )
+                    )
+
+    def _merge_partitions(self) -> Partition:
+        classes: List[PartitionClass] = []
+        seen_names: set = set()
+        for comp in self._components:
+            for cls in comp.partition:
+                if cls.name in seen_names:
+                    raise CompositionError(
+                        "partition class name collision on {!r}; rename a "
+                        "component class before composing".format(cls.name)
+                    )
+                seen_names.add(cls.name)
+                classes.append(cls)
+        return Partition(classes)
+
+    @property
+    def components(self) -> Tuple[IOAutomaton, ...]:
+        return self._components
+
+    def component_index(self, name: str) -> int:
+        """Index of the component named ``name`` in composed state tuples."""
+        for idx, comp in enumerate(self._components):
+            if comp.name == name:
+                return idx
+        raise CompositionError("no component named {!r}".format(name))
+
+    def component_state(self, state: Tuple, name: str) -> Hashable:
+        """Project a composed state onto the named component."""
+        return state[self.component_index(name)]
+
+    @property
+    def signature(self) -> ActionSignature:
+        return self._signature
+
+    @property
+    def partition(self) -> Partition:
+        return self._partition
+
+    def start_states(self) -> Iterator[Tuple]:
+        per_component = [list(comp.start_states()) for comp in self._components]
+        for combo in itertools.product(*per_component):
+            yield tuple(combo)
+
+    def transitions(self, state: Tuple, action: Hashable) -> Iterator[Tuple]:
+        participants = self._participants.get(action)
+        if participants is None:
+            return iter(())
+        return self._transitions(state, action, participants)
+
+    def _transitions(
+        self, state: Tuple, action: Hashable, participants: Tuple[int, ...]
+    ) -> Iterator[Tuple]:
+        choices: List[List[Hashable]] = []
+        for idx in participants:
+            posts = list(self._components[idx].transitions(state[idx], action))
+            if not posts:
+                # A locally controlled participant is not enabled: the
+                # composed action cannot occur.
+                return
+            choices.append(posts)
+        for combo in itertools.product(*choices):
+            post = list(state)
+            for idx, comp_post in zip(participants, combo):
+                post[idx] = comp_post
+            yield tuple(post)
+
+    def is_enabled(self, state: Tuple, action: Hashable) -> bool:
+        participants = self._participants.get(action)
+        if participants is None:
+            return False
+        return all(
+            self._components[idx].is_enabled(state[idx], action) for idx in participants
+        )
+
+
+def compose(*components: IOAutomaton, name: str = "composition") -> Composition:
+    """Convenience wrapper: ``compose(a, b, c)``."""
+    return Composition(components, name=name)
+
+
+class HiddenAutomaton(IOAutomaton):
+    """The paper's hiding operator: reclassify outputs as internal.
+
+    Steps, states and the partition are untouched; only the signature
+    changes (and hence which actions appear in behaviors).
+    """
+
+    def __init__(self, inner: IOAutomaton, hidden: Iterable[Hashable]):
+        self._inner = inner
+        self._signature = inner.signature.hide(hidden)
+        self.name = "hide({})".format(inner.name)
+
+    @property
+    def inner(self) -> IOAutomaton:
+        return self._inner
+
+    @property
+    def signature(self) -> ActionSignature:
+        return self._signature
+
+    @property
+    def partition(self) -> Partition:
+        return self._inner.partition
+
+    def start_states(self) -> Iterator[Hashable]:
+        return self._inner.start_states()
+
+    def transitions(self, state: Hashable, action: Hashable) -> Iterable[Hashable]:
+        return self._inner.transitions(state, action)
+
+    def is_enabled(self, state: Hashable, action: Hashable) -> bool:
+        return self._inner.is_enabled(state, action)
+
+
+def hide(automaton: IOAutomaton, actions: Iterable[Hashable]) -> HiddenAutomaton:
+    """Hide the given output actions of ``automaton``."""
+    return HiddenAutomaton(automaton, actions)

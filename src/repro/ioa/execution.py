@@ -1,0 +1,95 @@
+"""Executions, schedules and behaviors of I/O automata (Section 2.1).
+
+An execution is an alternating sequence ``s0, π1, s1, …`` with every
+``(s_{i-1}, π_i, s_i)`` a step.  ``sched`` drops the states; ``beh``
+additionally drops internal actions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Iterator, List, Sequence, Tuple
+
+from repro.errors import ExecutionError
+from repro.ioa.automaton import IOAutomaton, Step
+
+__all__ = ["Execution", "validate_execution"]
+
+
+@dataclass(frozen=True)
+class Execution:
+    """A finite execution fragment: ``len(states) == len(actions) + 1``."""
+
+    states: Tuple[Hashable, ...]
+    actions: Tuple[Hashable, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "states", tuple(self.states))
+        object.__setattr__(self, "actions", tuple(self.actions))
+        if len(self.states) != len(self.actions) + 1:
+            raise ExecutionError(
+                "an execution with {} actions needs {} states, got {}".format(
+                    len(self.actions), len(self.actions) + 1, len(self.states)
+                )
+            )
+
+    @classmethod
+    def initial(cls, state: Hashable) -> "Execution":
+        """The zero-step execution sitting in ``state``."""
+        return cls((state,), ())
+
+    @property
+    def first_state(self) -> Hashable:
+        return self.states[0]
+
+    @property
+    def last_state(self) -> Hashable:
+        return self.states[-1]
+
+    def __len__(self) -> int:
+        """Number of steps."""
+        return len(self.actions)
+
+    def steps(self) -> Iterator[Step]:
+        """Iterate over the (pre, action, post) steps."""
+        for i, action in enumerate(self.actions):
+            yield (self.states[i], action, self.states[i + 1])
+
+    def extend(self, action: Hashable, state: Hashable) -> "Execution":
+        """A new execution with one more step appended."""
+        return Execution(self.states + (state,), self.actions + (action,))
+
+    def sched(self) -> Tuple[Hashable, ...]:
+        """The schedule: the action subsequence."""
+        return self.actions
+
+    def beh(self, automaton: IOAutomaton) -> Tuple[Hashable, ...]:
+        """The behavior: external actions only."""
+        sig = automaton.signature
+        return tuple(a for a in self.actions if sig.is_external(a))
+
+    def prefix(self, steps: int) -> "Execution":
+        """The prefix with the given number of steps."""
+        if steps < 0 or steps > len(self.actions):
+            raise ExecutionError("prefix length {} out of range".format(steps))
+        return Execution(self.states[: steps + 1], self.actions[:steps])
+
+
+def validate_execution(
+    automaton: IOAutomaton, execution: Execution, require_start: bool = True
+) -> None:
+    """Check that ``execution`` really is an execution (fragment) of
+    ``automaton``; raises :class:`ExecutionError` otherwise."""
+    if require_start and execution.first_state not in set(automaton.start_states()):
+        raise ExecutionError(
+            "execution does not begin in a start state of {}: {!r}".format(
+                automaton.name, execution.first_state
+            )
+        )
+    for index, (pre, action, post) in enumerate(execution.steps()):
+        if not automaton.is_step(pre, action, post):
+            raise ExecutionError(
+                "step {} = ({!r}, {!r}, {!r}) is not a step of {}".format(
+                    index, pre, action, post, automaton.name
+                )
+            )

@@ -1,0 +1,142 @@
+"""Reachability exploration and invariant checking for I/O automata.
+
+A breadth-first explorer over the (possibly truncated) reachable state
+space, with parent pointers so that invariant violations come with a
+concrete counterexample execution.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Hashable, Iterable, List, Optional, Set, Tuple
+
+from repro.errors import AutomatonError
+from repro.ioa.automaton import IOAutomaton
+from repro.ioa.execution import Execution
+
+__all__ = ["ExplorationResult", "explore", "InvariantReport", "check_invariant"]
+
+
+@dataclass
+class ExplorationResult:
+    """Outcome of a (possibly truncated) breadth-first exploration."""
+
+    reachable: Set[Hashable]
+    transitions_explored: int
+    truncated: bool
+    #: parent[s] = (predecessor state, action) for counterexample paths.
+    parents: Dict[Hashable, Tuple[Optional[Hashable], Optional[Hashable]]] = field(
+        default_factory=dict
+    )
+
+    def path_to(self, state: Hashable) -> Execution:
+        """Reconstruct an execution from a start state to ``state``."""
+        if state not in self.parents:
+            raise AutomatonError("state {!r} was not reached".format(state))
+        states: List[Hashable] = [state]
+        actions: List[Hashable] = []
+        current = state
+        while True:
+            pred, action = self.parents[current]
+            if pred is None:
+                break
+            states.append(pred)
+            actions.append(action)
+            current = pred
+        states.reverse()
+        actions.reverse()
+        return Execution(tuple(states), tuple(actions))
+
+
+def explore(
+    automaton: IOAutomaton,
+    max_states: int = 100_000,
+    max_depth: Optional[int] = None,
+) -> ExplorationResult:
+    """Breadth-first exploration of the reachable states of ``automaton``.
+
+    Stops (and flags ``truncated``) when ``max_states`` distinct states
+    have been found or ``max_depth`` levels expanded.
+    """
+    result = ExplorationResult(reachable=set(), transitions_explored=0, truncated=False)
+    frontier: deque = deque()
+    for s0 in automaton.start_states():
+        if s0 not in result.reachable:
+            result.reachable.add(s0)
+            result.parents[s0] = (None, None)
+            frontier.append((s0, 0))
+    while frontier:
+        state, depth = frontier.popleft()
+        if max_depth is not None and depth >= max_depth:
+            result.truncated = True
+            continue
+        for action in automaton.enabled_actions(state):
+            for post in automaton.transitions(state, action):
+                result.transitions_explored += 1
+                if post in result.reachable:
+                    continue
+                if len(result.reachable) >= max_states:
+                    result.truncated = True
+                    return result
+                result.reachable.add(post)
+                result.parents[post] = (state, action)
+                frontier.append((post, depth + 1))
+    return result
+
+
+@dataclass(frozen=True)
+class InvariantReport:
+    """The result of an invariant check."""
+
+    holds: bool
+    states_checked: int
+    truncated: bool
+    counterexample: Optional[Execution] = None
+
+    def __bool__(self) -> bool:
+        return self.holds
+
+
+def check_invariant(
+    automaton: IOAutomaton,
+    predicate: Callable[[Hashable], bool],
+    max_states: int = 100_000,
+    max_depth: Optional[int] = None,
+) -> InvariantReport:
+    """Check ``predicate`` on every reachable state (up to the limits).
+
+    On a violation, returns a report carrying a shortest-path
+    counterexample execution.
+    """
+    result = ExplorationResult(reachable=set(), transitions_explored=0, truncated=False)
+    frontier: deque = deque()
+    checked = 0
+    for s0 in automaton.start_states():
+        if s0 in result.reachable:
+            continue
+        result.reachable.add(s0)
+        result.parents[s0] = (None, None)
+        checked += 1
+        if not predicate(s0):
+            return InvariantReport(False, checked, False, result.path_to(s0))
+        frontier.append((s0, 0))
+    truncated = False
+    while frontier:
+        state, depth = frontier.popleft()
+        if max_depth is not None and depth >= max_depth:
+            truncated = True
+            continue
+        for action in automaton.enabled_actions(state):
+            for post in automaton.transitions(state, action):
+                if post in result.reachable:
+                    continue
+                if len(result.reachable) >= max_states:
+                    return InvariantReport(True, checked, True, None)
+                result.reachable.add(post)
+                result.parents[post] = (state, action)
+                checked += 1
+                if not predicate(post):
+                    return InvariantReport(False, checked, truncated, result.path_to(post))
+                frontier.append((post, depth + 1))
+    return InvariantReport(True, checked, truncated, None)

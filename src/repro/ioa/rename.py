@@ -1,0 +1,105 @@
+"""Action renaming for I/O automata.
+
+Composing two copies of the same automaton (e.g. two relay lines, or a
+clock shared by several managers) needs their action names pulled
+apart; :class:`RenamedAutomaton` applies an injective action map while
+leaving states, steps and the partition structure untouched.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, Iterator, Mapping
+
+from repro.errors import AutomatonError
+from repro.ioa.actions import ActionSignature
+from repro.ioa.automaton import IOAutomaton
+from repro.ioa.partition import Partition, PartitionClass
+
+__all__ = ["RenamedAutomaton", "rename_actions"]
+
+
+class RenamedAutomaton(IOAutomaton):
+    """``inner`` with actions renamed through an injective map.
+
+    Actions absent from the map keep their names.  Partition classes
+    keep their names unless ``class_map`` renames them (needed when two
+    renamed copies are composed, since class names must stay unique).
+    """
+
+    def __init__(
+        self,
+        inner: IOAutomaton,
+        action_map: Mapping[Hashable, Hashable],
+        class_map: Mapping[str, str] = None,
+        name: str = None,
+    ):
+        self._inner = inner
+        self._forward: Dict[Hashable, Hashable] = dict(action_map)
+        unknown = set(self._forward) - set(inner.signature.all_actions)
+        if unknown:
+            raise AutomatonError(
+                "renaming refers to unknown actions: {!r}".format(
+                    sorted(map(repr, unknown))
+                )
+            )
+        images = [self._forward.get(a, a) for a in inner.signature.all_actions]
+        if len(set(images)) != len(images):
+            raise AutomatonError("action renaming must be injective on the signature")
+        self._backward: Dict[Hashable, Hashable] = {}
+        for action in inner.signature.all_actions:
+            self._backward[self._forward.get(action, action)] = action
+        sig = inner.signature
+        self._signature = ActionSignature(
+            inputs=frozenset(self._forward.get(a, a) for a in sig.inputs),
+            outputs=frozenset(self._forward.get(a, a) for a in sig.outputs),
+            internals=frozenset(self._forward.get(a, a) for a in sig.internals),
+        )
+        class_map = dict(class_map or {})
+        unknown_classes = set(class_map) - set(inner.partition.names)
+        if unknown_classes:
+            raise AutomatonError(
+                "renaming refers to unknown classes: {!r}".format(sorted(unknown_classes))
+            )
+        self._partition = Partition(
+            PartitionClass(
+                class_map.get(cls.name, cls.name),
+                frozenset(self._forward.get(a, a) for a in cls.actions),
+            )
+            for cls in inner.partition
+        )
+        self.name = name or "renamed({})".format(inner.name)
+
+    @property
+    def inner(self) -> IOAutomaton:
+        return self._inner
+
+    @property
+    def signature(self) -> ActionSignature:
+        return self._signature
+
+    @property
+    def partition(self) -> Partition:
+        return self._partition
+
+    def start_states(self) -> Iterator[Hashable]:
+        return self._inner.start_states()
+
+    def transitions(self, state: Hashable, action: Hashable) -> Iterable[Hashable]:
+        original = self._backward.get(action)
+        if original is None:
+            return iter(())
+        return self._inner.transitions(state, original)
+
+    def is_enabled(self, state: Hashable, action: Hashable) -> bool:
+        original = self._backward.get(action)
+        return original is not None and self._inner.is_enabled(state, original)
+
+
+def rename_actions(
+    automaton: IOAutomaton,
+    action_map: Mapping[Hashable, Hashable],
+    class_map: Mapping[str, str] = None,
+    name: str = None,
+) -> RenamedAutomaton:
+    """Convenience wrapper around :class:`RenamedAutomaton`."""
+    return RenamedAutomaton(automaton, action_map, class_map=class_map, name=name)

@@ -1,0 +1,148 @@
+"""Untimed possibilities mappings between I/O automata.
+
+The paper's technique extends the classical mapping method for safety
+properties of asynchronous systems ([La83, Ly86, LT87] in its
+introduction).  This module provides that classical substrate in the
+same-action-alphabet form the paper builds on:
+
+a *possibilities mapping* ``f`` from automaton ``A`` to automaton ``B``
+maps each state of ``A`` to a set of states of ``B`` such that
+
+1. every start state of ``A`` has some start state of ``B`` in its
+   image, and
+2. for every reachable step ``(s', π, s)`` of ``A`` and every reachable
+   ``u' ∈ f(s')``, some step ``(u', π, u)`` of ``B`` has ``u ∈ f(s)``.
+
+The existence of such a mapping implies every schedule of ``A`` is a
+schedule of ``B`` — checked here both ways: an exhaustive checker for
+the mapping conditions over finite automata, and a brute-force schedule
+inclusion comparator used to validate the implication in tests.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, FrozenSet, Hashable, Optional, Set, Tuple
+
+from repro.errors import MappingError
+from repro.ioa.automaton import IOAutomaton
+
+__all__ = [
+    "UntimedCheckOutcome",
+    "check_possibilities_mapping",
+    "schedules_up_to",
+    "schedule_inclusion",
+]
+
+
+@dataclass(frozen=True)
+class UntimedCheckOutcome:
+    """Result of an exhaustive possibilities-mapping check."""
+
+    ok: bool
+    pairs_checked: int
+    detail: str = ""
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+
+def check_possibilities_mapping(
+    source: IOAutomaton,
+    target: IOAutomaton,
+    mapping: Callable[[Hashable], FrozenSet[Hashable]],
+    max_pairs: int = 200_000,
+) -> UntimedCheckOutcome:
+    """Exhaustively check conditions 1–2 over the reachable pairs
+    ``(s, u)`` with ``u ∈ f(s)``.
+
+    Pairs are explored forward: starting from start-state pairs, each
+    source step is matched in the target and the reached pair enqueued,
+    so only *jointly reachable* pairs generate obligations — exactly the
+    quantification in the classical definition.
+    """
+    frontier: deque = deque()
+    seen: Set[Tuple[Hashable, Hashable]] = set()
+    target_starts = set(target.start_states())
+    for s0 in source.start_states():
+        image = mapping(s0)
+        witnesses = [u0 for u0 in image if u0 in target_starts]
+        if not witnesses:
+            return UntimedCheckOutcome(
+                False,
+                0,
+                "start condition fails: f({!r}) contains no start state of "
+                "{}".format(s0, target.name),
+            )
+        for u0 in witnesses:
+            pair = (s0, u0)
+            if pair not in seen:
+                seen.add(pair)
+                frontier.append(pair)
+    checked = 0
+    while frontier:
+        s_pre, u_pre = frontier.popleft()
+        for action in source.enabled_actions(s_pre):
+            for s_post in source.transitions(s_pre, action):
+                checked += 1
+                matches = [
+                    u_post
+                    for u_post in target.transitions(u_pre, action)
+                    if u_post in mapping(s_post)
+                ]
+                if not matches:
+                    return UntimedCheckOutcome(
+                        False,
+                        checked,
+                        "step condition fails: ({!r}, {!r}, {!r}) with witness "
+                        "{!r} has no matching step into f({!r})".format(
+                            s_pre, action, s_post, u_pre, s_post
+                        ),
+                    )
+                for u_post in matches:
+                    pair = (s_post, u_post)
+                    if pair in seen:
+                        continue
+                    if len(seen) >= max_pairs:
+                        return UntimedCheckOutcome(
+                            True, checked, "truncated at {} pairs".format(max_pairs)
+                        )
+                    seen.add(pair)
+                    frontier.append(pair)
+    return UntimedCheckOutcome(True, checked, "exhaustive")
+
+
+def schedules_up_to(automaton: IOAutomaton, depth: int) -> FrozenSet[Tuple]:
+    """All schedules (action sequences) of length ≤ ``depth``."""
+    results: Set[Tuple] = set()
+    frontier = [((), s0) for s0 in automaton.start_states()]
+    results.add(())
+    for _ in range(depth):
+        next_frontier = []
+        for sched, state in frontier:
+            for action in automaton.enabled_actions(state):
+                for post in automaton.transitions(state, action):
+                    extended = sched + (action,)
+                    results.add(extended)
+                    next_frontier.append((extended, post))
+        frontier = next_frontier
+    return frozenset(results)
+
+
+def schedule_inclusion(
+    source: IOAutomaton, target: IOAutomaton, depth: int
+) -> Optional[Tuple]:
+    """Brute-force check that every schedule of ``source`` up to
+    ``depth`` is a schedule of ``target``; returns a counterexample
+    schedule or None.
+
+    Exponential — a validation oracle for the mapping checker, not a
+    verification method.
+    """
+    source_schedules = schedules_up_to(source, depth)
+    target_schedules = schedules_up_to(target, depth)
+    missing = source_schedules - target_schedules
+    if missing:
+        return min(missing, key=lambda sched: (len(sched), repr(sched)))
+    return None

@@ -1,0 +1,81 @@
+"""Explicit-table automata: finite automata given by enumerated steps.
+
+Useful for tests, tiny specification automata and for materialising the
+result of an exploration.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.errors import AutomatonError
+from repro.ioa.actions import ActionSignature
+from repro.ioa.automaton import IOAutomaton, Step
+from repro.ioa.partition import Partition
+
+__all__ = ["TableAutomaton"]
+
+
+class TableAutomaton(IOAutomaton):
+    """An I/O automaton defined by an explicit finite list of steps."""
+
+    def __init__(
+        self,
+        name: str,
+        signature: ActionSignature,
+        start: Sequence[Hashable],
+        steps: Iterable[Step],
+        partition: Optional[Partition] = None,
+        states: Optional[Iterable[Hashable]] = None,
+    ):
+        self.name = name
+        self._signature = signature
+        self._start = tuple(start)
+        if not self._start:
+            raise AutomatonError("{}: at least one start state is required".format(name))
+        self._table: Dict[Tuple[Hashable, Hashable], List[Hashable]] = {}
+        known_states = set(states) if states is not None else None
+        for pre, action, post in steps:
+            if not signature.contains(action):
+                raise AutomatonError(
+                    "{}: step uses action {!r} outside the signature".format(name, action)
+                )
+            if known_states is not None and (pre not in known_states or post not in known_states):
+                raise AutomatonError(
+                    "{}: step ({!r}, {!r}, {!r}) uses a state outside the "
+                    "declared state set".format(name, pre, action, post)
+                )
+            self._table.setdefault((pre, action), []).append(post)
+        self._partition = partition
+        if partition is not None:
+            partition.validate_against(signature)
+
+    @property
+    def signature(self) -> ActionSignature:
+        return self._signature
+
+    @property
+    def partition(self) -> Partition:
+        if self._partition is not None:
+            return self._partition
+        return super().partition
+
+    def start_states(self) -> Iterator[Hashable]:
+        return iter(self._start)
+
+    def transitions(self, state: Hashable, action: Hashable) -> Iterator[Hashable]:
+        return iter(self._table.get((state, action), ()))
+
+    def all_steps(self) -> Iterator[Step]:
+        """Iterate over every step in the table."""
+        for (pre, action), posts in self._table.items():
+            for post in posts:
+                yield (pre, action, post)
+
+    def states_mentioned(self) -> frozenset:
+        """All states that appear in the table or as start states."""
+        seen = set(self._start)
+        for (pre, _), posts in self._table.items():
+            seen.add(pre)
+            seen.update(posts)
+        return frozenset(seen)

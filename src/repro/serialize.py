@@ -1,0 +1,122 @@
+"""JSON (de)serialisation of runs and timed sequences.
+
+Lets users persist a failing counterexample run and reload it later —
+exactness included: fractions round-trip as ``"p/q"`` strings, ``∞`` as
+a tagged object, and the structured state types (:class:`Act` actions,
+tuples, :class:`TimeState` with its predictions) as tagged JSON
+objects.
+
+Only the value shapes the library itself produces are supported; an
+unknown type raises :class:`SerializationError` rather than degrading
+silently.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from fractions import Fraction
+from typing import Any, List
+
+from repro.errors import ReproError
+from repro.ioa.actions import Act
+from repro.core.time_state import Prediction, TimeState
+from repro.timed.timed_sequence import TimedEvent, TimedSequence
+
+__all__ = [
+    "SerializationError",
+    "encode_value",
+    "decode_value",
+    "run_to_json",
+    "run_from_json",
+]
+
+
+class SerializationError(ReproError):
+    """A value outside the supported shapes was (de)serialised."""
+
+
+def encode_value(value: Any) -> Any:
+    """Encode a state/time value into JSON-able form."""
+    if value is None or isinstance(value, (str, int)) and not isinstance(value, bool):
+        return value
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, Fraction):
+        return {"__frac__": "{}/{}".format(value.numerator, value.denominator)}
+    if isinstance(value, float):
+        if math.isinf(value):
+            return {"__inf__": 1 if value > 0 else -1}
+        return {"__float__": repr(value)}
+    if isinstance(value, Act):
+        return {"__act__": value.name, "args": [encode_value(a) for a in value.args]}
+    if isinstance(value, Prediction):
+        return {"__pred__": [encode_value(value.ft), encode_value(value.lt)]}
+    if isinstance(value, TimeState):
+        return {
+            "__tstate__": {
+                "astate": encode_value(value.astate),
+                "now": encode_value(value.now),
+                "preds": [encode_value(p) for p in value.preds],
+            }
+        }
+    if isinstance(value, tuple):
+        return {"__tuple__": [encode_value(v) for v in value]}
+    if isinstance(value, list):
+        return [encode_value(v) for v in value]
+    raise SerializationError(
+        "cannot serialise value of type {}: {!r}".format(type(value).__name__, value)
+    )
+
+
+def decode_value(value: Any) -> Any:
+    """Inverse of :func:`encode_value`."""
+    if isinstance(value, list):
+        return [decode_value(v) for v in value]
+    if not isinstance(value, dict):
+        return value
+    if "__frac__" in value:
+        numerator, denominator = value["__frac__"].split("/")
+        return Fraction(int(numerator), int(denominator))
+    if "__inf__" in value:
+        return math.inf if value["__inf__"] > 0 else -math.inf
+    if "__float__" in value:
+        return float(value["__float__"])
+    if "__act__" in value:
+        return Act(value["__act__"], tuple(decode_value(a) for a in value["args"]))
+    if "__pred__" in value:
+        ft, lt = value["__pred__"]
+        return Prediction(decode_value(ft), decode_value(lt))
+    if "__tstate__" in value:
+        body = value["__tstate__"]
+        return TimeState(
+            decode_value(body["astate"]),
+            decode_value(body["now"]),
+            tuple(decode_value(p) for p in body["preds"]),
+        )
+    if "__tuple__" in value:
+        return tuple(decode_value(v) for v in value["__tuple__"])
+    raise SerializationError("unknown tagged object: {!r}".format(sorted(value)))
+
+
+def run_to_json(run: TimedSequence, indent: int = None) -> str:
+    """Serialise a run (or any timed sequence) to a JSON string."""
+    payload = {
+        "states": [encode_value(s) for s in run.states],
+        "events": [
+            {"action": encode_value(ev.action), "time": encode_value(ev.time)}
+            for ev in run.events
+        ],
+    }
+    return json.dumps(payload, indent=indent)
+
+
+def run_from_json(text: str) -> TimedSequence:
+    """Reconstruct a timed sequence from :func:`run_to_json` output."""
+    payload = json.loads(text)
+    states = tuple(decode_value(s) for s in payload["states"])
+    events = tuple(
+        TimedEvent(decode_value(ev["action"]), decode_value(ev["time"]))
+        for ev in payload["events"]
+    )
+    return TimedSequence(states, events)

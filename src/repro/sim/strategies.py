@@ -1,0 +1,168 @@
+"""Scheduling strategies for generating timed executions.
+
+A strategy resolves the nondeterminism of ``time(A, U)``: which enabled
+action fires next, and at what time inside its window.  All strategies
+are deterministic functions of a seeded :class:`random.Random`, so every
+experiment is reproducible; times are kept exact by sampling on a
+rational sub-grid of the window rather than with floats.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from fractions import Fraction
+from typing import Hashable, List, Optional, Sequence, Tuple
+
+from repro.errors import SchedulingDeadlockError
+
+__all__ = [
+    "Strategy",
+    "UniformStrategy",
+    "EagerStrategy",
+    "LazyStrategy",
+    "ExtremalStrategy",
+    "BiasedActionStrategy",
+]
+
+#: One schedulable option: (action, earliest time, latest time).
+Option = Tuple[Hashable, object, object]
+
+
+class Strategy:
+    """Base class: choose an (action, time) pair among the options.
+
+    ``unbounded_extension`` caps how far past the earliest time a
+    strategy may schedule when the window's upper end is infinite.
+    """
+
+    def __init__(self, rng: Optional[random.Random] = None, unbounded_extension=1):
+        self.rng = rng or random.Random(0)
+        self.unbounded_extension = unbounded_extension
+
+    def choose(self, state, options: Sequence[Option]) -> Tuple[Hashable, object]:
+        """Pick the next timed action.  ``options`` is never empty."""
+        raise NotImplementedError
+
+    def pick_post(self, posts: Sequence) -> object:
+        """Resolve base-automaton nondeterminism (default: random)."""
+        if len(posts) == 1:
+            return posts[0]
+        return self.rng.choice(list(posts))
+
+    def _cap(self, lo, hi):
+        """A finite latest time for a possibly unbounded window."""
+        if isinstance(hi, float) and math.isinf(hi):
+            return lo + self.unbounded_extension
+        return hi
+
+
+class UniformStrategy(Strategy):
+    """Uniform choice of action, and of a time among the multiples of an
+    absolute ``quantum`` inside the window (plus the window endpoints).
+
+    Sampling on an absolute grid keeps exact-arithmetic denominators
+    bounded over arbitrarily long runs, and always offers the window
+    boundaries, where timing bounds are attained.
+    """
+
+    def __init__(
+        self,
+        rng: Optional[random.Random] = None,
+        quantum=Fraction(1, 16),
+        unbounded_extension=1,
+    ):
+        super().__init__(rng, unbounded_extension)
+        if quantum <= 0:
+            raise ValueError("quantum must be positive")
+        self.quantum = Fraction(quantum)
+
+    def choose(self, state, options: Sequence[Option]) -> Tuple[Hashable, object]:
+        from repro.core.discretize import grid_times
+
+        action, lo, hi = self.rng.choice(list(options))
+        hi = self._cap(lo, hi)
+        if hi == lo:
+            return action, lo
+        candidates = [lo, hi]
+        candidates.extend(grid_times(lo, hi, self.quantum))
+        return action, self.rng.choice(candidates)
+
+
+class EagerStrategy(Strategy):
+    """Drive executions toward the *lower* ends of the paper's bounds.
+
+    Rule: among the schedulable actions pick the one whose window opens
+    latest (ties broken randomly) — the "progress" action everything
+    else is waiting for — and fire it at the window's earliest instant.
+    When that earliest instant is the current time (a zero-lower-bound
+    filler like the manager's ``ELSE``), fire at the window's *latest*
+    time instead: firing such actions at the current instant forever is
+    a Zeno loop that keeps lower-bounded actions unschedulable, whereas
+    pushing them forward releases the next real event at its minimum.
+    """
+
+    def choose(self, state, options: Sequence[Option]) -> Tuple[Hashable, object]:
+        now = getattr(state, "now", None)
+        latest_opening = max(lo for _a, lo, _h in options)
+        candidates = [opt for opt in options if opt[1] == latest_opening]
+        action, lo, hi = self.rng.choice(candidates)
+        if now is not None and lo == now:
+            return action, self._cap(lo, hi)
+        return action, lo
+
+
+class LazyStrategy(Strategy):
+    """Always fire as late as the windows permit; drives executions
+    toward the *upper* ends of the paper's bounds."""
+
+    def choose(self, state, options: Sequence[Option]) -> Tuple[Hashable, object]:
+        capped: List[Tuple[Hashable, object]] = [
+            (a, self._cap(lo, hi)) for a, lo, hi in options
+        ]
+        latest = max(t for _a, t in capped)
+        candidates = [(a, t) for a, t in capped if t == latest]
+        return self.rng.choice(candidates)
+
+
+class ExtremalStrategy(Strategy):
+    """Jump to a window endpoint, chosen at random per step.
+
+    Timing bounds are attained at extremes of the per-step windows, so
+    this strategy finds the tight ends of measured intervals far faster
+    than uniform sampling.
+    """
+
+    def __init__(
+        self,
+        rng: Optional[random.Random] = None,
+        p_low: float = 0.5,
+        unbounded_extension=1,
+    ):
+        super().__init__(rng, unbounded_extension)
+        self.p_low = p_low
+
+    def choose(self, state, options: Sequence[Option]) -> Tuple[Hashable, object]:
+        action, lo, hi = self.rng.choice(list(options))
+        hi = self._cap(lo, hi)
+        if self.rng.random() < self.p_low:
+            return action, lo
+        return action, hi
+
+
+class BiasedActionStrategy(Strategy):
+    """Wrap another strategy but prefer actions matching a predicate
+    (e.g. always let the dummy starve, or prioritise TICKs), falling
+    back to the full option list when none matches."""
+
+    def __init__(self, inner: Strategy, prefer, rng: Optional[random.Random] = None):
+        super().__init__(rng or inner.rng, inner.unbounded_extension)
+        self.inner = inner
+        self.prefer = prefer
+
+    def choose(self, state, options: Sequence[Option]) -> Tuple[Hashable, object]:
+        preferred = [opt for opt in options if self.prefer(opt[0])]
+        return self.inner.choose(state, preferred or options)
+
+    def pick_post(self, posts: Sequence) -> object:
+        return self.inner.pick_post(posts)

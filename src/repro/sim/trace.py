@@ -1,0 +1,62 @@
+"""Trace utilities: turning simulator runs into timed behaviors and
+batched experiment data.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Hashable, List, Optional, Sequence, Tuple
+
+from repro.ioa.automaton import IOAutomaton
+from repro.timed.timed_sequence import TimedEvent, TimedSequence
+from repro.core.projection import project
+from repro.core.time_automaton import PredictiveTimeAutomaton
+from repro.sim.scheduler import Simulator
+from repro.sim.strategies import Strategy
+
+__all__ = ["timed_behavior_of_run", "RunBatch", "run_batch"]
+
+
+def timed_behavior_of_run(
+    base: IOAutomaton, run: TimedSequence
+) -> Tuple[TimedEvent, ...]:
+    """The timed behavior of a simulator run: external (action, time)
+    pairs of the projected timed execution."""
+    projected = project(run)
+    return projected.timed_behavior(base.signature.is_external)
+
+
+@dataclass
+class RunBatch:
+    """A batch of seeded runs plus their projected behaviors."""
+
+    runs: List[TimedSequence] = field(default_factory=list)
+    behaviors: List[Tuple[TimedEvent, ...]] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.runs)
+
+    def event_count(self) -> int:
+        return sum(len(run) for run in self.runs)
+
+
+def run_batch(
+    automaton: PredictiveTimeAutomaton,
+    strategy_factory: Callable[[random.Random], Strategy],
+    seeds: Sequence[int],
+    max_steps: int,
+    horizon=None,
+) -> RunBatch:
+    """Run one simulation per seed and collect runs + behaviors.
+
+    ``strategy_factory`` receives a seeded :class:`random.Random` so the
+    whole batch is reproducible from the seed list.
+    """
+    batch = RunBatch()
+    for seed in seeds:
+        strategy = strategy_factory(random.Random(seed))
+        run = Simulator(automaton, strategy).run(max_steps=max_steps, horizon=horizon)
+        batch.runs.append(run)
+        batch.behaviors.append(timed_behavior_of_run(automaton.base, run))
+    return batch

@@ -1,0 +1,94 @@
+"""Extensions discussed (but not worked out) in the paper's Section 8:
+the interrupt-driven manager variant (footnote 7), a request/response
+system closed by an environment automaton, and heterogeneous event
+chains generalising the signal relay."""
+
+from repro.systems.extensions.chain import (
+    EVENT,
+    ChainSystem,
+    event_class_name,
+    partial_sum_interval,
+)
+from repro.systems.extensions.fischer import (
+    CRITICAL,
+    ENTER,
+    EXIT,
+    FischerParams,
+    IDLE,
+    RETRY,
+    SET,
+    SETTING,
+    TRY,
+    WAITING,
+    critical_processes,
+    fischer_automaton,
+    fischer_system,
+    mutual_exclusion_violated,
+)
+from repro.systems.extensions.interrupt_manager import (
+    interrupt_manager_automaton,
+    interrupt_resource_manager,
+)
+from repro.systems.extensions.peterson import (
+    PetersonParams,
+    both_critical,
+    peterson_automaton,
+    peterson_system,
+    someone_critical,
+)
+from repro.systems.extensions.tournament import (
+    TournamentParams,
+    critical_count,
+    tournament_automaton,
+    tournament_mutex_violated,
+    tournament_system,
+)
+from repro.systems.extensions.request_grant import (
+    REPLY,
+    REQUEST,
+    RequestGrantParams,
+    request_grant_system,
+    requester_automaton,
+    responder_automaton,
+    response_condition,
+)
+
+__all__ = [
+    "EVENT",
+    "ChainSystem",
+    "event_class_name",
+    "partial_sum_interval",
+    "interrupt_manager_automaton",
+    "interrupt_resource_manager",
+    "REQUEST",
+    "REPLY",
+    "RequestGrantParams",
+    "requester_automaton",
+    "responder_automaton",
+    "request_grant_system",
+    "response_condition",
+    "TournamentParams",
+    "tournament_automaton",
+    "tournament_system",
+    "tournament_mutex_violated",
+    "critical_count",
+    "PetersonParams",
+    "peterson_automaton",
+    "peterson_system",
+    "both_critical",
+    "someone_critical",
+    "FischerParams",
+    "fischer_automaton",
+    "fischer_system",
+    "critical_processes",
+    "mutual_exclusion_violated",
+    "TRY",
+    "SET",
+    "ENTER",
+    "RETRY",
+    "EXIT",
+    "IDLE",
+    "SETTING",
+    "WAITING",
+    "CRITICAL",
+]

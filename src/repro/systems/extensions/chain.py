@@ -1,0 +1,229 @@
+"""Heterogeneous event chains (paper Section 8, the "π triggers φ
+triggers ψ" example).
+
+The conclusions ask whether requirements like "``π`` is followed by
+``φ`` within ``[a1, a2]`` and ``φ`` by ``ψ`` within ``[b1, b2]``" fit
+the framework.  They do, compositionally: model the chain as a relay
+line with *per-stage* bound intervals; the end-to-end requirement is the
+Minkowski sum of the stage intervals, and the Section 6 hierarchy
+generalises verbatim with ``U_{k,m}`` carrying the partial sums.
+
+This module builds that generalised chain — the signal relay is the
+special case of equal stage intervals — together with its intermediate
+automata and level mappings.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.errors import AutomatonError
+from repro.ioa.actions import Act, Kind
+from repro.ioa.composition import compose
+from repro.ioa.guarded import ActionSpec, GuardedAutomaton
+from repro.ioa.partition import Partition
+from repro.timed.boundmap import Boundmap, TimedAutomaton
+from repro.timed.conditions import TimingCondition, cond_of_class
+from repro.timed.interval import INFINITY, Interval
+from repro.core.dummification import dummify, dummify_condition
+from repro.core.mappings import (
+    InequalityMapping,
+    MappingChain,
+    ProjectionMapping,
+    StrongPossibilitiesMapping,
+)
+from repro.core.time_automaton import (
+    PredictiveTimeAutomaton,
+    time_of_boundmap,
+    time_of_conditions,
+)
+from repro.core.time_state import TimeState
+
+__all__ = ["EVENT", "event_class_name", "ChainSystem", "partial_sum_interval"]
+
+
+def EVENT(i: int) -> Act:
+    """The ``i``-th chain event (``EVENT_0`` starts the chain)."""
+    return Act("EVENT", (i,))
+
+
+def event_class_name(i: int) -> str:
+    return "EVENT_{}".format(i)
+
+
+def partial_sum_interval(stage_intervals: Sequence[Interval], k: int) -> Interval:
+    """``U_{k,m}``'s bound: the Minkowski sum of stages ``k+1 … m``."""
+    remaining = stage_intervals[k:]
+    if not remaining:
+        raise AutomatonError("no stages after k = {}".format(k))
+    total = remaining[0]
+    for interval in remaining[1:]:
+        total = total + interval
+    return total
+
+
+class ChainSystem:
+    """A line ``E_0 → E_1 → … → E_m`` with stage ``i`` (the hop from
+    ``EVENT_{i-1}`` to ``EVENT_i``) bounded by ``stage_intervals[i-1]``.
+
+    Provides the same artifacts as :class:`~repro.systems.signal_relay.
+    RelaySystem` — dummified automaton, ``time(Ã, b̃)``, requirements
+    automaton, intermediates ``B_k`` and the mapping hierarchy — but for
+    heterogeneous per-stage bounds.
+    """
+
+    def __init__(
+        self,
+        stage_intervals: Sequence[Interval],
+        dummy_interval: Interval = Interval(0, 1),
+    ):
+        if not stage_intervals:
+            raise AutomatonError("a chain needs at least one stage")
+        self.stages: Tuple[Interval, ...] = tuple(stage_intervals)
+        self.m = len(self.stages)
+        self.timed = self._build_timed()
+        self.dummified = dummify(self.timed, dummy_interval)
+        self.algorithm: PredictiveTimeAutomaton = time_of_boundmap(self.dummified)
+        self.requirement = dummify_condition(self._condition(0))
+        self.requirements: PredictiveTimeAutomaton = time_of_conditions(
+            self.dummified.automaton, [self.requirement], name="chain-B"
+        )
+        self._intermediates: Dict[int, PredictiveTimeAutomaton] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    def _build_timed(self) -> TimedAutomaton:
+        head = GuardedAutomaton(
+            name="E0",
+            start=[True],
+            specs=[
+                ActionSpec(
+                    EVENT(0),
+                    Kind.OUTPUT,
+                    precondition=lambda flag: flag,
+                    effect=lambda _flag: False,
+                )
+            ],
+            partition=Partition.from_pairs([(event_class_name(0), [EVENT(0)])]),
+        )
+        processes = [head]
+        for i in range(1, self.m + 1):
+            processes.append(
+                GuardedAutomaton(
+                    name="E{}".format(i),
+                    start=[False],
+                    specs=[
+                        ActionSpec(EVENT(i - 1), Kind.INPUT, effect=lambda _flag: True),
+                        ActionSpec(
+                            EVENT(i),
+                            Kind.OUTPUT,
+                            precondition=lambda flag: flag,
+                            effect=lambda _flag: False,
+                        ),
+                    ],
+                    partition=Partition.from_pairs(
+                        [(event_class_name(i), [EVENT(i)])]
+                    ),
+                )
+            )
+        composed = compose(*processes, name="event-chain")
+        bounds = {event_class_name(0): Interval(0, INFINITY)}
+        for i in range(1, self.m + 1):
+            bounds[event_class_name(i)] = self.stages[i - 1]
+        return TimedAutomaton(composed, Boundmap(bounds))
+
+    def _condition(self, k: int) -> TimingCondition:
+        return TimingCondition.after_action(
+            "U[{},{}]".format(k, self.m),
+            partial_sum_interval(self.stages, k),
+            EVENT(k),
+            [EVENT(self.m)],
+        )
+
+    def condition_name(self, k: int) -> str:
+        return "U[{},{}]".format(k, self.m)
+
+    def _class_condition(self, class_name: str) -> TimingCondition:
+        cls = self.dummified.automaton.partition[class_name]
+        return cond_of_class(self.dummified, cls)
+
+    def intermediate(self, k: int) -> PredictiveTimeAutomaton:
+        """``B_k`` for the heterogeneous chain."""
+        if not (0 <= k <= self.m - 1):
+            raise AutomatonError("B_k is defined for 0 <= k <= m-1")
+        if k not in self._intermediates:
+            conditions: List[TimingCondition] = [dummify_condition(self._condition(k))]
+            for j in range(k + 1):
+                conditions.append(self._class_condition(event_class_name(j)))
+            conditions.append(self._class_condition("NULL"))
+            self._intermediates[k] = time_of_conditions(
+                self.dummified.automaton, conditions, name="chain-B_{}".format(k)
+            )
+        return self._intermediates[k]
+
+    # ------------------------------------------------------------------
+    # Mappings
+    # ------------------------------------------------------------------
+
+    def level_mapping(self, k: int) -> InequalityMapping:
+        """``f_k : B_k → B_{k−1}`` with the heterogeneous partial sums
+        in place of ``(n−k)·d``."""
+        source = self.intermediate(k)
+        target = self.intermediate(k - 1)
+        source_u = self.condition_name(k)
+        target_u = self.condition_name(k - 1)
+        remaining = partial_sum_interval(self.stages, k)
+        shared = [event_class_name(j) for j in range(k)] + ["NULL"]
+        m = self.m
+
+        def required_bounds(s: TimeState):
+            flags = s.astate[0]
+            if any(flags[i] for i in range(k + 1, m + 1)):
+                return source.lt(s, source_u), source.ft(s, source_u)
+            if flags[k]:
+                return (
+                    source.lt(s, event_class_name(k)) + remaining.hi,
+                    source.ft(s, event_class_name(k)) + remaining.lo,
+                )
+            return math.inf, 0
+
+        def predicate(u: TimeState, s: TimeState) -> bool:
+            for name in shared:
+                if u.preds[target.index_of(name)] != s.preds[source.index_of(name)]:
+                    return False
+            need_lt, need_ft = required_bounds(s)
+            return (
+                target.lt(u, target_u) >= need_lt and target.ft(u, target_u) <= need_ft
+            )
+
+        return InequalityMapping(
+            source=source,
+            target=target,
+            predicate=predicate,
+            name="chain f_{}".format(k),
+        )
+
+    def hierarchy(self) -> MappingChain:
+        """``time(Ã, b̃) → B_{m−1} → … → B_0 → B``."""
+        mappings: List[StrongPossibilitiesMapping] = [
+            ProjectionMapping(
+                source=self.algorithm,
+                target=self.intermediate(self.m - 1),
+                name_map={self.condition_name(self.m - 1): event_class_name(self.m)},
+                name="chain entry",
+            )
+        ]
+        for k in range(self.m - 1, 0, -1):
+            mappings.append(self.level_mapping(k))
+        mappings.append(
+            ProjectionMapping(
+                source=self.intermediate(0),
+                target=self.requirements,
+                name="chain exit",
+            )
+        )
+        return MappingChain(mappings)

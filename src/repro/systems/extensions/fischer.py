@@ -1,0 +1,219 @@
+"""Fischer's timed mutual exclusion (the paper's Section 8 direction).
+
+The conclusions call for applying the method to real timing-based
+algorithms; Fischer's protocol is the canonical one.  Each process
+loops::
+
+    idle:     TRY_i    (only when the shared variable x = 0)    — anytime
+    setting:  SET_i    (x := i)                 within [0, a] of TRY_i
+    waiting:  ENTER_i  (if x = i, go critical)  within [b, 2b] of SET_i
+              RETRY_i  (if x ≠ i, back to idle)     —  same window
+    critical: EXIT_i   (x := 0)                 within [0, e], e = ∞ by default
+
+With unbounded critical sections (``e = ∞``, the textbook setting)
+mutual exclusion is a pure *timing* property: it holds exactly when the
+wait-before-check exceeds the maximum set delay, i.e. ``b > a`` (with
+the model's closed bounds, ``b = a`` already admits a same-instant
+interleaving that breaks it).  The zone engine decides both directions
+exactly (:func:`repro.zones.analysis.find_reachable_state`) — and also
+exposes a subtler fact: with a *bounded* critical section, some
+``a ≥ b`` configurations become safe again, because the late setter's
+mandatory wait ``b`` outlives the first process's stay (safe when
+``e < b`` even for ``a > b``).
+
+The whole system is modelled as one guarded automaton over the state
+``(x, pc_1 … pc_n)`` — composition with an explicit shared-variable
+component would force read/write handshakes the paper's formalism does
+not need here — with one partition class per (process, phase) pair so
+each phase carries its own boundmap interval.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, List, Tuple
+
+from repro.errors import AutomatonError
+from repro.ioa.actions import Act, Kind
+from repro.ioa.guarded import ActionSpec, GuardedAutomaton
+from repro.ioa.partition import Partition
+from repro.timed.boundmap import Boundmap, TimedAutomaton
+from repro.timed.interval import INFINITY, Interval
+
+__all__ = [
+    "TRY",
+    "SET",
+    "ENTER",
+    "RETRY",
+    "EXIT",
+    "FischerParams",
+    "IDLE",
+    "SETTING",
+    "WAITING",
+    "CRITICAL",
+    "fischer_automaton",
+    "fischer_system",
+    "critical_processes",
+    "mutual_exclusion_violated",
+]
+
+IDLE = "idle"
+SETTING = "setting"
+WAITING = "waiting"
+CRITICAL = "critical"
+
+
+def TRY(i: int) -> Act:
+    return Act("TRY", (i,))
+
+
+def SET(i: int) -> Act:
+    return Act("SET", (i,))
+
+
+def ENTER(i: int) -> Act:
+    return Act("ENTER", (i,))
+
+
+def RETRY(i: int) -> Act:
+    return Act("RETRY", (i,))
+
+
+def EXIT(i: int) -> Act:
+    return Act("EXIT", (i,))
+
+
+@dataclass(frozen=True)
+class FischerParams:
+    """``n`` processes; set delay ``[0, a]``, check delay ``[b, 2b]``,
+    critical-section bound ``[0, e]`` (``e = ∞`` for the textbook
+    unbounded critical section).  With ``e = ∞``, mutual exclusion holds
+    iff ``b > a``."""
+
+    n: int
+    a: object
+    b: object
+    e: object = INFINITY
+    #: Start every process already in its setting phase — the
+    #: contention-analysis variant (the unconstrained TRY phase would
+    #: otherwise make absolute entry times unbounded).
+    contending: bool = False
+
+    def __post_init__(self) -> None:
+        if self.n < 2:
+            raise AutomatonError("Fischer needs at least two processes")
+        if self.a <= 0 or self.b <= 0 or self.e <= 0:
+            raise AutomatonError("delays must be positive")
+
+    @property
+    def safe(self) -> bool:
+        """The textbook (``e = ∞``) safety condition for this
+        closed-bound model."""
+        return self.b > self.a
+
+
+def _state(x: int, pcs: Tuple[str, ...]):
+    return (x, pcs)
+
+
+def _set_pc(state, i: int, pc: str, x: int = None):
+    value, pcs = state
+    pcs = pcs[: i - 1] + (pc,) + pcs[i:]
+    return (value if x is None else x, pcs)
+
+
+def fischer_automaton(params: FischerParams) -> GuardedAutomaton:
+    """The whole protocol as one guarded automaton."""
+    specs: List[ActionSpec] = []
+    partition_pairs: List[Tuple[str, List[Hashable]]] = []
+    for i in range(1, params.n + 1):
+        index = i  # bind per-iteration
+
+        def try_pre(state, i=index):
+            x, pcs = state
+            return pcs[i - 1] == IDLE and x == 0
+
+        def try_eff(state, i=index):
+            return _set_pc(state, i, SETTING)
+
+        def set_pre(state, i=index):
+            _x, pcs = state
+            return pcs[i - 1] == SETTING
+
+        def set_eff(state, i=index):
+            return _set_pc(state, i, WAITING, x=i)
+
+        def enter_pre(state, i=index):
+            x, pcs = state
+            return pcs[i - 1] == WAITING and x == i
+
+        def enter_eff(state, i=index):
+            return _set_pc(state, i, CRITICAL)
+
+        def retry_pre(state, i=index):
+            x, pcs = state
+            return pcs[i - 1] == WAITING and x != i
+
+        def retry_eff(state, i=index):
+            return _set_pc(state, i, IDLE)
+
+        def exit_pre(state, i=index):
+            _x, pcs = state
+            return pcs[i - 1] == CRITICAL
+
+        def exit_eff(state, i=index):
+            return _set_pc(state, i, IDLE, x=0)
+
+        specs.extend(
+            [
+                ActionSpec(TRY(i), Kind.OUTPUT, precondition=try_pre, effect=try_eff),
+                ActionSpec(SET(i), Kind.OUTPUT, precondition=set_pre, effect=set_eff),
+                ActionSpec(
+                    ENTER(i), Kind.OUTPUT, precondition=enter_pre, effect=enter_eff
+                ),
+                ActionSpec(
+                    RETRY(i), Kind.OUTPUT, precondition=retry_pre, effect=retry_eff
+                ),
+                ActionSpec(
+                    EXIT(i), Kind.OUTPUT, precondition=exit_pre, effect=exit_eff
+                ),
+            ]
+        )
+        partition_pairs.extend(
+            [
+                ("TRY_{}".format(i), [TRY(i)]),
+                ("SET_{}".format(i), [SET(i)]),
+                ("CHECK_{}".format(i), [ENTER(i), RETRY(i)]),
+                ("EXIT_{}".format(i), [EXIT(i)]),
+            ]
+        )
+    initial_pc = SETTING if params.contending else IDLE
+    start = _state(0, tuple(initial_pc for _ in range(params.n)))
+    return GuardedAutomaton(
+        name="fischer-{}".format(params.n),
+        start=[start],
+        specs=specs,
+        partition=Partition.from_pairs(partition_pairs),
+    )
+
+
+def fischer_system(params: FischerParams) -> TimedAutomaton:
+    """``(A, b)`` for Fischer's protocol."""
+    bounds = {}
+    for i in range(1, params.n + 1):
+        bounds["TRY_{}".format(i)] = Interval(0, INFINITY)
+        bounds["SET_{}".format(i)] = Interval(0, params.a)
+        bounds["CHECK_{}".format(i)] = Interval(params.b, 2 * params.b)
+        bounds["EXIT_{}".format(i)] = Interval(0, params.e)
+    return TimedAutomaton(fischer_automaton(params), Boundmap(bounds))
+
+
+def critical_processes(state) -> int:
+    """How many processes are in their critical section."""
+    _x, pcs = state
+    return sum(1 for pc in pcs if pc == CRITICAL)
+
+
+def mutual_exclusion_violated(state) -> bool:
+    """The bad-state predicate for safety checks."""
+    return critical_processes(state) >= 2

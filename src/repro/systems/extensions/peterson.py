@@ -1,0 +1,206 @@
+"""Peterson's 2-process mutual exclusion with step-time bounds.
+
+The paper's conclusions single out the (Peterson–Fischer) mutual
+exclusion family as the natural next target for the method, citing the
+recurrence-style time analysis of [LG89].  This module provides the
+2-process Peterson algorithm in that setting:
+
+- shared state: ``flag[1], flag[2]`` and ``turn``;
+- process ``i``: ``SETFLAG_i`` (``flag[i] := True``), ``SETTURN_i``
+  (``turn := other``), then repeated checks — ``ENTER_i`` when
+  ``flag[other]`` is down or ``turn = i``, else a busy-wait ``TEST_i`` —
+  and ``EXIT_i`` (``flag[i] := False``) from the critical section;
+- timing: each process's steps (class ``STEP_i``) take ``[s1, s2]``;
+  the critical section (class ``CS_i``) is bounded by ``[0, e]``.
+
+Peterson is *asynchronous*: mutual exclusion holds regardless of the
+bounds (checked exhaustively).  The timing question — how long until
+*someone* enters when both compete — is exactly the kind of contention
+bound [LG89] derives by recurrences; here the zone engine answers it
+exactly (see experiment E15).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, List, Tuple
+
+from repro.errors import AutomatonError
+from repro.ioa.actions import Act, Kind
+from repro.ioa.guarded import ActionSpec, GuardedAutomaton
+from repro.ioa.partition import Partition
+from repro.timed.boundmap import Boundmap, TimedAutomaton
+from repro.timed.interval import INFINITY, Interval
+
+__all__ = [
+    "SETFLAG",
+    "SETTURN",
+    "ENTER",
+    "TEST",
+    "EXIT",
+    "PetersonParams",
+    "PetersonState",
+    "peterson_automaton",
+    "peterson_system",
+    "both_critical",
+    "someone_critical",
+]
+
+
+def SETFLAG(i: int) -> Act:
+    return Act("SETFLAG", (i,))
+
+
+def SETTURN(i: int) -> Act:
+    return Act("SETTURN", (i,))
+
+
+def ENTER(i: int) -> Act:
+    return Act("ENTER", (i,))
+
+
+def TEST(i: int) -> Act:
+    return Act("TEST", (i,))
+
+
+def EXIT(i: int) -> Act:
+    return Act("EXIT", (i,))
+
+
+#: Program-counter phases.
+SET_FLAG = "set_flag"
+SET_TURN = "set_turn"
+WAITING = "waiting"
+CRITICAL = "critical"
+DONE = "done"
+
+
+@dataclass(frozen=True)
+class PetersonParams:
+    """Per-step bound ``[s1, s2]`` and critical-section bound ``[0, e]``.
+
+    ``repeat`` selects whether processes loop back to competing after
+    exiting (the steady-state protocol) or stop after one critical
+    section (the contention-analysis variant, whose zone graph is a
+    DAG and whose first-entry bound is the [LG89]-style quantity).
+    """
+
+    s1: object
+    s2: object
+    e: object = INFINITY
+    repeat: bool = False
+
+    def __post_init__(self) -> None:
+        if not (0 <= self.s1 <= self.s2):
+            raise AutomatonError("need 0 <= s1 <= s2")
+        if self.s2 <= 0:
+            raise AutomatonError("need s2 > 0")
+        if self.e <= 0:
+            raise AutomatonError("need e > 0")
+
+    @property
+    def step_interval(self) -> Interval:
+        return Interval(self.s1, self.s2)
+
+
+#: State: (flag1, flag2, turn, pc1, pc2); turn ∈ {1, 2}.
+PetersonState = Tuple[bool, bool, int, str, str]
+
+_FLAG = {1: 0, 2: 1}
+_PC = {1: 3, 2: 4}
+
+
+def _get(state: PetersonState, field: int):
+    return state[field]
+
+
+def _put(state: PetersonState, field: int, value) -> PetersonState:
+    return state[:field] + (value,) + state[field + 1 :]
+
+
+def peterson_automaton(params: PetersonParams) -> GuardedAutomaton:
+    """Both processes start competing (pc = set_flag)."""
+    specs: List[ActionSpec] = []
+    partition_pairs: List[Tuple[str, List[Hashable]]] = []
+    for i in (1, 2):
+        other = 3 - i
+
+        def setflag_pre(state, i=i):
+            return _get(state, _PC[i]) == SET_FLAG
+
+        def setflag_eff(state, i=i):
+            return _put(_put(state, _FLAG[i], True), _PC[i], SET_TURN)
+
+        def setturn_pre(state, i=i):
+            return _get(state, _PC[i]) == SET_TURN
+
+        def setturn_eff(state, i=i, other=other):
+            return _put(_put(state, 2, other), _PC[i], WAITING)
+
+        def may_enter(state, i=i, other=other):
+            return not _get(state, _FLAG[other]) or _get(state, 2) == i
+
+        def enter_pre(state, i=i, other=other):
+            return _get(state, _PC[i]) == WAITING and may_enter(state, i, other)
+
+        def enter_eff(state, i=i):
+            return _put(state, _PC[i], CRITICAL)
+
+        def test_pre(state, i=i, other=other):
+            return _get(state, _PC[i]) == WAITING and not may_enter(state, i, other)
+
+        def exit_pre(state, i=i):
+            return _get(state, _PC[i]) == CRITICAL
+
+        def exit_eff(state, i=i, repeat=params.repeat):
+            next_pc = SET_FLAG if repeat else DONE
+            return _put(_put(state, _FLAG[i], False), _PC[i], next_pc)
+
+        specs.extend(
+            [
+                ActionSpec(SETFLAG(i), Kind.OUTPUT, precondition=setflag_pre,
+                           effect=setflag_eff),
+                ActionSpec(SETTURN(i), Kind.OUTPUT, precondition=setturn_pre,
+                           effect=setturn_eff),
+                ActionSpec(ENTER(i), Kind.OUTPUT, precondition=enter_pre,
+                           effect=enter_eff),
+                ActionSpec(TEST(i), Kind.INTERNAL, precondition=test_pre),
+                ActionSpec(EXIT(i), Kind.OUTPUT, precondition=exit_pre,
+                           effect=exit_eff),
+            ]
+        )
+        partition_pairs.extend(
+            [
+                (
+                    "STEP_{}".format(i),
+                    [SETFLAG(i), SETTURN(i), ENTER(i), TEST(i)],
+                ),
+                ("CS_{}".format(i), [EXIT(i)]),
+            ]
+        )
+    start: PetersonState = (False, False, 1, SET_FLAG, SET_FLAG)
+    return GuardedAutomaton(
+        name="peterson",
+        start=[start],
+        specs=specs,
+        partition=Partition.from_pairs(partition_pairs),
+    )
+
+
+def peterson_system(params: PetersonParams) -> TimedAutomaton:
+    """``(A, b)``: steps in ``[s1, s2]`` per process, critical sections
+    in ``[0, e]``."""
+    bounds = {}
+    for i in (1, 2):
+        bounds["STEP_{}".format(i)] = params.step_interval
+        bounds["CS_{}".format(i)] = Interval(0, params.e)
+    return TimedAutomaton(peterson_automaton(params), Boundmap(bounds))
+
+
+def both_critical(state: PetersonState) -> bool:
+    """The mutual-exclusion bad-state predicate."""
+    return state[3] == CRITICAL and state[4] == CRITICAL
+
+
+def someone_critical(state: PetersonState) -> bool:
+    return state[3] == CRITICAL or state[4] == CRITICAL

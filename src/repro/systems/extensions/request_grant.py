@@ -1,0 +1,123 @@
+"""A request/response resource manager (paper Section 8 discussion).
+
+The conclusions note that realistic managers respond to *requests*, and
+that request-triggered requirements ("respond within ``l`` as long as
+requests do not arrive too close together") fit the timing-condition
+format with a step trigger.  This extension closes such a system:
+
+- a *requester* whose ``REQUEST`` output fires with inter-request times
+  in ``[r1, r2]``;
+- a *responder* that raises ``PENDING`` on ``REQUEST`` and issues
+  ``REPLY`` (class ``SERVE``, bound ``[0, l]``) while pending.
+
+With the separation assumption ``r1 > l``, every ``REQUEST`` finds the
+responder idle and the condition
+
+    ``R: (∅, {steps with π = REQUEST}) --[0, l]--> ({REPLY}, ∅)``
+
+holds.  The point of the extension is methodological: a *step-triggered*
+timing condition on a system closed by an explicit environment
+automaton, exactly the shape the conclusions say realistic managers
+need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import AutomatonError
+from repro.ioa.actions import Act, Kind
+from repro.ioa.composition import compose
+from repro.ioa.guarded import ActionSpec, GuardedAutomaton
+from repro.ioa.partition import Partition
+from repro.timed.boundmap import Boundmap, TimedAutomaton
+from repro.timed.conditions import TimingCondition
+from repro.timed.interval import Interval
+
+__all__ = [
+    "REQUEST",
+    "REPLY",
+    "RequestGrantParams",
+    "requester_automaton",
+    "responder_automaton",
+    "request_grant_system",
+    "response_condition",
+]
+
+REQUEST = Act("REQUEST")
+REPLY = Act("REPLY")
+
+
+@dataclass(frozen=True)
+class RequestGrantParams:
+    """Inter-request bound ``[r1, r2]`` and service bound ``[0, l]``;
+    the response requirement assumes ``r1 > l`` (requests never pile
+    up)."""
+
+    r1: object
+    r2: object
+    l: object
+
+    def __post_init__(self) -> None:
+        if not (0 < self.r1 <= self.r2):
+            raise AutomatonError("need 0 < r1 <= r2")
+        if self.l <= 0:
+            raise AutomatonError("need l > 0")
+
+    @property
+    def well_separated(self) -> bool:
+        return self.r1 > self.l
+
+    @property
+    def response_interval(self) -> Interval:
+        """The requirement bound ``[0, l]`` on REQUEST→REPLY."""
+        return Interval(0, self.l)
+
+
+def requester_automaton() -> GuardedAutomaton:
+    """One-state environment issuing ``REQUEST`` forever."""
+    return GuardedAutomaton(
+        name="requester",
+        start=["idle"],
+        specs=[ActionSpec(REQUEST, Kind.OUTPUT)],
+        partition=Partition.from_pairs([("REQ", [REQUEST])]),
+    )
+
+
+def responder_automaton() -> GuardedAutomaton:
+    """PENDING flag raised by ``REQUEST``, cleared by ``REPLY``."""
+    return GuardedAutomaton(
+        name="responder",
+        start=[False],
+        specs=[
+            ActionSpec(REQUEST, Kind.INPUT, effect=lambda _pending: True),
+            ActionSpec(
+                REPLY,
+                Kind.OUTPUT,
+                precondition=lambda pending: pending,
+                effect=lambda _pending: False,
+            ),
+        ],
+        partition=Partition.from_pairs([("SERVE", [REPLY])]),
+    )
+
+
+def request_grant_system(params: RequestGrantParams) -> TimedAutomaton:
+    """The closed system ``requester ∥ responder`` with
+    ``REQ ↦ [r1, r2]`` and ``SERVE ↦ [0, l]``."""
+    composed = compose(requester_automaton(), responder_automaton(), name="request-grant")
+    boundmap = Boundmap(
+        {
+            "REQ": Interval(params.r1, params.r2),
+            "SERVE": Interval(0, params.l),
+        }
+    )
+    return TimedAutomaton(composed, boundmap)
+
+
+def response_condition(params: RequestGrantParams) -> TimingCondition:
+    """``R``: from every ``REQUEST`` step to the next ``REPLY`` within
+    ``[0, l]`` — sound exactly when requests are well separated."""
+    return TimingCondition.after_action(
+        "R", params.response_interval, REQUEST, [REPLY]
+    )

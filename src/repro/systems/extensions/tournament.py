@@ -1,0 +1,280 @@
+"""The Peterson–Fischer tournament mutual exclusion ([PF77]).
+
+The paper's conclusions name this algorithm as *the* example to try
+next, noting that its recurrence-style time analysis in [LG89] makes it
+a natural candidate for hierarchical treatment.  ``n = 2^h`` processes
+run a single-elimination tournament of 2-process Peterson instances:
+process ``i`` competes at its leaf node, climbs to the parent on
+winning, and owns the critical section after winning the root; exiting
+releases the nodes top-down.
+
+State layout (one guarded automaton, like the other mutex models):
+
+- per tree node (heap indices ``1 … n−1``): ``(flag_a, flag_b, turn)``;
+- per process: a program counter —
+  ``("climb", level, phase)`` with phase ∈ {set_flag, set_turn,
+  waiting}, ``("critical",)``, ``("release", level)`` (from the top
+  level down), or ``("done",)`` / back to level 0 when ``repeat``.
+
+Timing: all of a process's competition steps share class ``STEP_i``
+(bound ``[s1, s2]``); its first release step ends the critical section
+(class ``CS_i``, bound ``[0, e]``).
+
+The winner needs three steps per level, so the contention bound
+generalises the Peterson result: first entry no earlier than
+``3h·s1``; the exact upper end (zone engine, experiment E16) shows the
+loser-interference cost per level.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, List, Tuple
+
+from repro.errors import AutomatonError
+from repro.ioa.actions import Act, Kind
+from repro.ioa.guarded import ActionSpec, GuardedAutomaton
+from repro.ioa.partition import Partition
+from repro.timed.boundmap import Boundmap, TimedAutomaton
+from repro.timed.interval import INFINITY, Interval
+
+__all__ = [
+    "SETFLAG",
+    "SETTURN",
+    "ADVANCE",
+    "TEST",
+    "RELEASE",
+    "TournamentParams",
+    "tournament_automaton",
+    "tournament_system",
+    "critical_count",
+    "tournament_mutex_violated",
+]
+
+
+def SETFLAG(i: int, level: int) -> Act:
+    return Act("SETFLAG", (i, level))
+
+
+def SETTURN(i: int, level: int) -> Act:
+    return Act("SETTURN", (i, level))
+
+
+def ADVANCE(i: int, level: int) -> Act:
+    """Process ``i`` wins its node at ``level`` (the top-level ADVANCE
+    enters the critical section)."""
+    return Act("ADVANCE", (i, level))
+
+
+def TEST(i: int, level: int) -> Act:
+    return Act("TEST", (i, level))
+
+
+def RELEASE(i: int, level: int) -> Act:
+    return Act("RELEASE", (i, level))
+
+
+SET_FLAG = "set_flag"
+SET_TURN = "set_turn"
+WAITING = "waiting"
+
+
+@dataclass(frozen=True)
+class TournamentParams:
+    """``n = 2^h`` processes; step bound ``[s1, s2]``; critical-section
+    bound ``[0, e]``; ``repeat`` loops processes back after exiting."""
+
+    n: int
+    s1: object
+    s2: object
+    e: object = INFINITY
+    repeat: bool = False
+
+    def __post_init__(self) -> None:
+        if self.n < 2 or self.n & (self.n - 1):
+            raise AutomatonError("the tournament needs n = 2^h >= 2 processes")
+        if not (0 <= self.s1 <= self.s2) or self.s2 <= 0:
+            raise AutomatonError("need 0 <= s1 <= s2, s2 > 0")
+        if self.e <= 0:
+            raise AutomatonError("need e > 0")
+
+    @property
+    def height(self) -> int:
+        return self.n.bit_length() - 1
+
+    @property
+    def step_interval(self) -> Interval:
+        return Interval(self.s1, self.s2)
+
+
+# State: (nodes, pcs) with nodes a tuple of (flag_a, flag_b, turn) for
+# heap indices 1 … n−1 (stored at positions 0 … n−2) and pcs a tuple of
+# per-process program counters.
+
+
+def _node_of(params: TournamentParams, i: int, level: int) -> int:
+    """Heap index of process ``i``'s node at ``level`` (0 = leaf)."""
+    return (params.n + i) >> (level + 1)
+
+
+def _side_of(params: TournamentParams, i: int, level: int) -> int:
+    """Which slot (0 = a, 1 = b) process ``i`` occupies at ``level``."""
+    return ((params.n + i) >> level) & 1
+
+
+def _node_state(state, node: int):
+    return state[0][node - 1]
+
+
+def _with_node(state, node: int, value):
+    nodes, pcs = state
+    nodes = nodes[: node - 1] + (value,) + nodes[node:]
+    return (nodes, pcs)
+
+
+def _with_pc(state, i: int, pc):
+    nodes, pcs = state
+    pcs = pcs[:i] + (pc,) + pcs[i + 1 :]
+    return (nodes, pcs)
+
+
+def tournament_automaton(params: TournamentParams) -> GuardedAutomaton:
+    height = params.height
+    specs: List[ActionSpec] = []
+    partition_pairs: List[Tuple[str, List[Hashable]]] = []
+    for i in range(params.n):
+        step_actions: List[Hashable] = []
+        for level in range(height):
+            node = _node_of(params, i, level)
+            side = _side_of(params, i, level)
+            other = 1 - side
+
+            def setflag_pre(state, i=i, level=level):
+                return state[1][i] == ("climb", level, SET_FLAG)
+
+            def setflag_eff(state, i=i, level=level, node=node, side=side):
+                fa, fb, turn = _node_state(state, node)
+                flags = [fa, fb]
+                flags[side] = True
+                state = _with_node(state, node, (flags[0], flags[1], turn))
+                return _with_pc(state, i, ("climb", level, SET_TURN))
+
+            def setturn_pre(state, i=i, level=level):
+                return state[1][i] == ("climb", level, SET_TURN)
+
+            def setturn_eff(state, i=i, level=level, node=node, other=other):
+                fa, fb, _turn = _node_state(state, node)
+                state = _with_node(state, node, (fa, fb, other))
+                return _with_pc(state, i, ("climb", level, WAITING))
+
+            def may_pass(state, node=node, side=side, other=other):
+                fa, fb, turn = _node_state(state, node)
+                return not (fa, fb)[other] or turn == side
+
+            def advance_pre(state, i=i, level=level, node=node, side=side, other=other):
+                return state[1][i] == ("climb", level, WAITING) and may_pass(
+                    state, node, side, other
+                )
+
+            def advance_eff(state, i=i, level=level, height=height):
+                if level + 1 == height:
+                    return _with_pc(state, i, ("critical",))
+                return _with_pc(state, i, ("climb", level + 1, SET_FLAG))
+
+            def test_pre(state, i=i, level=level, node=node, side=side, other=other):
+                return state[1][i] == ("climb", level, WAITING) and not may_pass(
+                    state, node, side, other
+                )
+
+            def release_pre(state, i=i, level=level):
+                return state[1][i] == ("release", level)
+
+            def release_eff(state, i=i, level=level, node=node, side=side,
+                            repeat=params.repeat):
+                fa, fb, turn = _node_state(state, node)
+                flags = [fa, fb]
+                flags[side] = False
+                state = _with_node(state, node, (flags[0], flags[1], turn))
+                if level == 0:
+                    next_pc = ("climb", 0, SET_FLAG) if repeat else ("done",)
+                else:
+                    next_pc = ("release", level - 1)
+                return _with_pc(state, i, next_pc)
+
+            specs.extend(
+                [
+                    ActionSpec(SETFLAG(i, level), Kind.OUTPUT,
+                               precondition=setflag_pre, effect=setflag_eff),
+                    ActionSpec(SETTURN(i, level), Kind.OUTPUT,
+                               precondition=setturn_pre, effect=setturn_eff),
+                    ActionSpec(ADVANCE(i, level), Kind.OUTPUT,
+                               precondition=advance_pre, effect=advance_eff),
+                    ActionSpec(TEST(i, level), Kind.INTERNAL,
+                               precondition=test_pre),
+                ]
+            )
+            step_actions.extend(
+                [SETFLAG(i, level), SETTURN(i, level), ADVANCE(i, level), TEST(i, level)]
+            )
+            if level < height - 1:
+                # Releases below the top level (the top node is released
+                # by the critical-section exit action below); the pc
+                # walks ("release", height−2) … ("release", 0).
+                specs.append(
+                    ActionSpec(RELEASE(i, level), Kind.OUTPUT,
+                               precondition=release_pre, effect=release_eff)
+                )
+                step_actions.append(RELEASE(i, level))
+
+        # The top-level release ends the critical section (class CS_i);
+        # it is triggered from the critical pc.
+        top = height - 1
+
+        def exit_pre(state, i=i):
+            return state[1][i] == ("critical",)
+
+        def exit_eff(state, i=i, top=top, params=params):
+            node = _node_of(params, i, top)
+            side = _side_of(params, i, top)
+            fa, fb, turn = _node_state(state, node)
+            flags = [fa, fb]
+            flags[side] = False
+            state = _with_node(state, node, (flags[0], flags[1], turn))
+            if top == 0:
+                next_pc = ("climb", 0, SET_FLAG) if params.repeat else ("done",)
+            else:
+                next_pc = ("release", top - 1)
+            return _with_pc(state, i, next_pc)
+
+        specs.append(
+            ActionSpec(RELEASE(i, top + 1), Kind.OUTPUT,
+                       precondition=exit_pre, effect=exit_eff)
+        )
+        partition_pairs.append(("STEP_{}".format(i), step_actions))
+        partition_pairs.append(("CS_{}".format(i), [RELEASE(i, top + 1)]))
+
+    nodes = tuple((False, False, 0) for _ in range(params.n - 1))
+    pcs = tuple(("climb", 0, SET_FLAG) for _ in range(params.n))
+    return GuardedAutomaton(
+        name="tournament-{}".format(params.n),
+        start=[(nodes, pcs)],
+        specs=specs,
+        partition=Partition.from_pairs(partition_pairs),
+    )
+
+
+def tournament_system(params: TournamentParams) -> TimedAutomaton:
+    bounds = {}
+    for i in range(params.n):
+        bounds["STEP_{}".format(i)] = params.step_interval
+        bounds["CS_{}".format(i)] = Interval(0, params.e)
+    return TimedAutomaton(tournament_automaton(params), Boundmap(bounds))
+
+
+def critical_count(state) -> int:
+    """How many processes hold the critical section."""
+    return sum(1 for pc in state[1] if pc == ("critical",))
+
+
+def tournament_mutex_violated(state) -> bool:
+    return critical_count(state) >= 2

@@ -1,0 +1,139 @@
+"""The Section 6.4 mapping hierarchy for the signal relay.
+
+For ``1 ≤ k ≤ n−1``, the mapping ``f_k : B_k → B_{k−1}`` requires
+
+    ``u.Lt(k−1, n) ≥  s.Lt(k, n)``                    if some flag in ``k+1 … n`` is up
+    ``              ≥ s.Lt(SIGNAL_k) + (n−k)·d2``     if ``FLAG_k`` is up
+    ``              ≥ ∞``                             otherwise
+
+(and dually ``u.Ft(k−1, n) ≤ s.Ft(k, n)`` /
+``s.Ft(SIGNAL_k) + (n−k)·d1`` / ``0``), with every *shared* condition's
+prediction equal between ``u`` and ``s``.
+
+Two "trivial" projections close the chain:
+``time(Ã, b̃) → B_{n−1}`` renames the boundmap condition of
+``SIGNAL_n`` to ``U_{n−1,n}``, and ``B_0 → B`` forgets the boundmap
+conditions.  The full composition (Corollary 6.3) witnesses
+Theorem 6.4.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+from repro.core.mappings import (
+    InequalityMapping,
+    MappingChain,
+    ProjectionMapping,
+    StrongPossibilitiesMapping,
+)
+from repro.core.time_state import TimeState
+from repro.systems.signal_relay import (
+    RelaySystem,
+    flags_of,
+    signal_class_name,
+)
+
+__all__ = [
+    "level_mapping",
+    "entry_mapping",
+    "exit_mapping",
+    "relay_hierarchy",
+]
+
+
+def level_mapping(system: RelaySystem, k: int) -> InequalityMapping:
+    """``f_k : B_k → B_{k−1}`` (Section 6.4)."""
+    n = system.params.n
+    d1 = system.params.d1
+    d2 = system.params.d2
+    source = system.intermediate(k)
+    target = system.intermediate(k - 1)
+    source_u = system.condition_name(k)
+    target_u = system.condition_name(k - 1)
+    shared = [signal_class_name(j) for j in range(k)] + ["NULL"]
+
+    def required_bounds(s: TimeState):
+        flags = flags_of(s.astate)
+        if any(flags[i] for i in range(k + 1, n + 1)):
+            return source.lt(s, source_u), source.ft(s, source_u)
+        if flags[k]:
+            return (
+                source.lt(s, signal_class_name(k)) + (n - k) * d2,
+                source.ft(s, signal_class_name(k)) + (n - k) * d1,
+            )
+        return math.inf, 0
+
+    def predicate(u: TimeState, s: TimeState) -> bool:
+        for name in shared:
+            if u.preds[target.index_of(name)] != s.preds[source.index_of(name)]:
+                return False
+        need_lt, need_ft = required_bounds(s)
+        return target.lt(u, target_u) >= need_lt and target.ft(u, target_u) <= need_ft
+
+    def explain(u: TimeState, s: TimeState) -> str:
+        problems = []
+        for name in shared:
+            u_pred = u.preds[target.index_of(name)]
+            s_pred = s.preds[source.index_of(name)]
+            if u_pred != s_pred:
+                problems.append(
+                    "shared {} differs: {!r} vs {!r}".format(name, u_pred, s_pred)
+                )
+        need_lt, need_ft = required_bounds(s)
+        if target.lt(u, target_u) < need_lt:
+            problems.append(
+                "Lt({}) = {!r} < required {!r}".format(
+                    target_u, target.lt(u, target_u), need_lt
+                )
+            )
+        if target.ft(u, target_u) > need_ft:
+            problems.append(
+                "Ft({}) = {!r} > allowed {!r}".format(
+                    target_u, target.ft(u, target_u), need_ft
+                )
+            )
+        return "; ".join(problems) or "inequalities hold (?)"
+
+    return InequalityMapping(
+        source=source,
+        target=target,
+        predicate=predicate,
+        name="f_{}: B_{} -> B_{}".format(k, k, k - 1),
+        explain=explain,
+    )
+
+
+def entry_mapping(system: RelaySystem) -> ProjectionMapping:
+    """The trivial mapping ``time(Ã, b̃) → B_{n−1}``: the boundmap
+    condition of class ``SIGNAL_n`` *is* ``U_{n−1,n}`` (same trigger
+    steps, same interval), so it is renamed; everything else maps by
+    name."""
+    n = system.params.n
+    return ProjectionMapping(
+        source=system.algorithm,
+        target=system.intermediate(n - 1),
+        name_map={system.condition_name(n - 1): signal_class_name(n)},
+        name="trivial: time(A~,b~) -> B_{}".format(n - 1),
+    )
+
+
+def exit_mapping(system: RelaySystem) -> ProjectionMapping:
+    """The trivial mapping ``B_0 → B``: forget the boundmap conditions,
+    keep ``U_{0,n}``."""
+    return ProjectionMapping(
+        source=system.intermediate(0),
+        target=system.requirements,
+        name="trivial: B_0 -> B",
+    )
+
+
+def relay_hierarchy(system: RelaySystem) -> MappingChain:
+    """The full chain ``time(Ã, b̃) → B_{n−1} → … → B_0 → B`` whose
+    composition is the Corollary 6.3 mapping."""
+    mappings: List[StrongPossibilitiesMapping] = [entry_mapping(system)]
+    for k in range(system.params.n - 1, 0, -1):
+        mappings.append(level_mapping(system, k))
+    mappings.append(exit_mapping(system))
+    return MappingChain(mappings)

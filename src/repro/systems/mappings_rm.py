@@ -1,0 +1,71 @@
+"""The Section 4.3 strong possibilities mapping for the resource
+manager.
+
+A state ``u`` of the requirements automaton ``B`` is in ``f(s)``
+exactly when (with ``TIMER`` taken from the shared ``A``-state):
+
+- ``TIMER > 0``:
+    ``min(Lt(G1), Lt(G2)) ≥ Lt(TICK) + (TIMER − 1)·c2 + l`` and
+    ``max(Ft(G1), Ft(G2)) ≤ Ft(TICK) + (TIMER − 1)·c1``;
+- ``TIMER = 0``:
+    ``min(Lt(G1), Lt(G2)) ≥ Lt(LOCAL)`` and
+    ``max(Ft(G1), Ft(G2)) ≤ Ct``.
+
+The right-hand sides read off *how* the bound will be met: a tick within
+``Lt(TICK)``, then ``TIMER − 1`` more ticks of at most ``c2`` each, then
+a ``GRANT`` within ``l`` (and symmetrically for the lower bound).
+"""
+
+from __future__ import annotations
+
+from repro.core.mappings import InequalityMapping
+from repro.core.time_state import TimeState
+from repro.systems.resource_manager import ResourceManagerSystem, timer_of
+
+__all__ = ["resource_manager_mapping"]
+
+
+def resource_manager_mapping(system: ResourceManagerSystem) -> InequalityMapping:
+    """The mapping ``f : time(A, b) → B`` of Section 4.3."""
+    algorithm = system.algorithm
+    requirements = system.requirements
+    c1 = system.params.c1
+    c2 = system.params.c2
+    l = system.params.l
+
+    def bounds(u: TimeState, s: TimeState):
+        min_lt = min(requirements.lt(u, "G1"), requirements.lt(u, "G2"))
+        max_ft = max(requirements.ft(u, "G1"), requirements.ft(u, "G2"))
+        timer = timer_of(s.astate)
+        if timer > 0:
+            need_lt = algorithm.lt(s, "TICK") + (timer - 1) * c2 + l
+            need_ft = algorithm.ft(s, "TICK") + (timer - 1) * c1
+        else:
+            need_lt = algorithm.lt(s, "LOCAL")
+            need_ft = s.now
+        return min_lt, max_ft, need_lt, need_ft
+
+    def predicate(u: TimeState, s: TimeState) -> bool:
+        min_lt, max_ft, need_lt, need_ft = bounds(u, s)
+        return min_lt >= need_lt and max_ft <= need_ft
+
+    def explain(u: TimeState, s: TimeState) -> str:
+        min_lt, max_ft, need_lt, need_ft = bounds(u, s)
+        problems = []
+        if min_lt < need_lt:
+            problems.append(
+                "min(Lt(G1), Lt(G2)) = {!r} < required {!r}".format(min_lt, need_lt)
+            )
+        if max_ft > need_ft:
+            problems.append(
+                "max(Ft(G1), Ft(G2)) = {!r} > allowed {!r}".format(max_ft, need_ft)
+            )
+        return "; ".join(problems) or "inequalities hold (?)"
+
+    return InequalityMapping(
+        source=algorithm,
+        target=requirements,
+        predicate=predicate,
+        name="f: time(A,b) -> B (Section 4.3)",
+        explain=explain,
+    )

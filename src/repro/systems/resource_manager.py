@@ -1,0 +1,190 @@
+"""The resource manager example (paper Section 4).
+
+Two components: a *clock* whose ``TICK`` output is always enabled and
+fires with inter-tick times in ``[c1, c2]``, and a *manager* that counts
+``k`` ticks down on a ``TIMER`` and then issues a ``GRANT`` (its
+``ELSE`` internal action keeps it stepping at its own pace, class
+``LOCAL`` with bound ``[0, l]``; the paper assumes ``c1 > l``).
+
+Requirements (Section 4.2): the first ``GRANT`` at a time in
+``[k·c1, k·c2 + l]`` (condition ``G1``), and consecutive ``GRANT``\\ s
+separated by ``[k·c1 − l, k·c2 + l]`` (condition ``G2``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.errors import AutomatonError
+from repro.ioa.actions import Act, Kind
+from repro.ioa.composition import HiddenAutomaton, compose, hide
+from repro.ioa.guarded import ActionSpec, GuardedAutomaton
+from repro.ioa.partition import Partition
+from repro.timed.boundmap import Boundmap, TimedAutomaton
+from repro.timed.conditions import TimingCondition
+from repro.timed.interval import Interval
+from repro.core.time_automaton import (
+    PredictiveTimeAutomaton,
+    time_of_boundmap,
+    time_of_conditions,
+)
+from repro.core.time_state import TimeState
+
+__all__ = [
+    "TICK",
+    "GRANT",
+    "ELSE",
+    "CLOCK_STATE",
+    "ResourceManagerParams",
+    "clock_automaton",
+    "manager_automaton",
+    "resource_manager",
+    "grant_conditions",
+    "ResourceManagerSystem",
+    "timer_of",
+    "lemma_4_1_predicate",
+]
+
+TICK = Act("TICK")
+GRANT = Act("GRANT")
+ELSE = Act("ELSE")
+
+#: The clock's only state.
+CLOCK_STATE = "clockstate"
+
+
+@dataclass(frozen=True)
+class ResourceManagerParams:
+    """Parameters ``k``, ``[c1, c2]`` (tick bound) and ``l`` (manager
+    step bound); the paper assumes ``0 < c1 ≤ c2 < ∞``, ``0 ≤ l < ∞``
+    and ``c1 > l``."""
+
+    k: int
+    c1: object
+    c2: object
+    l: object
+
+    def __post_init__(self) -> None:
+        if self.k < 1:
+            raise AutomatonError("k must be at least 1")
+        if not (0 < self.c1 <= self.c2):
+            raise AutomatonError("need 0 < c1 <= c2")
+        if self.l <= 0:
+            # The paper writes 0 ≤ l, but boundmap intervals require a
+            # nonzero upper end, so l = 0 is not a valid boundmap.
+            raise AutomatonError("need l > 0 (boundmap upper bounds are nonzero)")
+        if not (self.c1 > self.l):
+            raise AutomatonError("the paper's analysis assumes c1 > l")
+
+    @property
+    def first_grant_interval(self) -> Interval:
+        """The ``G1`` bound ``[k·c1, k·c2 + l]``."""
+        return Interval(self.k * self.c1, self.k * self.c2 + self.l)
+
+    @property
+    def grant_gap_interval(self) -> Interval:
+        """The ``G2`` bound ``[k·c1 − l, k·c2 + l]``."""
+        return Interval(self.k * self.c1 - self.l, self.k * self.c2 + self.l)
+
+
+def clock_automaton() -> GuardedAutomaton:
+    """The clock: one state, ``TICK`` always enabled, no effect."""
+    return GuardedAutomaton(
+        name="clock",
+        start=[CLOCK_STATE],
+        specs=[ActionSpec(TICK, Kind.OUTPUT)],
+        partition=Partition.from_pairs([("TICK", [TICK])]),
+    )
+
+
+def manager_automaton(k: int) -> GuardedAutomaton:
+    """The manager: ``TIMER`` integer state, initially ``k``.
+
+    ``TICK`` decrements; ``GRANT`` (enabled when ``TIMER ≤ 0``) resets
+    to ``k``; ``ELSE`` (enabled when ``TIMER > 0``) keeps the local
+    process stepping.  ``GRANT`` and ``ELSE`` share class ``LOCAL``.
+    """
+    return GuardedAutomaton(
+        name="manager",
+        start=[k],
+        specs=[
+            ActionSpec(TICK, Kind.INPUT, effect=lambda timer: timer - 1),
+            ActionSpec(
+                GRANT,
+                Kind.OUTPUT,
+                precondition=lambda timer: timer <= 0,
+                effect=lambda _timer: k,
+            ),
+            ActionSpec(ELSE, Kind.INTERNAL, precondition=lambda timer: timer > 0),
+        ],
+        partition=Partition.from_pairs([("LOCAL", [GRANT, ELSE])]),
+    )
+
+
+def resource_manager(params: ResourceManagerParams) -> TimedAutomaton:
+    """The timed automaton ``(A, b)``: clock ∥ manager with ``TICK``
+    hidden, ``TICK ↦ [c1, c2]``, ``LOCAL ↦ [0, l]``."""
+    composed = compose(clock_automaton(), manager_automaton(params.k), name="resource-manager")
+    hidden = hide(composed, [TICK])
+    boundmap = Boundmap(
+        {
+            "TICK": Interval(params.c1, params.c2),
+            "LOCAL": Interval(0, params.l),
+        }
+    )
+    return TimedAutomaton(hidden, boundmap)
+
+
+def timer_of(astate: Tuple) -> int:
+    """The manager's ``TIMER`` in a composed ``A``-state."""
+    return astate[1]
+
+
+def grant_conditions(params: ResourceManagerParams) -> Tuple[TimingCondition, TimingCondition]:
+    """The requirement conditions ``G1`` and ``G2`` (Section 4.2)."""
+    g1 = TimingCondition.from_start("G1", params.first_grant_interval, [GRANT])
+    g2 = TimingCondition.after_action("G2", params.grant_gap_interval, GRANT, [GRANT])
+    return g1, g2
+
+
+class ResourceManagerSystem:
+    """Everything Section 4 builds, bundled: ``(A, b)``, the algorithm
+    automaton ``time(A, b)``, and the requirements automaton
+    ``B = time(A, {G1, G2})`` over the same base ``A``."""
+
+    def __init__(self, params: ResourceManagerParams):
+        self.params = params
+        self.timed = resource_manager(params)
+        self.algorithm: PredictiveTimeAutomaton = time_of_boundmap(self.timed)
+        g1, g2 = grant_conditions(params)
+        self.g1 = g1
+        self.g2 = g2
+        self.requirements: PredictiveTimeAutomaton = time_of_conditions(
+            self.timed.automaton, [g1, g2], name="B"
+        )
+
+    def start_astate(self) -> Tuple:
+        (start,) = self.timed.automaton.start_states()
+        return start
+
+
+def lemma_4_1_predicate(system: ResourceManagerSystem):
+    """Lemma 4.1 as a predicate on states of ``time(A, b)``:
+
+    1. ``TIMER ≥ 0``;
+    2. ``TIMER = 0  ⇒  Ft(TICK) ≥ Lt(LOCAL) + c1 − l``.
+    """
+    algorithm = system.algorithm
+    c1 = system.params.c1
+    l = system.params.l
+
+    def predicate(state: TimeState) -> bool:
+        timer = timer_of(state.astate)
+        if timer < 0:
+            return False
+        if timer == 0:
+            return algorithm.ft(state, "TICK") >= algorithm.lt(state, "LOCAL") + c1 - l
+        return True
+
+    return predicate

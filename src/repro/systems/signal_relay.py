@@ -1,0 +1,227 @@
+"""The signal relay example (paper Section 6).
+
+A line of processes ``P_0, …, P_n``: ``P_0`` emits ``SIGNAL_0`` once;
+each ``P_i`` raises a flag on ``SIGNAL_{i-1}`` and then emits
+``SIGNAL_i`` (class bound ``[d1, d2]``; ``SIGNAL_0``'s class is
+unconstrained, ``[0, ∞]``).
+
+Requirement (Section 6.2, ``U_{0,n}``): a ``SIGNAL_n`` follows each
+``SIGNAL_0`` within ``[n·d1, n·d2]``.  The proof is hierarchical:
+intermediate automata ``B_k`` carry ``U_{k,n}`` with bound
+``[(n−k)·d1, (n−k)·d2]`` plus the boundmap conditions of
+``SIGNAL_0 … SIGNAL_k`` and the dummy's ``NULL`` class; Section 6.4's
+mappings ``f_k : B_k → B_{k−1}`` encode the recurrence step.
+
+The relay has *finite* timed executions (nothing is enabled after
+``SIGNAL_n``), so the system is dummified before the ``time``
+construction (Section 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.errors import AutomatonError
+from repro.ioa.actions import Act, Kind
+from repro.ioa.composition import compose, hide
+from repro.ioa.guarded import ActionSpec, GuardedAutomaton
+from repro.ioa.partition import Partition
+from repro.timed.boundmap import Boundmap, TimedAutomaton
+from repro.timed.conditions import TimingCondition, cond_of_class
+from repro.timed.interval import INFINITY, Interval
+from repro.core.dummification import dummify, dummify_condition
+from repro.core.time_automaton import (
+    PredictiveTimeAutomaton,
+    time_of_boundmap,
+    time_of_conditions,
+)
+
+__all__ = [
+    "SIGNAL",
+    "signal_class_name",
+    "RelayParams",
+    "sender_automaton",
+    "relay_automaton",
+    "signal_relay",
+    "relay_condition",
+    "RelaySystem",
+    "flags_of",
+    "lemma_6_1_predicate",
+]
+
+
+def SIGNAL(i: int) -> Act:
+    """The action ``SIGNAL_i``."""
+    return Act("SIGNAL", (i,))
+
+
+def signal_class_name(i: int) -> str:
+    """The partition class name of ``{SIGNAL_i}``."""
+    return "SIGNAL_{}".format(i)
+
+
+@dataclass(frozen=True)
+class RelayParams:
+    """``n`` relay hops with per-hop bound ``[d1, d2]``; the paper
+    assumes ``0 ≤ d1 ≤ d2 < ∞`` (we additionally need ``d2 > 0`` for a
+    well-formed boundmap)."""
+
+    n: int
+    d1: object
+    d2: object
+
+    def __post_init__(self) -> None:
+        if self.n < 1:
+            raise AutomatonError("the line needs n >= 1")
+        if not (0 <= self.d1 <= self.d2):
+            raise AutomatonError("need 0 <= d1 <= d2")
+        if self.d2 <= 0:
+            raise AutomatonError("need d2 > 0 (boundmap upper bounds are nonzero)")
+
+    @property
+    def end_to_end_interval(self) -> Interval:
+        """The requirement bound ``[n·d1, n·d2]``."""
+        return Interval(self.n * self.d1, self.n * self.d2)
+
+    def hop_interval(self, k: int) -> Interval:
+        """The ``U_{k,n}`` bound ``[(n−k)·d1, (n−k)·d2]``."""
+        hops = self.n - k
+        if hops < 1:
+            raise AutomatonError("U_{k,n} needs 0 <= k <= n-1")
+        return Interval(hops * self.d1, hops * self.d2)
+
+
+def sender_automaton() -> GuardedAutomaton:
+    """``P_0``: FLAG initially true; ``SIGNAL_0`` clears it."""
+    return GuardedAutomaton(
+        name="P0",
+        start=[True],
+        specs=[
+            ActionSpec(
+                SIGNAL(0),
+                Kind.OUTPUT,
+                precondition=lambda flag: flag,
+                effect=lambda _flag: False,
+            )
+        ],
+        partition=Partition.from_pairs([(signal_class_name(0), [SIGNAL(0)])]),
+    )
+
+
+def relay_automaton(i: int) -> GuardedAutomaton:
+    """``P_i`` (``1 ≤ i``): raises FLAG on ``SIGNAL_{i-1}``, emits
+    ``SIGNAL_i`` while the flag is up."""
+    if i < 1:
+        raise AutomatonError("relay processes are P_1 … P_n")
+    return GuardedAutomaton(
+        name="P{}".format(i),
+        start=[False],
+        specs=[
+            ActionSpec(SIGNAL(i - 1), Kind.INPUT, effect=lambda _flag: True),
+            ActionSpec(
+                SIGNAL(i),
+                Kind.OUTPUT,
+                precondition=lambda flag: flag,
+                effect=lambda _flag: False,
+            ),
+        ],
+        partition=Partition.from_pairs([(signal_class_name(i), [SIGNAL(i)])]),
+    )
+
+
+def signal_relay(params: RelayParams) -> TimedAutomaton:
+    """The timed automaton ``(A, b)``: ``P_0 ∥ … ∥ P_n`` with the
+    intermediate signals hidden; ``SIGNAL_0 ↦ [0, ∞]``, others
+    ``[d1, d2]``."""
+    processes = [sender_automaton()] + [relay_automaton(i) for i in range(1, params.n + 1)]
+    composed = compose(*processes, name="signal-relay")
+    hidden_actions = [SIGNAL(i) for i in range(1, params.n)]
+    automaton = hide(composed, hidden_actions) if hidden_actions else composed
+    bounds = {signal_class_name(0): Interval(0, INFINITY)}
+    for i in range(1, params.n + 1):
+        bounds[signal_class_name(i)] = Interval(params.d1, params.d2)
+    return TimedAutomaton(automaton, Boundmap(bounds))
+
+
+def relay_condition(params: RelayParams, k: int) -> TimingCondition:
+    """``U_{k,n}``: from every ``SIGNAL_k`` step to the next
+    ``SIGNAL_n``, within ``[(n−k)·d1, (n−k)·d2]``.
+
+    Triggers and targets are pure action predicates, so the same
+    condition applies verbatim to the dummified automaton.
+    """
+    return TimingCondition.after_action(
+        "U[{},{}]".format(k, params.n),
+        params.hop_interval(k),
+        SIGNAL(k),
+        [SIGNAL(params.n)],
+    )
+
+
+def flags_of(dummified_astate) -> Tuple[bool, ...]:
+    """The relay FLAG tuple inside a dummified ``Ã``-state."""
+    return dummified_astate[0]
+
+
+class RelaySystem:
+    """Everything Section 6 builds: ``(A, b)``, its dummification
+    ``(Ã, b̃)``, ``time(Ã, b̃)``, the requirements automaton
+    ``B = time(Ã, {Ũ_{0,n}})`` and the intermediate automata ``B_k``.
+
+    ``B_k`` instances are cached so hierarchy levels share identity
+    (:class:`~repro.core.mappings.MappingChain` requires it).
+    """
+
+    def __init__(self, params: RelayParams, dummy_interval: Interval = Interval(0, 1)):
+        self.params = params
+        self.timed = signal_relay(params)
+        self.dummified = dummify(self.timed, dummy_interval)
+        self.algorithm: PredictiveTimeAutomaton = time_of_boundmap(self.dummified)
+        self.requirement = dummify_condition(relay_condition(params, 0))
+        self.requirements: PredictiveTimeAutomaton = time_of_conditions(
+            self.dummified.automaton, [self.requirement], name="B"
+        )
+        self._intermediates: Dict[int, PredictiveTimeAutomaton] = {}
+
+    def start_astate(self):
+        (start,) = self.dummified.automaton.start_states()
+        return start
+
+    def _class_condition(self, class_name: str) -> TimingCondition:
+        cls = self.dummified.automaton.partition[class_name]
+        return cond_of_class(self.dummified, cls)
+
+    def intermediate(self, k: int) -> PredictiveTimeAutomaton:
+        """``B_k = time(Ã, U_k)`` where ``U_k`` contains ``Ũ_{k,n}``,
+        the boundmap conditions of ``SIGNAL_0 … SIGNAL_k`` and ``NULL``
+        (Section 6.3)."""
+        if not (0 <= k <= self.params.n - 1):
+            raise AutomatonError("B_k is defined for 0 <= k <= n-1")
+        if k not in self._intermediates:
+            conditions: List[TimingCondition] = [
+                dummify_condition(relay_condition(self.params, k))
+            ]
+            for j in range(k + 1):
+                conditions.append(self._class_condition(signal_class_name(j)))
+            conditions.append(self._class_condition("NULL"))
+            self._intermediates[k] = time_of_conditions(
+                self.dummified.automaton,
+                conditions,
+                name="B_{}".format(k),
+            )
+        return self._intermediates[k]
+
+    def condition_name(self, k: int) -> str:
+        """The name of ``U_{k,n}`` inside ``B_k``."""
+        return "U[{},{}]".format(k, self.params.n)
+
+
+def lemma_6_1_predicate(params: RelayParams):
+    """Lemma 6.1 as a predicate on (undummified) relay states: at most
+    one ``SIGNAL_i`` is enabled, i.e. at most one flag is raised."""
+
+    def predicate(astate) -> bool:
+        return sum(1 for flag in astate if flag) <= 1
+
+    return predicate

@@ -1,0 +1,183 @@
+"""Random timed-system generation for fuzz-testing the semantics.
+
+Generates small *closed* timed automata — rings of modular counters
+with optional cross-cell guards — with random rational boundmaps.  Used
+by the property-based test suites to check, over many systems at once,
+the invariants the paper's definitions promise: simulated executions
+are semi-executions, the two ``time(A, b)`` implementations agree,
+projections lift uniquely, and always-enabled classes attain exactly
+their bound interval between consecutive firings.
+
+Everything is deterministic in the provided :class:`random.Random`.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import List, Optional, Tuple
+
+from repro.ioa.actions import Act, Kind
+from repro.ioa.composition import Composition
+from repro.ioa.guarded import ActionSpec, GuardedAutomaton
+from repro.ioa.partition import Partition
+from repro.timed.boundmap import Boundmap, TimedAutomaton
+from repro.timed.interval import INFINITY, Interval
+
+__all__ = ["INC", "CellSpec", "RandomSystem", "random_system"]
+
+
+def INC(i: int) -> Act:
+    """The increment action of cell ``i``."""
+    return Act("INC", (i,))
+
+
+@dataclass(frozen=True)
+class CellSpec:
+    """One counter cell of a generated system.
+
+    ``guard_on`` is None for an always-enabled cell, or the index of a
+    neighbour whose counter parity gates this cell's action.
+    """
+
+    index: int
+    modulus: int
+    interval: Interval
+    guard_on: Optional[int]
+
+    @property
+    def always_enabled(self) -> bool:
+        return self.guard_on is None
+
+
+@dataclass
+class RandomSystem:
+    """A generated timed automaton plus its construction recipe."""
+
+    timed: TimedAutomaton
+    cells: Tuple[CellSpec, ...]
+
+    def class_name(self, i: int) -> str:
+        return "INC_{}".format(i)
+
+    def always_enabled_cells(self) -> List[CellSpec]:
+        return [cell for cell in self.cells if cell.always_enabled]
+
+    def describe(self) -> str:
+        lines = ["random system with {} cells:".format(len(self.cells))]
+        for cell in self.cells:
+            guard = (
+                "always enabled"
+                if cell.guard_on is None
+                else "enabled when cell {} is even".format(cell.guard_on)
+            )
+            lines.append(
+                "  cell {}: mod {}, bound {!r}, {}".format(
+                    cell.index, cell.modulus, cell.interval, guard
+                )
+            )
+        return "\n".join(lines)
+
+
+def _random_interval(rng: random.Random, allow_unbounded: bool) -> Interval:
+    """A random boundmap interval with small rational endpoints."""
+    lo = Fraction(rng.randint(0, 6), rng.choice([1, 2]))
+    if allow_unbounded and rng.random() < 0.15:
+        return Interval(lo, INFINITY)
+    width = Fraction(rng.randint(0, 6), rng.choice([1, 2]))
+    hi = lo + width
+    if hi == 0:
+        hi = Fraction(1, 2)
+    return Interval(lo, hi)
+
+
+def _cell_automaton(cell: CellSpec) -> GuardedAutomaton:
+    """One counter cell.
+
+    The cell's own counter is its state; a guarded cell also *listens*
+    to its neighbour's INC action to track the neighbour's parity (the
+    neighbour's counter value modulo 2 is mirrored in the second state
+    component).
+    """
+    action = INC(cell.index)
+    if cell.guard_on is None:
+        return GuardedAutomaton(
+            name="cell{}".format(cell.index),
+            start=[0],
+            specs=[
+                ActionSpec(
+                    action,
+                    Kind.OUTPUT,
+                    effect=lambda value, m=cell.modulus: (value + 1) % m,
+                )
+            ],
+            partition=Partition.from_pairs([("INC_{}".format(cell.index), [action])]),
+        )
+    neighbour_action = INC(cell.guard_on)
+
+    def bump_self(state, m=cell.modulus):
+        value, neighbour_parity = state
+        return ((value + 1) % m, neighbour_parity)
+
+    def bump_neighbour(state):
+        value, neighbour_parity = state
+        return (value, 1 - neighbour_parity)
+
+    def enabled(state) -> bool:
+        _value, neighbour_parity = state
+        return neighbour_parity == 0
+
+    return GuardedAutomaton(
+        name="cell{}".format(cell.index),
+        start=[(0, 0)],
+        specs=[
+            ActionSpec(action, Kind.OUTPUT, precondition=enabled, effect=bump_self),
+            ActionSpec(neighbour_action, Kind.INPUT, effect=bump_neighbour),
+        ],
+        partition=Partition.from_pairs([("INC_{}".format(cell.index), [action])]),
+    )
+
+
+def random_system(
+    rng: random.Random,
+    n_cells: Optional[int] = None,
+    max_modulus: int = 3,
+    allow_guards: bool = True,
+    allow_unbounded: bool = True,
+) -> RandomSystem:
+    """Generate a random closed timed automaton.
+
+    Guarantees at least one always-enabled cell with a finite upper
+    bound, so the system never fully quiesces and every execution keeps
+    making progress (the analogue of the paper's dummy component).
+    """
+    if n_cells is None:
+        n_cells = rng.randint(1, 4)
+    cells: List[CellSpec] = []
+    for i in range(n_cells):
+        if i == 0:
+            # The progress anchor: always enabled, finite upper bound.
+            interval = _random_interval(rng, allow_unbounded=False)
+            guard_on = None
+        else:
+            interval = _random_interval(rng, allow_unbounded)
+            guard_on = rng.randrange(i) if (allow_guards and rng.random() < 0.5) else None
+        cells.append(
+            CellSpec(
+                index=i,
+                modulus=rng.randint(2, max_modulus),
+                interval=interval,
+                guard_on=guard_on,
+            )
+        )
+    automata = [_cell_automaton(cell) for cell in cells]
+    if len(automata) == 1:
+        composed = automata[0]
+    else:
+        composed = Composition(automata, name="random-ring")
+    boundmap = Boundmap(
+        {"INC_{}".format(cell.index): cell.interval for cell in cells}
+    )
+    return RandomSystem(TimedAutomaton(composed, boundmap), tuple(cells))

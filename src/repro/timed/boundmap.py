@@ -1,0 +1,112 @@
+"""Boundmaps and timed automata (paper Section 2.2).
+
+A boundmap assigns to each partition class ``C`` of an I/O automaton a
+closed interval ``[b_l(C), b_u(C)]``: the range of possible lengths of
+time between successive chances for ``C`` to perform an action.  A
+*timed automaton* is the pair ``(A, b)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, Iterable, Mapping, Optional, Tuple
+
+from repro.errors import TimingConditionError
+from repro.ioa.automaton import IOAutomaton
+from repro.ioa.partition import PartitionClass
+from repro.timed.interval import Interval
+
+__all__ = ["Boundmap", "TimedAutomaton"]
+
+
+class Boundmap:
+    """A mapping from partition class names to bound :class:`Interval`\\ s."""
+
+    def __init__(self, bounds: Mapping[str, Interval]):
+        self._bounds: Dict[str, Interval] = dict(bounds)
+
+    @classmethod
+    def from_pairs(cls, pairs: Iterable[Tuple[str, Interval]]) -> "Boundmap":
+        return cls(dict(pairs))
+
+    def __getitem__(self, class_name: str) -> Interval:
+        try:
+            return self._bounds[class_name]
+        except KeyError:
+            raise TimingConditionError(
+                "boundmap has no entry for partition class {!r}".format(class_name)
+            ) from None
+
+    def __contains__(self, class_name: str) -> bool:
+        return class_name in self._bounds
+
+    def lower(self, class_name: str) -> object:
+        """``b_l(C)``."""
+        return self[class_name].lo
+
+    def upper(self, class_name: str) -> object:
+        """``b_u(C)``."""
+        return self[class_name].hi
+
+    def names(self) -> Tuple[str, ...]:
+        return tuple(self._bounds)
+
+    def items(self):
+        return self._bounds.items()
+
+    def extended(self, class_name: str, interval: Interval) -> "Boundmap":
+        """A copy with one additional class bound (used by dummification)."""
+        if class_name in self._bounds:
+            raise TimingConditionError(
+                "boundmap already has an entry for {!r}".format(class_name)
+            )
+        merged = dict(self._bounds)
+        merged[class_name] = interval
+        return Boundmap(merged)
+
+    def validate_against(self, automaton: IOAutomaton) -> None:
+        """Every partition class must have a bound, and every bound must
+        name a partition class."""
+        names = set(automaton.partition.names)
+        bound_names = set(self._bounds)
+        missing = names - bound_names
+        extra = bound_names - names
+        if missing:
+            raise TimingConditionError(
+                "boundmap missing classes: {!r}".format(sorted(missing))
+            )
+        if extra:
+            raise TimingConditionError(
+                "boundmap names unknown classes: {!r}".format(sorted(extra))
+            )
+
+    def __repr__(self) -> str:
+        entries = ", ".join(
+            "{!r}: {!r}".format(name, iv) for name, iv in sorted(self._bounds.items())
+        )
+        return "Boundmap({{{}}})".format(entries)
+
+
+@dataclass(frozen=True)
+class TimedAutomaton:
+    """The pair ``(A, b)`` of an I/O automaton and a boundmap."""
+
+    automaton: IOAutomaton
+    boundmap: Boundmap
+
+    def __post_init__(self) -> None:
+        self.boundmap.validate_against(self.automaton)
+
+    @property
+    def name(self) -> str:
+        return self.automaton.name
+
+    def class_interval(self, cls: PartitionClass) -> Interval:
+        """The bound interval of a partition class object."""
+        return self.boundmap[cls.name]
+
+    def classes(self) -> Tuple[PartitionClass, ...]:
+        return self.automaton.partition.classes
+
+    def __repr__(self) -> str:
+        return "TimedAutomaton({!r}, {!r})".format(self.automaton.name, self.boundmap)

@@ -1,0 +1,75 @@
+"""Lemma 2.1 / Corollary 2.2 utilities.
+
+The paper proves that a timed sequence is a timed execution of
+``(A, b)`` (Definition 2.1) exactly when it satisfies every ``cond(C)``
+in ``U_b`` (Definition 2.2).  This module provides both readings side by
+side and an agreement checker used by tests and by experiment E6.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.ioa.execution import validate_execution
+from repro.timed.boundmap import TimedAutomaton
+from repro.timed.conditions import boundmap_conditions
+from repro.timed.satisfaction import (
+    Violation,
+    find_boundmap_violation,
+    satisfies_all,
+    semi_satisfies_all,
+)
+from repro.timed.timed_sequence import TimedSequence
+
+__all__ = ["EquivalenceReport", "check_lemma_2_1", "timed_execution_violation"]
+
+
+@dataclass(frozen=True)
+class EquivalenceReport:
+    """The two verdicts of Lemma 2.1 on one timed sequence."""
+
+    definition_2_1: Optional[Violation]  # direct boundmap reading
+    definition_2_2: Optional[Violation]  # via cond(C) conditions
+
+    @property
+    def agree(self) -> bool:
+        """Lemma 2.1: both checkers accept or both reject."""
+        return (self.definition_2_1 is None) == (self.definition_2_2 is None)
+
+    @property
+    def accepted(self) -> bool:
+        return self.definition_2_1 is None and self.definition_2_2 is None
+
+
+def check_lemma_2_1(
+    timed: TimedAutomaton, seq: TimedSequence, semi: bool = False
+) -> EquivalenceReport:
+    """Run both readings of the boundmap semantics on ``seq``.
+
+    ``semi`` selects the Definition 3.1 variants on both sides, which is
+    the appropriate comparison for finite prefixes.
+    """
+    validate_execution(timed.automaton, seq.ord())
+    direct = find_boundmap_violation(timed, seq, semi=semi)
+    conditions = boundmap_conditions(timed)
+    if semi:
+        via_conditions = semi_satisfies_all(seq, conditions)
+    else:
+        via_conditions = satisfies_all(seq, conditions)
+    return EquivalenceReport(direct, via_conditions)
+
+
+def timed_execution_violation(
+    timed: TimedAutomaton, seq: TimedSequence
+) -> Optional[Violation]:
+    """Corollary 2.2 entry point: the first reason ``seq`` fails to be a
+    timed execution of ``(A, b)`` ≡ ``(A, U_b)``, or None."""
+    report = check_lemma_2_1(timed, seq)
+    if not report.agree:
+        raise AssertionError(
+            "Lemma 2.1 equivalence broken: direct={!r} via-conditions={!r}".format(
+                report.definition_2_1, report.definition_2_2
+            )
+        )
+    return report.definition_2_1

@@ -1,0 +1,46 @@
+"""Zone-based exact timing analysis: DBMs, the MMT zone graph, and
+event-separation bound queries."""
+
+from repro.zones.analysis import (
+    SeparationBounds,
+    absolute_event_bounds,
+    event_separation_bounds,
+    find_reachable_state,
+)
+from repro.zones.dbm import (
+    Bound,
+    DBM,
+    INF_BOUND,
+    ZERO_BOUND,
+    bound_add,
+    le_bound,
+    lt_bound,
+)
+from repro.zones.verify import ConditionReport, Verdict, verify_event_condition
+from repro.zones.zone_graph import (
+    FiringRecord,
+    Observer,
+    ZoneGraphResult,
+    explore_zone_graph,
+)
+
+__all__ = [
+    "DBM",
+    "Bound",
+    "INF_BOUND",
+    "ZERO_BOUND",
+    "le_bound",
+    "lt_bound",
+    "bound_add",
+    "Observer",
+    "FiringRecord",
+    "ZoneGraphResult",
+    "explore_zone_graph",
+    "SeparationBounds",
+    "event_separation_bounds",
+    "absolute_event_bounds",
+    "find_reachable_state",
+    "Verdict",
+    "ConditionReport",
+    "verify_event_condition",
+]

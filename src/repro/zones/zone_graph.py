@@ -1,0 +1,260 @@
+"""Symbolic (zone-graph) reachability for MMT timed automata.
+
+Encodes a :class:`~repro.timed.boundmap.TimedAutomaton` as a timed
+safety automaton with one clock per partition class:
+
+- **invariant** — for every class ``C`` enabled in the current state
+  with a finite ``b_u(C)``: ``x_C ≤ b_u(C)``;
+- **guard** of an action in class ``C`` — ``x_C ≥ b_l(C)``;
+- **resets** — the fired class's clock, plus the clock of every class
+  that flips from disabled to enabled (MMT bounds restart on
+  re-enable); disabled classes' clocks are pinned to 0 so zone keys
+  stay canonical.
+
+*Observer* clocks reset on designated actions make event-separation
+times directly readable off the zone at fire time, which is how the
+exact bounds of the paper's theorems are extracted.
+
+Exploration is exact for the continuous semantics (zones are) and is
+kept finite by per-action occurrence limits: once a counted action has
+fired its limit, the branch is not expanded further.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Hashable, Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import ZoneError
+from repro.timed.boundmap import TimedAutomaton
+from repro.zones.dbm import Bound, DBM, INF_BOUND, le_bound
+
+__all__ = ["Observer", "FiringRecord", "ZoneGraphResult", "explore_zone_graph"]
+
+
+@dataclass(frozen=True)
+class Observer:
+    """An extra clock reset whenever one of ``reset_on`` fires (it also
+    starts at 0 at time zero, so with ``reset_on = ()`` it reads
+    absolute time)."""
+
+    name: str
+    reset_on: FrozenSet[Hashable] = frozenset()
+
+
+@dataclass
+class FiringRecord:
+    """Accumulated bounds of every observer at the firings of one
+    (counted action or group, occurrence) pair, over all reachable ways
+    to fire it."""
+
+    action: Hashable  # the counted key: an action, or a group name
+    occurrence: int
+    lower: Dict[str, Bound] = field(default_factory=dict)
+    upper: Dict[str, Bound] = field(default_factory=dict)
+
+    def merge(self, name: str, lower: Bound, upper: Bound) -> None:
+        if name not in self.lower or lower < self.lower[name]:
+            self.lower[name] = lower
+        if name not in self.upper or upper > self.upper[name]:
+            self.upper[name] = upper
+
+
+@dataclass
+class ZoneGraphResult:
+    """Outcome of a zone-graph exploration."""
+
+    nodes: int
+    transitions: int
+    truncated: bool
+    firings: Dict[Tuple[Hashable, int], FiringRecord]
+    #: Reachable A-states matched by the ``watch`` predicate (if given).
+    watched: List[Hashable] = field(default_factory=list)
+
+    def record(self, action: Hashable, occurrence: int) -> FiringRecord:
+        key = (action, occurrence)
+        if key not in self.firings:
+            self.firings[key] = FiringRecord(action, occurrence)
+        return self.firings[key]
+
+
+def explore_zone_graph(
+    timed: TimedAutomaton,
+    observers: Sequence[Observer] = (),
+    counted_actions: Optional[Dict[Hashable, int]] = None,
+    counted_groups: Optional[Dict[str, Tuple[FrozenSet[Hashable], int]]] = None,
+    max_nodes: int = 100_000,
+    watch=None,
+    stop_on_watch: bool = False,
+) -> ZoneGraphResult:
+    """Forward zone reachability of ``(A, b)``.
+
+    ``counted_actions`` maps actions to occurrence limits; exploration
+    stops along a branch once any counted action reaches its limit, and
+    firing bounds are recorded per occurrence up to the limit.
+    ``counted_groups`` does the same for *sets* of actions counted
+    jointly (``{"ENTER": ({ENTER(1), ENTER(2)}, 1)}`` measures the
+    first time *anyone* enters); group firings are recorded under the
+    group name.  All actions of the automaton must be locally
+    controlled (analyse closed systems).
+
+    ``watch`` is an optional predicate over ``A``-states: every
+    reachable matching state is collected into ``result.watched``
+    (deduplicated), enabling exact timed safety checks — e.g. "no state
+    with two processes critical is reachable".  With ``stop_on_watch``
+    the search returns at the first match.
+    """
+    automaton = timed.automaton
+    partition = automaton.partition
+    # Unify single-action counters and group counters: each counter is
+    # (key, member actions, limit); an action belongs to at most one.
+    counters: List[Tuple[Hashable, FrozenSet[Hashable], int]] = []
+    for action, limit in sorted((counted_actions or {}).items(), key=lambda kv: repr(kv[0])):
+        counters.append((action, frozenset([action]), limit))
+    for name, (members, limit) in sorted((counted_groups or {}).items()):
+        counters.append((name, frozenset(members), limit))
+    counter_of_action: Dict[Hashable, int] = {}
+    for index, (_key, members, _limit) in enumerate(counters):
+        for member in members:
+            if member in counter_of_action:
+                raise ZoneError(
+                    "action {!r} is counted by more than one counter".format(member)
+                )
+            counter_of_action[member] = index
+    if automaton.signature.inputs:
+        raise ZoneError(
+            "zone analysis needs a closed system; {} still has inputs {!r}".format(
+                automaton.name, sorted(map(repr, automaton.signature.inputs))
+            )
+        )
+
+    classes = list(partition.classes)
+    class_index = {cls.name: i + 1 for i, cls in enumerate(classes)}
+    # A class with the trivial bound [0, ∞] contributes no guard and no
+    # invariant, so its clock is semantically irrelevant; pinning it to 0
+    # at every transition keeps the zone graph finite.
+    trivial = {
+        cls.name
+        for cls in classes
+        if timed.class_interval(cls).is_trivial
+    }
+    observer_index = {
+        obs.name: len(classes) + 1 + i for i, obs in enumerate(observers)
+    }
+    total_clocks = len(classes) + len(observers)
+
+    starts = list(automaton.start_states())
+    if len(starts) != 1:
+        raise ZoneError("zone analysis expects a unique start state")
+    start_astate = starts[0]
+
+    def enabled_classes(astate) -> Tuple[bool, ...]:
+        return tuple(automaton.class_enabled(astate, cls) for cls in classes)
+
+    def apply_invariant(zone: DBM, enabled: Tuple[bool, ...]) -> DBM:
+        for i, cls in enumerate(classes):
+            if not enabled[i]:
+                continue
+            upper = timed.class_interval(cls).hi
+            if isinstance(upper, float) and math.isinf(upper):
+                continue
+            zone.constrain(class_index[cls.name], 0, le_bound(upper))
+        return zone
+
+    result = ZoneGraphResult(nodes=0, transitions=0, truncated=False, firings={})
+    initial_zone = DBM.zero(total_clocks)
+    zero_counts = tuple(0 for _ in counters)
+
+    watched_seen = set()
+
+    def note_watch(astate) -> bool:
+        """Record a watched state; True when the search should stop."""
+        if watch is None or not watch(astate):
+            return False
+        if astate not in watched_seen:
+            watched_seen.add(astate)
+            result.watched.append(astate)
+        return stop_on_watch
+
+    visited = set()
+    frontier: deque = deque()
+    start_key = (start_astate, zero_counts, initial_zone.key())
+    visited.add(start_key)
+    frontier.append((start_astate, zero_counts, initial_zone))
+    result.nodes = 1
+    if note_watch(start_astate):
+        return result
+
+    while frontier:
+        astate, counts, zone = frontier.popleft()
+        pre_enabled = enabled_classes(astate)
+        for action in automaton.enabled_actions(astate):
+            cls = partition.class_of(action)
+            if cls is None:
+                raise ZoneError(
+                    "action {!r} has no partition class (open system?)".format(action)
+                )
+            fire_zone = apply_invariant(zone.copy().up(), pre_enabled)
+            lower = timed.class_interval(cls).lo
+            if lower > 0:
+                # x_0 − x_C ≤ −b_l(C)  ⇔  x_C ≥ b_l(C)
+                fire_zone.constrain(0, class_index[cls.name], le_bound(-lower))
+            if fire_zone.is_empty():
+                continue
+            result.transitions += 1
+
+            # Occurrence bookkeeping and observer measurement at fire time.
+            new_counts = counts
+            occurrence = None
+            counter_index = counter_of_action.get(action)
+            if counter_index is not None:
+                key, _members, limit = counters[counter_index]
+                occurrence = counts[counter_index] + 1
+                if occurrence > limit:
+                    continue  # beyond the horizon of interest
+                new_counts = (
+                    counts[:counter_index]
+                    + (occurrence,)
+                    + counts[counter_index + 1 :]
+                )
+                record = result.record(key, occurrence)
+                for obs in observers:
+                    lo, hi = fire_zone.clock_bounds(observer_index[obs.name])
+                    record.merge(obs.name, lo, hi)
+
+            expand = True
+            if occurrence is not None and occurrence >= counters[counter_index][2]:
+                expand = False  # record made; branch horizon reached
+
+            for post_astate in automaton.transitions(astate, action):
+                post_zone = fire_zone.copy()
+                post_enabled = enabled_classes(post_astate)
+                post_zone.reset(class_index[cls.name])
+                for i, other in enumerate(classes):
+                    if other.name == cls.name:
+                        continue
+                    if other.name in trivial:
+                        post_zone.reset(class_index[other.name])
+                    elif post_enabled[i] and not pre_enabled[i]:
+                        post_zone.reset(class_index[other.name])
+                    elif not post_enabled[i]:
+                        post_zone.reset(class_index[other.name])
+                for obs in observers:
+                    if action in obs.reset_on:
+                        post_zone.reset(observer_index[obs.name])
+                if not expand:
+                    continue
+                key = (post_astate, new_counts, post_zone.key())
+                if key in visited:
+                    continue
+                if result.nodes >= max_nodes:
+                    result.truncated = True
+                    return result
+                visited.add(key)
+                result.nodes += 1
+                if note_watch(post_astate):
+                    return result
+                frontier.append((post_astate, new_counts, post_zone))
+    return result

@@ -1,0 +1,75 @@
+"""Tests for the P and Q property predicates on finite prefixes."""
+
+from fractions import Fraction as F
+
+from repro.analysis.properties import check_P_prefix, check_Q_prefix
+from repro.systems.resource_manager import GRANT, ResourceManagerParams
+from repro.systems.signal_relay import SIGNAL, RelayParams
+from repro.timed.timed_sequence import TimedEvent
+
+
+def events(*pairs):
+    return [TimedEvent(a, t) for a, t in pairs]
+
+
+RM = ResourceManagerParams(k=2, c1=F(2), c2=F(3), l=F(1))  # first [4,7], gap [3,7]
+RL = RelayParams(n=2, d1=F(1), d2=F(2))  # end-to-end [2,4]
+
+
+class TestP:
+    def test_good_prefix(self):
+        b = events((GRANT, 5), (GRANT, 10))
+        assert check_P_prefix(b, RM, horizon=12)
+
+    def test_first_grant_too_early(self):
+        assert not check_P_prefix(events((GRANT, 3)), RM, horizon=5)
+
+    def test_first_grant_too_late(self):
+        assert not check_P_prefix(events((GRANT, 8)), RM, horizon=9)
+
+    def test_bad_gap(self):
+        b = events((GRANT, 5), (GRANT, 13))
+        assert not check_P_prefix(b, RM, horizon=14)
+
+    def test_progress_floor(self):
+        # By time 20 at least floor(20/7) = 2 grants are forced.
+        assert not check_P_prefix(events((GRANT, 5)), RM, horizon=20)
+
+    def test_no_grant_due_yet(self):
+        assert check_P_prefix(events(), RM, horizon=3)
+
+    def test_missing_grant_after_deadline(self):
+        assert not check_P_prefix(events(), RM, horizon=8)
+
+
+class TestQ:
+    def test_good_prefix(self):
+        b = events((SIGNAL(0), 1), (SIGNAL(2), 4))
+        assert check_Q_prefix(b, RL, horizon=5)
+
+    def test_delay_out_of_bounds(self):
+        b = events((SIGNAL(0), 1), (SIGNAL(2), 6))
+        assert not check_Q_prefix(b, RL, horizon=7)
+
+    def test_delay_too_small(self):
+        b = events((SIGNAL(0), 1), (SIGNAL(2), 2))
+        assert not check_Q_prefix(b, RL, horizon=3)
+
+    def test_signal_n_missing_after_deadline(self):
+        b = events((SIGNAL(0), 1))
+        assert not check_Q_prefix(b, RL, horizon=10)
+
+    def test_signal_n_not_due_yet(self):
+        b = events((SIGNAL(0), 1))
+        assert check_Q_prefix(b, RL, horizon=3)
+
+    def test_duplicate_signal0_rejected(self):
+        b = events((SIGNAL(0), 1), (SIGNAL(0), 2))
+        assert not check_Q_prefix(b, RL, horizon=3)
+
+    def test_signal_n_without_signal0(self):
+        b = events((SIGNAL(2), 2))
+        assert not check_Q_prefix(b, RL, horizon=3)
+
+    def test_no_signals_at_all(self):
+        assert check_Q_prefix(events(), RL, horizon=100)

@@ -1,0 +1,120 @@
+"""Tests for exact statistics."""
+
+from fractions import Fraction as F
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ReproError
+from repro.analysis.stats import (
+    exact_percentile,
+    five_number_summary,
+    interval_coverage,
+    text_histogram,
+)
+from repro.timed.interval import Interval
+
+
+class TestPercentiles:
+    def test_empty_rejected(self):
+        with pytest.raises(ReproError):
+            exact_percentile([], F(1, 2))
+
+    def test_out_of_range_quantile(self):
+        with pytest.raises(ReproError):
+            exact_percentile([1], 2)
+
+    def test_min_max(self):
+        values = [F(3), F(1), F(2)]
+        assert exact_percentile(values, 0) == 1
+        assert exact_percentile(values, 1) == 3
+
+    def test_median_odd(self):
+        assert exact_percentile([1, 2, 9], F(1, 2)) == 2
+
+    def test_median_even_interpolates_exactly(self):
+        assert exact_percentile([1, 2], F(1, 2)) == F(3, 2)
+
+    def test_quartile_interpolation(self):
+        assert exact_percentile([0, 1, 2, 3], F(1, 4)) == F(3, 4)
+
+    def test_singleton(self):
+        assert exact_percentile([7], F(1, 3)) == 7
+
+    def test_five_number_summary(self):
+        summary = five_number_summary([0, 1, 2, 3, 4])
+        assert summary == (0, 1, 2, 3, 4)
+
+
+class TestCoverage:
+    def test_full_coverage(self):
+        assert interval_coverage([2, 5], Interval(2, 5)) == 1
+
+    def test_half_coverage(self):
+        assert interval_coverage([2, F(7, 2)], Interval(2, 5)) == F(1, 2)
+
+    def test_empty_sample(self):
+        assert interval_coverage([], Interval(2, 5)) == 0
+
+    def test_point_sample(self):
+        assert interval_coverage([3], Interval(2, 5)) == 0
+
+    def test_escaping_sample_rejected(self):
+        with pytest.raises(ReproError):
+            interval_coverage([1, 3], Interval(2, 5))
+
+    def test_unbounded_interval_rejected(self):
+        with pytest.raises(ReproError):
+            interval_coverage([3], Interval.at_least(2))
+
+    def test_degenerate_interval(self):
+        assert interval_coverage([2], Interval(2, 2)) == 1
+
+
+class TestHistogram:
+    def test_empty(self):
+        assert text_histogram([]) == ["(empty sample)"]
+
+    def test_constant_sample(self):
+        (line,) = text_histogram([3, 3, 3])
+        assert "3" in line and "(3 values)" in line
+
+    def test_bin_count(self):
+        lines = text_histogram([1, 2, 3, 4, 5], bins=4)
+        assert len(lines) == 4
+
+    def test_counts_sum(self):
+        lines = text_histogram(list(range(10)), bins=5)
+        total = sum(int(line.rsplit("(", 1)[1].rstrip(")")) for line in lines)
+        assert total == 10
+
+    def test_invalid_bins(self):
+        with pytest.raises(ReproError):
+            text_histogram([1], bins=0)
+
+
+values = st.lists(
+    st.fractions(min_value=0, max_value=10, max_denominator=8), min_size=1, max_size=20
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(values=values)
+def test_percentiles_monotone(values):
+    quantiles = [F(0), F(1, 4), F(1, 2), F(3, 4), F(1)]
+    results = [exact_percentile(values, q) for q in quantiles]
+    assert results == sorted(results)
+    assert results[0] == min(values) and results[-1] == max(values)
+
+
+@settings(max_examples=60, deadline=None)
+@given(values=values)
+def test_histogram_total_matches_sample(values):
+    lines = text_histogram(values, bins=4)
+    if len(lines) == 1:
+        # constant sample: single "(n values)" line
+        assert "({} values)".format(len(values)) in lines[0]
+        return
+    total = sum(int(line.rsplit("(", 1)[1].rstrip(")")) for line in lines)
+    assert total == len(values)

@@ -1,0 +1,29 @@
+"""Shared fixtures: small systems used across the test suite."""
+
+from fractions import Fraction as F
+
+import pytest
+
+from repro.systems.resource_manager import ResourceManagerParams, ResourceManagerSystem
+from repro.systems.signal_relay import RelayParams, RelaySystem
+from repro.timed.interval import Interval
+
+
+@pytest.fixture
+def rm_params():
+    return ResourceManagerParams(k=2, c1=F(2), c2=F(3), l=F(1))
+
+
+@pytest.fixture
+def rm_system(rm_params):
+    return ResourceManagerSystem(rm_params)
+
+
+@pytest.fixture
+def relay_params():
+    return RelayParams(n=3, d1=F(1), d2=F(2))
+
+
+@pytest.fixture
+def relay_system(relay_params):
+    return RelaySystem(relay_params, dummy_interval=Interval(F(1, 2), F(1)))

@@ -1,0 +1,183 @@
+"""Tests of the mapping checkers: runs, chains, exhaustive grids —
+including mutation tests where wrong requirement bounds must fail."""
+
+import random
+from fractions import Fraction as F
+
+import pytest
+
+from repro.errors import MappingCheckError
+from repro.timed.conditions import TimingCondition
+from repro.timed.interval import Interval
+from repro.core.checker import (
+    check_chain_on_run,
+    check_mapping_exhaustive,
+    check_mapping_on_run,
+)
+from repro.core.mappings import InequalityMapping, MappingChain, ProjectionMapping
+from repro.core.time_automaton import time_of_boundmap, time_of_conditions
+from repro.sim.scheduler import Simulator
+from repro.sim.strategies import UniformStrategy
+
+from tests.timed.test_conditions import pulse_timed
+
+
+def pulse_setup(fire_interval=Interval(1, 2)):
+    """time(A, b) for the pulse system, and a requirements automaton
+    bounding fire-to-fire separations."""
+    timed = pulse_timed()  # FIRE [1,2], ARM [0,5]
+    algorithm = time_of_boundmap(timed)
+    # Between consecutive fires: arm within [0,5] then fire within [1,2]
+    # of re-enabling ⇒ separation in [1, 7].
+    gap = TimingCondition.after_action("GAP", Interval(1, 7), "fire", {"fire"})
+    requirements = time_of_conditions(timed.automaton, [gap], name="req")
+    mapping = InequalityMapping(
+        algorithm,
+        requirements,
+        predicate=_pulse_predicate(algorithm, requirements),
+        name="pulse-gap",
+    )
+    return timed, algorithm, requirements, mapping
+
+
+def _pulse_predicate(algorithm, requirements):
+    def predicate(u, s):
+        lt_gap = requirements.lt(u, "GAP")
+        ft_gap = requirements.ft(u, "GAP")
+        if s.astate == "off":
+            # arm within Lt(ARM), then fire within 2 more.
+            need_lt = algorithm.lt(s, "ARM") + 2
+            need_ft = algorithm.ft(s, "ARM") + 1
+        else:
+            need_lt = algorithm.lt(s, "FIRE")
+            need_ft = algorithm.ft(s, "FIRE")
+        return lt_gap >= need_lt and ft_gap <= need_ft
+
+    return predicate
+
+
+def run_of(algorithm, seed=0, steps=40):
+    return Simulator(algorithm, UniformStrategy(random.Random(seed))).run(max_steps=steps)
+
+
+class TestRunChecker:
+    def test_correct_mapping_passes(self):
+        _t, algorithm, _r, mapping = pulse_setup()
+        for seed in range(5):
+            outcome = check_mapping_on_run(mapping, run_of(algorithm, seed))
+            assert outcome.ok, outcome.detail
+
+    def test_steps_counted(self):
+        _t, algorithm, _r, mapping = pulse_setup()
+        run = run_of(algorithm, 1, steps=25)
+        assert check_mapping_on_run(mapping, run).steps_checked == len(run)
+
+    def test_too_tight_upper_bound_fails_enabledness(self):
+        timed = pulse_timed()
+        algorithm = time_of_boundmap(timed)
+        gap = TimingCondition.after_action("GAP", Interval(1, 3), "fire", {"fire"})
+        requirements = time_of_conditions(timed.automaton, [gap], name="req")
+        mapping = InequalityMapping(algorithm, requirements, lambda u, s: True)
+        failures = 0
+        for seed in range(10):
+            outcome = check_mapping_on_run(mapping, run_of(algorithm, seed, steps=60))
+            if not outcome.ok:
+                failures += 1
+                assert "not enabled" in outcome.detail
+        assert failures > 0, "a 3-unit gap bound cannot hold; some run must refute it"
+
+    def test_too_loose_lower_bound_fails_enabledness(self):
+        timed = pulse_timed()
+        algorithm = time_of_boundmap(timed)
+        gap = TimingCondition.after_action("GAP", Interval(4, 10), "fire", {"fire"})
+        requirements = time_of_conditions(timed.automaton, [gap], name="req")
+        mapping = InequalityMapping(algorithm, requirements, lambda u, s: True)
+        failures = sum(
+            0 if check_mapping_on_run(mapping, run_of(algorithm, seed, steps=60)).ok else 1
+            for seed in range(10)
+        )
+        assert failures > 0, "gaps of length < 4 are reachable and must refute the bound"
+
+    def test_wrong_inequalities_fail_containment(self):
+        _t, algorithm, requirements, _m = pulse_setup()
+        bad = InequalityMapping(
+            algorithm, requirements, lambda u, s: requirements.lt(u, "GAP") >= 10**6
+        )
+        outcome = check_mapping_on_run(bad, run_of(algorithm, 0))
+        assert not outcome.ok
+        assert "initial" in outcome.detail or "containment" in outcome.detail
+
+    def test_raise_if_failed(self):
+        _t, algorithm, requirements, _m = pulse_setup()
+        bad = InequalityMapping(algorithm, requirements, lambda u, s: False)
+        with pytest.raises(MappingCheckError):
+            check_mapping_on_run(bad, run_of(algorithm, 0)).raise_if_failed()
+
+    def test_outcome_truthiness(self):
+        _t, algorithm, _r, mapping = pulse_setup()
+        assert check_mapping_on_run(mapping, run_of(algorithm, 2))
+
+
+class TestChainChecker:
+    def test_two_level_chain(self):
+        timed = pulse_timed()
+        algorithm = time_of_boundmap(timed)
+        gap_mid = TimingCondition.after_action("GAP", Interval(1, 7), "fire", {"fire"})
+        middle = time_of_conditions(
+            timed.automaton,
+            [gap_mid] + list(algorithm.conditions),
+            name="mid",
+        )
+        top = time_of_conditions(timed.automaton, [gap_mid], name="top")
+        m1 = InequalityMapping(
+            algorithm,
+            middle,
+            predicate=_chain_mid_predicate(algorithm, middle),
+            name="to-mid",
+        )
+        m2 = ProjectionMapping(middle, top, name="to-top")
+        chain = MappingChain([m1, m2])
+        for seed in range(4):
+            outcome = check_chain_on_run(chain, run_of(algorithm, seed))
+            assert outcome.ok, outcome.detail
+
+
+def _chain_mid_predicate(algorithm, middle):
+    def predicate(u, s):
+        for name in ("FIRE", "ARM"):
+            if u.preds[middle.index_of(name)] != s.preds[algorithm.index_of(name)]:
+                return False
+        lt_gap = middle.lt(u, "GAP")
+        ft_gap = middle.ft(u, "GAP")
+        if s.astate == "off":
+            return (
+                lt_gap >= algorithm.lt(s, "ARM") + 2
+                and ft_gap <= algorithm.ft(s, "ARM") + 1
+            )
+        return lt_gap >= algorithm.lt(s, "FIRE") and ft_gap <= algorithm.ft(s, "FIRE")
+
+    return predicate
+
+
+class TestExhaustiveChecker:
+    def test_correct_mapping_exhaustive(self):
+        _t, _a, _r, mapping = pulse_setup()
+        outcome = check_mapping_exhaustive(mapping, grid=F(1, 2), horizon=F(10))
+        assert outcome.ok, outcome.detail
+        assert outcome.steps_checked > 50
+
+    def test_wrong_bound_found_exhaustively(self):
+        timed = pulse_timed()
+        algorithm = time_of_boundmap(timed)
+        gap = TimingCondition.after_action("GAP", Interval(1, 3), "fire", {"fire"})
+        requirements = time_of_conditions(timed.automaton, [gap], name="req")
+        mapping = InequalityMapping(algorithm, requirements, lambda u, s: True)
+        outcome = check_mapping_exhaustive(mapping, grid=F(1, 2), horizon=F(10))
+        assert not outcome.ok
+
+    def test_truncation_reported(self):
+        _t, _a, _r, mapping = pulse_setup()
+        outcome = check_mapping_exhaustive(
+            mapping, grid=F(1, 4), horizon=F(10), max_pairs=20
+        )
+        assert outcome.ok and "truncated" in outcome.detail

@@ -1,0 +1,127 @@
+"""Tests of the completeness construction (Section 7, Theorem 7.1)."""
+
+import math
+import random
+from fractions import Fraction as F
+
+import pytest
+
+from repro.timed.interval import Interval
+from repro.core.checker import check_mapping_exhaustive, check_mapping_on_run
+from repro.core.completeness import (
+    CanonicalMapping,
+    ExhaustiveFirstEstimator,
+    SamplingFirstEstimator,
+)
+from repro.core.dummification import dummify, dummify_conditions
+from repro.core.time_automaton import time_of_boundmap, time_of_conditions
+from repro.sim.scheduler import Simulator
+from repro.sim.strategies import UniformStrategy
+from repro.systems.resource_manager import (
+    ResourceManagerParams,
+    ResourceManagerSystem,
+)
+from repro.systems.signal_relay import RelayParams, RelaySystem
+
+
+def tiny_rm_setup():
+    params = ResourceManagerParams(k=1, c1=F(2), c2=F(2), l=F(1))
+    system = ResourceManagerSystem(params)
+    dummified = dummify(system.timed, Interval(1, 1))
+    algorithm = time_of_boundmap(dummified)
+    conditions = dummify_conditions([system.g1, system.g2])
+    target = time_of_conditions(dummified.automaton, conditions, name="B~")
+    return algorithm, target
+
+
+class TestExhaustiveEstimator:
+    def test_sup_first_matches_paper_bound_at_start(self):
+        algorithm, target = tiny_rm_setup()
+        estimator = ExhaustiveFirstEstimator(algorithm, grid=F(1, 2), window=F(8))
+        (start,) = list(algorithm.start_states())
+        g1 = target.condition("G1")
+        sup_first, inf_first = estimator.first_bounds(start, g1)
+        # G1's Π = {GRANT}, S = ∅: first = first GRANT time ∈ [k·c1, k·c2+l] = [2, 3]
+        assert sup_first == 3
+        assert inf_first == 2
+
+    def test_untriggered_condition_unbounded(self):
+        algorithm, target = tiny_rm_setup()
+        estimator = ExhaustiveFirstEstimator(algorithm, grid=F(1, 2), window=F(8))
+        (start,) = list(algorithm.start_states())
+        g2 = target.condition("G2")
+        # G2 also measures to the next GRANT — from the start the first
+        # GRANT resolves it, same values as G1.
+        sup_first, inf_first = estimator.first_bounds(start, g2)
+        assert sup_first == 3 and inf_first == 2
+
+    def test_canonical_mapping_passes_exhaustively(self):
+        algorithm, target = tiny_rm_setup()
+        estimator = ExhaustiveFirstEstimator(algorithm, grid=F(1, 2), window=F(8))
+        mapping = CanonicalMapping(algorithm, target, estimator)
+        outcome = check_mapping_exhaustive(mapping, grid=F(1, 2), horizon=F(6))
+        assert outcome.ok, outcome.detail
+
+    def test_canonical_mapping_relay(self):
+        system = RelaySystem(
+            RelayParams(n=2, d1=F(1), d2=F(1)), dummy_interval=Interval(1, 1)
+        )
+        estimator = ExhaustiveFirstEstimator(system.algorithm, grid=F(1, 2), window=F(6))
+        mapping = CanonicalMapping(system.algorithm, system.requirements, estimator)
+        outcome = check_mapping_exhaustive(mapping, grid=F(1, 2), horizon=F(4))
+        assert outcome.ok, outcome.detail
+
+    def test_memoisation_is_per_query(self):
+        algorithm, target = tiny_rm_setup()
+        estimator = ExhaustiveFirstEstimator(algorithm, grid=F(1, 2), window=F(8))
+        (start,) = list(algorithm.start_states())
+        g1 = target.condition("G1")
+        assert estimator.first_bounds(start, g1) == estimator.first_bounds(start, g1)
+
+
+class TestSamplingEstimator:
+    def test_sampling_brackets_exhaustive(self):
+        algorithm, target = tiny_rm_setup()
+        exact = ExhaustiveFirstEstimator(algorithm, grid=F(1, 2), window=F(8))
+        sampled = SamplingFirstEstimator(
+            algorithm,
+            strategy_factory=lambda seed: UniformStrategy(random.Random(seed)),
+            runs=30,
+            max_steps=40,
+        )
+        (start,) = list(algorithm.start_states())
+        g1 = target.condition("G1")
+        sup_exact, inf_exact = exact.first_bounds(start, g1)
+        sup_est, inf_est = sampled.first_bounds(start, g1)
+        assert sup_est <= sup_exact
+        assert inf_est >= inf_exact
+
+    def test_sampled_canonical_mapping_with_slack(self):
+        algorithm, target = tiny_rm_setup()
+        sampled = SamplingFirstEstimator(
+            algorithm,
+            strategy_factory=lambda seed: UniformStrategy(random.Random(seed)),
+            runs=20,
+            max_steps=40,
+        )
+        mapping = CanonicalMapping(
+            algorithm, target, sampled, upper_slack=F(1, 2), lower_slack=F(1, 2)
+        )
+        run = Simulator(algorithm, UniformStrategy(random.Random(99))).run(max_steps=30)
+        outcome = check_mapping_on_run(mapping, run)
+        assert outcome.ok, outcome.detail
+
+    def test_memoised(self):
+        algorithm, target = tiny_rm_setup()
+        sampled = SamplingFirstEstimator(
+            algorithm,
+            strategy_factory=lambda seed: UniformStrategy(random.Random(seed)),
+            runs=3,
+            max_steps=20,
+        )
+        (start,) = list(algorithm.start_states())
+        g1 = target.condition("G1")
+        first = sampled.first_bounds(start, g1)
+        assert sampled.first_bounds(start, g1) is first or sampled.first_bounds(
+            start, g1
+        ) == first

@@ -1,0 +1,90 @@
+"""Cross-validation of the two independent time(A, b) implementations.
+
+The general construction ``time(A, U_b)`` (Section 3.1 applied to the
+boundmap conditions) and the explicit Section 3.2 rules must agree
+step-for-step on reachable states — the paper remarks that the only
+textual difference (the min in rule 4(b)) vanishes on reachable states.
+"""
+
+import random
+from fractions import Fraction as F
+
+import pytest
+
+from repro.core.boundmap_time import ExplicitBoundmapTime
+from repro.core.time_automaton import time_of_boundmap
+from repro.sim.scheduler import Simulator
+from repro.sim.strategies import ExtremalStrategy, UniformStrategy
+
+from tests.timed.test_conditions import pulse_timed
+
+
+def systems():
+    from repro.systems.resource_manager import ResourceManagerParams, resource_manager
+    from repro.systems.signal_relay import RelayParams, signal_relay
+    from repro.core.dummification import dummify
+
+    yield pulse_timed()
+    yield resource_manager(ResourceManagerParams(k=2, c1=F(2), c2=F(3), l=F(1)))
+    yield dummify(signal_relay(RelayParams(n=2, d1=F(1), d2=F(2))))
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_general_and_explicit_agree_along_runs(seed):
+    for timed in systems():
+        general = time_of_boundmap(timed)
+        explicit = ExplicitBoundmapTime(timed)
+        run = Simulator(general, UniformStrategy(random.Random(seed))).run(max_steps=60)
+        state_e = explicit.initial(run.first_state.astate)
+        # Class order equals condition order, so states are comparable.
+        assert state_e == run.first_state
+        for _pre, event, post in run.triples():
+            candidates = [
+                s
+                for s in explicit.successors(state_e, event.action, event.time)
+                if s.astate == post.astate
+            ]
+            assert len(candidates) == 1, "explicit automaton rejects a general step"
+            state_e = candidates[0]
+            assert state_e == post, (
+                "prediction mismatch after ({!r}, {!r}): general {!r} vs "
+                "explicit {!r}".format(event.action, event.time, post, state_e)
+            )
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_agreement_under_extremal_scheduling(seed):
+    for timed in systems():
+        general = time_of_boundmap(timed)
+        explicit = ExplicitBoundmapTime(timed)
+        run = Simulator(general, ExtremalStrategy(random.Random(seed))).run(max_steps=40)
+        state_e = explicit.initial(run.first_state.astate)
+        for _pre, event, post in run.triples():
+            state_e = next(
+                s
+                for s in explicit.successors(state_e, event.action, event.time)
+                if s.astate == post.astate
+            )
+            assert state_e == post
+
+
+def test_explicit_rejects_what_general_rejects():
+    timed = pulse_timed()
+    general = time_of_boundmap(timed)
+    explicit = ExplicitBoundmapTime(timed)
+    init_g = general.initial("on")
+    init_e = explicit.initial("on")
+    # FIRE bound is [1, 2]: firing at 1/2 must be rejected by both.
+    assert general.successors(init_g, "fire", F(1, 2)) == []
+    assert explicit.successors(init_e, "fire", F(1, 2)) == []
+    # And firing at 3 exceeds the deadline in both.
+    assert general.successors(init_g, "fire", 3) == []
+    assert explicit.successors(init_e, "fire", 3) == []
+
+
+def test_initial_states_agree():
+    for timed in systems():
+        general = time_of_boundmap(timed)
+        explicit = ExplicitBoundmapTime(timed)
+        for astate in timed.automaton.start_states():
+            assert general.initial(astate) == explicit.initial(astate)

@@ -1,0 +1,168 @@
+"""Tests of dummification (Section 5, Lemmas 5.1–5.3)."""
+
+import random
+from fractions import Fraction as F
+
+import pytest
+
+from repro.errors import ExecutionError
+from repro.ioa.composition import Composition
+from repro.timed.conditions import TimingCondition
+from repro.timed.interval import Interval
+from repro.timed.satisfaction import (
+    find_boundmap_violation,
+    find_condition_violation,
+)
+from repro.core.dummification import (
+    DUMMY_STATE,
+    NULL,
+    dummify,
+    dummify_condition,
+    dummify_conditions,
+    dummy_automaton,
+    undum,
+)
+from repro.core.projection import project
+from repro.core.time_automaton import time_of_boundmap
+from repro.sim.scheduler import Simulator
+from repro.sim.strategies import UniformStrategy
+from repro.systems.signal_relay import SIGNAL, RelayParams, relay_condition, signal_relay
+
+
+def dummified_relay():
+    params = RelayParams(n=2, d1=F(1), d2=F(2))
+    timed = signal_relay(params)
+    return params, timed, dummify(timed, Interval(F(1, 2), F(1)))
+
+
+class TestDummyAutomaton:
+    def test_single_state_always_enabled(self):
+        dummy = dummy_automaton()
+        assert list(dummy.start_states()) == [DUMMY_STATE]
+        assert dummy.is_enabled(DUMMY_STATE, NULL)
+
+    def test_null_is_output(self):
+        assert NULL in dummy_automaton().signature.outputs
+
+    def test_null_partition_class(self):
+        assert dummy_automaton().partition.names == ("NULL",)
+
+
+class TestDummify:
+    def test_composed_state_shape(self):
+        _params, timed, dummified = dummified_relay()
+        (start,) = dummified.automaton.start_states()
+        assert start[1] == DUMMY_STATE
+        assert start[0] in set(timed.automaton.start_states())
+
+    def test_boundmap_extended(self):
+        _params, _timed, dummified = dummified_relay()
+        assert dummified.boundmap["NULL"] == Interval(F(1, 2), F(1))
+
+    def test_unbounded_dummy_rejected(self):
+        _params, timed, _d = dummified_relay()
+        with pytest.raises(ExecutionError):
+            dummify(timed, Interval.at_least(1))
+
+    def test_dummified_never_quiescent(self):
+        # Lemma 5.1: the dummy always has NULL enabled, so simulation
+        # never stops early.
+        _params, _timed, dummified = dummified_relay()
+        automaton = time_of_boundmap(dummified)
+        run = Simulator(automaton, UniformStrategy(random.Random(0))).run(max_steps=120)
+        assert len(run) == 120
+
+    def test_raw_relay_is_quiescent(self):
+        # Contrast: without the dummy, the relay stops after SIGNAL_n.
+        params, timed, _d = dummified_relay()
+        automaton = time_of_boundmap(timed)
+        run = Simulator(automaton, UniformStrategy(random.Random(0))).run(max_steps=120)
+        assert len(run) < 120
+        actions = [ev.action for ev in run.events]
+        assert actions[-1] == SIGNAL(params.n)
+
+
+class TestUndum:
+    def test_undum_drops_null_and_dummy_state(self):
+        _params, timed, dummified = dummified_relay()
+        automaton = time_of_boundmap(dummified)
+        run = Simulator(automaton, UniformStrategy(random.Random(1))).run(max_steps=80)
+        seq = undum(project(run))
+        assert all(ev.action != NULL for ev in seq.events)
+        assert all(not isinstance(s, tuple) or s[-1] != DUMMY_STATE for s in [seq.first_state])
+
+    def test_lemma_5_2_part_1(self):
+        # undum of a (semi-)execution of (Ã, b̃) is one of (A, b).
+        params, timed, dummified = dummified_relay()
+        automaton = time_of_boundmap(dummified)
+        for seed in range(6):
+            run = Simulator(automaton, UniformStrategy(random.Random(seed))).run(
+                max_steps=80
+            )
+            seq = undum(project(run))
+            assert find_boundmap_violation(timed, seq, semi=True) is None
+
+    def test_undum_preserves_times(self):
+        _params, _timed, dummified = dummified_relay()
+        automaton = time_of_boundmap(dummified)
+        run = Simulator(automaton, UniformStrategy(random.Random(2))).run(max_steps=60)
+        seq = undum(project(run))
+        original = [ev for ev in project(run).events if ev.action != NULL]
+        assert list(seq.events) == original
+
+    def test_undum_rejects_state_changing_null(self):
+        from repro.timed.timed_sequence import TimedSequence
+
+        bad = TimedSequence(
+            ((("a",), DUMMY_STATE), (("b",), DUMMY_STATE)), ((NULL, 1),)
+        )
+        with pytest.raises(ExecutionError):
+            undum(bad)
+
+
+class TestDummifyCondition:
+    def test_lifted_predicates_see_a_component(self):
+        cond = TimingCondition.build(
+            "U",
+            Interval(1, 2),
+            actions={"g"},
+            start_states={"s0"},
+            disabling={"dead"},
+        )
+        lifted = dummify_condition(cond)
+        assert lifted.starts(("s0", DUMMY_STATE))
+        assert not lifted.starts(("s1", DUMMY_STATE))
+        assert lifted.disables(("dead", DUMMY_STATE))
+
+    def test_null_never_triggers_nor_in_pi(self):
+        cond = TimingCondition.build(
+            "U",
+            Interval(1, 2),
+            actions=lambda a: True,
+            step_predicate=lambda pre, a, post: True,
+        )
+        lifted = dummify_condition(cond)
+        assert not lifted.in_pi(NULL)
+        assert not lifted.triggers(("s", DUMMY_STATE), NULL, ("s", DUMMY_STATE))
+        assert lifted.in_pi("g")
+        assert lifted.triggers(("s", DUMMY_STATE), "g", ("t", DUMMY_STATE))
+
+    def test_lemma_5_3_satisfaction_transfers(self):
+        # A dummified run satisfies Ũ iff its undum satisfies U.
+        params, timed, dummified = dummified_relay()
+        automaton = time_of_boundmap(dummified)
+        cond = relay_condition(params, 0)
+        lifted = dummify_condition(cond)
+        for seed in range(6):
+            run = Simulator(automaton, UniformStrategy(random.Random(seed))).run(
+                max_steps=80
+            )
+            on_dummified = find_condition_violation(project(run), lifted, semi=True)
+            on_plain = find_condition_violation(undum(project(run)), cond, semi=True)
+            assert (on_dummified is None) == (on_plain is None)
+
+    def test_dummify_conditions_plural(self):
+        c1 = TimingCondition.build("A", Interval(1, 2), actions={"x"})
+        c2 = TimingCondition.build("B", Interval(1, 2), actions={"y"})
+        lifted = dummify_conditions([c1, c2])
+        assert [c.name for c in lifted] == ["A", "B"]

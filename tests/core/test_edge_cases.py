@@ -1,0 +1,161 @@
+"""Edge-case coverage for the core construction: nondeterministic
+bases, boundary times, prediction helpers, and rule interactions not
+exercised by the main systems."""
+
+import math
+from fractions import Fraction as F
+
+import pytest
+
+from repro.errors import TimingViolationError
+from repro.ioa.actions import Kind
+from repro.ioa.guarded import ActionSpec, GuardedAutomaton
+from repro.timed.conditions import TimingCondition
+from repro.timed.interval import Interval
+from repro.core.time_automaton import time_of_conditions
+from repro.core.time_state import DEFAULT_PREDICTION, Prediction, TimeState
+
+
+def nondet_base():
+    """One action, two possible successors."""
+    return GuardedAutomaton(
+        "nd",
+        ["root"],
+        [
+            ActionSpec(
+                "fork",
+                Kind.OUTPUT,
+                effects=lambda s: ["left", "right"] if s == "root" else [s],
+            )
+        ],
+    )
+
+
+def fork_condition():
+    return TimingCondition.from_start("S", Interval(1, 2), {"fork"})
+
+
+class TestNondeterministicBase:
+    def test_successors_fan_out(self):
+        auto = time_of_conditions(nondet_base(), [fork_condition()])
+        init = auto.initial("root")
+        posts = auto.successors(init, "fork", 1)
+        assert {p.astate for p in posts} == {"left", "right"}
+
+    def test_successor_raises_on_ambiguity(self):
+        auto = time_of_conditions(nondet_base(), [fork_condition()])
+        with pytest.raises(TimingViolationError):
+            auto.successor(auto.initial("root"), "fork", 1)
+
+    def test_successor_matching_resolves(self):
+        auto = time_of_conditions(nondet_base(), [fork_condition()])
+        post = auto.successor_matching(auto.initial("root"), "fork", 1, "right")
+        assert post.astate == "right"
+
+    def test_both_branches_same_predictions(self):
+        auto = time_of_conditions(nondet_base(), [fork_condition()])
+        left, right = auto.successors(auto.initial("root"), "fork", 1)
+        assert left.preds == right.preds
+
+
+class TestBoundaryTimes:
+    def setup_method(self):
+        base = GuardedAutomaton(
+            "one", ["s"], [ActionSpec("go", Kind.OUTPUT)]
+        )
+        self.auto = time_of_conditions(
+            base, [TimingCondition.from_start("W", Interval(1, 2), {"go"})]
+        )
+        self.init = self.auto.initial("s")
+
+    def test_exactly_ft_allowed(self):
+        assert self.auto.successors(self.init, "go", 1)
+
+    def test_exactly_lt_allowed(self):
+        assert self.auto.successors(self.init, "go", 2)
+
+    def test_just_inside_allowed(self):
+        assert self.auto.successors(self.init, "go", F(3, 2))
+
+    def test_strictly_outside_rejected(self):
+        assert self.auto.successors(self.init, "go", F(1, 2)) == []
+        assert self.auto.successors(self.init, "go", F(5, 2)) == []
+
+    def test_time_equal_to_now_allowed_when_window_open(self):
+        s1 = self.auto.successor(self.init, "go", 1)
+        # W reset to defaults after its Π event fired untriggered.
+        assert s1.preds[0] == DEFAULT_PREDICTION
+        assert self.auto.successors(s1, "go", 1)  # zero-delay re-fire
+
+
+class TestSelfRetriggeringCondition:
+    """The G2 shape: the trigger action is also in Π — rules 3(a) and
+    3(b) interact at the same step."""
+
+    def setup_method(self):
+        base = GuardedAutomaton("loop", ["s"], [ActionSpec("beat", Kind.OUTPUT)])
+        self.cond = TimingCondition.after_action(
+            "B", Interval(2, 3), "beat", {"beat"}
+        )
+        self.auto = time_of_conditions(base, [self.cond])
+        self.init = self.auto.initial("s")
+
+    def test_first_beat_unconstrained(self):
+        # No trigger yet: defaults, any time allowed.
+        assert self.auto.successors(self.init, "beat", 100)
+
+    def test_retrigger_sets_fresh_window(self):
+        s1 = self.auto.successor(self.init, "beat", 5)
+        assert self.auto.ft(s1, "B") == 7 and self.auto.lt(s1, "B") == 8
+
+    def test_window_enforced_between_beats(self):
+        s1 = self.auto.successor(self.init, "beat", 5)
+        assert self.auto.successors(s1, "beat", 6) == []  # too early
+        assert self.auto.successors(s1, "beat", 9) == []  # too late
+        s2 = self.auto.successor(s1, "beat", 7)
+        assert self.auto.ft(s2, "B") == 9  # retriggered again
+
+
+class TestTimeStateHelpers:
+    def test_default_prediction(self):
+        assert DEFAULT_PREDICTION.is_default
+        assert not Prediction(0, 5).is_default
+        assert not Prediction(1, math.inf).is_default
+
+    def test_with_astate(self):
+        state = TimeState("a", 1, (DEFAULT_PREDICTION,))
+        other = state.with_astate("b")
+        assert other.astate == "b"
+        assert other.now == state.now and other.preds == state.preds
+
+    def test_repr_mentions_components(self):
+        state = TimeState("a", 1, (Prediction(0, 2),))
+        text = repr(state)
+        assert "As='a'" in text and "Ct=1" in text
+
+    def test_prediction_repr_inf(self):
+        assert "inf" in repr(Prediction(0, math.inf))
+
+
+class TestDeadlineAndWindows:
+    def test_no_conditions_means_no_deadline(self):
+        base = GuardedAutomaton("free", ["s"], [ActionSpec("go", Kind.OUTPUT)])
+        auto = time_of_conditions(base, [])
+        init = auto.initial("s")
+        assert math.isinf(auto.deadline(init))
+        assert auto.time_window(init, "go") == (0, math.inf)
+
+    def test_disabled_action_has_window_but_no_step(self):
+        base = GuardedAutomaton(
+            "gated",
+            [False],
+            [
+                ActionSpec(
+                    "go", Kind.OUTPUT, precondition=lambda s: s, effect=lambda s: s
+                )
+            ],
+        )
+        auto = time_of_conditions(base, [])
+        init = auto.initial(False)
+        # schedulable_actions consults the base automaton's enabledness.
+        assert auto.schedulable_actions(init) == []

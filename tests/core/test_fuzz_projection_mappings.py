@@ -1,0 +1,57 @@
+"""Fuzzed invariant: dropping conditions is always a valid mapping.
+
+For any system, the identity projection from ``time(A, U_b)`` to
+``time(A, V)`` with ``V ⊆ U_b`` is a strong possibilities mapping —
+fewer conditions only remove constraints, and shared predictions evolve
+identically.  The checker must accept it on every random system, every
+subset, every strategy — a broad soundness net over the whole
+construction + checker stack.
+"""
+
+import random
+from fractions import Fraction as F
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.checker import check_mapping_on_run
+from repro.core.mappings import ProjectionMapping
+from repro.core.time_automaton import time_of_boundmap, time_of_conditions
+from repro.sim.scheduler import Simulator
+from repro.sim.strategies import ExtremalStrategy, UniformStrategy
+from repro.testkit import random_system
+from repro.timed.conditions import boundmap_conditions
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    subset_mask=st.integers(min_value=0, max_value=15),
+    extremal=st.booleans(),
+)
+def test_condition_subsets_always_project(seed, subset_mask, extremal):
+    system = random_system(random.Random(seed))
+    source = time_of_boundmap(system.timed)
+    conditions = boundmap_conditions(system.timed)
+    kept = [c for i, c in enumerate(conditions) if subset_mask & (1 << i)]
+    target = time_of_conditions(system.timed.automaton, kept, name="subset")
+    mapping = ProjectionMapping(source, target)
+    strategy_cls = ExtremalStrategy if extremal else UniformStrategy
+    run = Simulator(source, strategy_cls(random.Random(seed + 1))).run(max_steps=30)
+    outcome = check_mapping_on_run(mapping, run)
+    assert outcome.ok, "{}\n{}".format(outcome.detail, system.describe())
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_identity_projection_full_set(seed):
+    """The identity mapping time(A, b) → time(A, U_b) (same conditions,
+    rebuilt) always checks — the reflexivity baseline."""
+    system = random_system(random.Random(seed))
+    source = time_of_boundmap(system.timed)
+    target = time_of_conditions(
+        system.timed.automaton, boundmap_conditions(system.timed), name="rebuilt"
+    )
+    mapping = ProjectionMapping(source, target)
+    run = Simulator(source, UniformStrategy(random.Random(seed + 1))).run(max_steps=30)
+    assert check_mapping_on_run(mapping, run).ok

@@ -1,0 +1,125 @@
+"""Property-based fuzzing of the core semantics over random systems.
+
+For randomly generated closed timed automata (repro.testkit), every
+simulated execution must exhibit the invariants the paper's definitions
+promise — regardless of system shape, boundmap values, or scheduling
+strategy.
+"""
+
+import random
+from fractions import Fraction as F
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.boundmap_time import ExplicitBoundmapTime
+from repro.core.projection import lift, project
+from repro.core.time_automaton import time_of_boundmap
+from repro.sim.scheduler import Simulator
+from repro.sim.strategies import EagerStrategy, ExtremalStrategy, UniformStrategy
+from repro.testkit import INC, random_system
+from repro.timed.satisfaction import find_boundmap_violation
+from repro.timed.semantics import check_lemma_2_1
+from repro.timed.timed_sequence import TimedSequence
+
+STRATEGIES = {
+    "uniform": UniformStrategy,
+    "eager": EagerStrategy,
+    "extremal": ExtremalStrategy,
+}
+
+
+def simulate(seed, strategy_name="uniform", steps=40):
+    rng = random.Random(seed)
+    system = random_system(rng)
+    automaton = time_of_boundmap(system.timed)
+    strategy = STRATEGIES[strategy_name](random.Random(seed + 1))
+    run = Simulator(automaton, strategy).run(max_steps=steps)
+    return system, automaton, run
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    strategy_name=st.sampled_from(sorted(STRATEGIES)),
+)
+def test_simulated_runs_are_semi_executions(seed, strategy_name):
+    system, _automaton, run = simulate(seed, strategy_name)
+    violation = find_boundmap_violation(system.timed, project(run), semi=True)
+    assert violation is None, "{}\n{}".format(violation, system.describe())
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_general_and_explicit_time_automata_agree(seed):
+    system, automaton, run = simulate(seed)
+    explicit = ExplicitBoundmapTime(system.timed)
+    state = explicit.initial(run.first_state.astate)
+    assert state == run.first_state
+    for _pre, event, post in run.triples():
+        matches = [
+            s
+            for s in explicit.successors(state, event.action, event.time)
+            if s.astate == post.astate
+        ]
+        assert len(matches) == 1, system.describe()
+        state = matches[0]
+        assert state == post, system.describe()
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_lift_round_trip(seed):
+    _system, automaton, run = simulate(seed)
+    assert lift(automaton, project(run)) == run
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    numerator=st.integers(min_value=1, max_value=30),
+)
+def test_lemma_2_1_agreement_under_scaling(seed, numerator):
+    system, _automaton, run = simulate(seed, steps=25)
+    seq = project(run)
+    scaled = TimedSequence(
+        seq.states, [(ev.action, ev.time * F(numerator, 10)) for ev in seq.events]
+    )
+    report = check_lemma_2_1(system.timed, scaled, semi=True)
+    assert report.agree, system.describe()
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_event_times_within_deadlines(seed):
+    """No event ever fires after the automaton-wide deadline, and time
+    is nondecreasing — the executable reading of conditions 2 and 4(a)."""
+    _system, automaton, run = simulate(seed)
+    for pre, event, _post in run.triples():
+        assert event.time >= pre.now
+        assert event.time <= automaton.deadline(pre)
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_progress_anchor_keeps_running(seed):
+    """Cell 0 is always enabled with a finite upper bound, so runs never
+    stop early (the testkit's dummy-component guarantee)."""
+    _system, _automaton, run = simulate(seed, steps=30)
+    assert len(run) == 30
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=3_000))
+def test_always_enabled_class_gap_within_bounds(seed):
+    """Consecutive firings of an always-enabled class are separated by a
+    value inside the class's bound interval (Definition 2.1 applied to
+    back-to-back triggers)."""
+    system, _automaton, run = simulate(seed, steps=60)
+    seq = project(run)
+    for cell in system.always_enabled_cells():
+        times = [ev.time for ev in seq.events if ev.action == INC(cell.index)]
+        for earlier, later in zip(times, times[1:]):
+            gap = later - earlier
+            assert cell.interval.contains(gap), system.describe()

@@ -1,0 +1,116 @@
+"""Tests of the mapping framework (Definition 3.2 infrastructure)."""
+
+import pytest
+
+from repro.errors import MappingError
+from repro.timed.conditions import TimingCondition
+from repro.timed.interval import Interval
+from repro.core.mappings import (
+    InequalityMapping,
+    MappingChain,
+    ProjectionMapping,
+)
+from repro.core.time_automaton import time_of_conditions
+
+from tests.core.test_time_automaton import (
+    flow_automaton,
+    response_condition,
+    startup_condition,
+)
+
+
+def automata_pair():
+    base = flow_automaton()
+    source = time_of_conditions(base, [response_condition(), startup_condition()])
+    target = time_of_conditions(base, [startup_condition()], name="target")
+    return source, target
+
+
+class TestIdentityOnAState:
+    def test_contains_requires_matching_astate(self):
+        source, target = automata_pair()
+        mapping = InequalityMapping(source, target, lambda u, s: True)
+        s = source.initial("idle")
+        u_same = target.initial("idle")
+        assert mapping.contains(u_same, s)
+        u_other = u_same.with_astate("busy")
+        assert not mapping.contains(u_other, s)
+
+    def test_describe_failure_mentions_astate(self):
+        source, target = automata_pair()
+        mapping = InequalityMapping(source, target, lambda u, s: True)
+        s = source.initial("idle")
+        u = target.initial("idle").with_astate("busy")
+        assert "A-state" in mapping.describe_failure(u, s)
+
+
+class TestInequalityMapping:
+    def test_predicate_consulted(self):
+        source, target = automata_pair()
+        mapping = InequalityMapping(source, target, lambda u, s: False)
+        assert not mapping.contains(target.initial("idle"), source.initial("idle"))
+
+    def test_custom_explanation(self):
+        source, target = automata_pair()
+        mapping = InequalityMapping(
+            source, target, lambda u, s: False, explain=lambda u, s: "because"
+        )
+        assert (
+            mapping.describe_failure(target.initial("idle"), source.initial("idle"))
+            == "because"
+        )
+
+
+class TestProjectionMapping:
+    def test_identity_name_projection(self):
+        source, target = automata_pair()
+        mapping = ProjectionMapping(source, target)
+        assert mapping.contains(target.initial("idle"), source.initial("idle"))
+
+    def test_unknown_source_condition_rejected(self):
+        base = flow_automaton()
+        source = time_of_conditions(base, [response_condition()])
+        target = time_of_conditions(base, [startup_condition()], name="t")
+        with pytest.raises(Exception):
+            ProjectionMapping(source, target)
+
+    def test_renaming(self):
+        base = flow_automaton()
+        clone = TimingCondition.from_start("S2", Interval(2, 4), {"req"})
+        source = time_of_conditions(base, [startup_condition()])
+        target = time_of_conditions(base, [clone], name="t")
+        mapping = ProjectionMapping(source, target, name_map={"S2": "S"})
+        assert mapping.contains(target.initial("idle"), source.initial("idle"))
+
+    def test_prediction_mismatch_detected(self):
+        base = flow_automaton()
+        different = TimingCondition.from_start("S", Interval(1, 9), {"req"})
+        source = time_of_conditions(base, [startup_condition()])  # S = [2,4]
+        target = time_of_conditions(base, [different], name="t")
+        mapping = ProjectionMapping(source, target)
+        assert not mapping.contains(target.initial("idle"), source.initial("idle"))
+        assert "S" in mapping.describe_failure(
+            target.initial("idle"), source.initial("idle")
+        )
+
+
+class TestMappingChain:
+    def test_empty_chain_rejected(self):
+        with pytest.raises(MappingError):
+            MappingChain([])
+
+    def test_mismatched_chain_rejected(self):
+        source, target = automata_pair()
+        m1 = InequalityMapping(source, target, lambda u, s: True)
+        other = time_of_conditions(flow_automaton(), [response_condition()], name="x")
+        m2 = InequalityMapping(other, target, lambda u, s: True)
+        with pytest.raises(MappingError):
+            MappingChain([m1, m2])
+
+    def test_chain_endpoints(self):
+        source, target = automata_pair()
+        m1 = InequalityMapping(source, target, lambda u, s: True)
+        m2 = InequalityMapping(target, target, lambda u, s: True)
+        chain = MappingChain([m1, m2])
+        assert chain.source is source and chain.target is target
+        assert len(chain) == 2

@@ -1,0 +1,102 @@
+"""Lemmas 3.2/3.3: projection and lifting between executions of
+time(A, U) and timed (semi-)executions of (A, U)."""
+
+import random
+from fractions import Fraction as F
+
+import pytest
+
+from repro.errors import ExecutionError, TimingViolationError
+from repro.core.projection import lift, project, validate_run
+from repro.core.time_automaton import time_of_boundmap
+from repro.sim.scheduler import Simulator
+from repro.sim.strategies import UniformStrategy
+from repro.timed.satisfaction import find_boundmap_violation
+from repro.timed.timed_sequence import TimedSequence
+
+from tests.timed.test_conditions import pulse_timed
+
+
+def make_run(seed=0, steps=30):
+    timed = pulse_timed()
+    automaton = time_of_boundmap(timed)
+    run = Simulator(automaton, UniformStrategy(random.Random(seed))).run(max_steps=steps)
+    return timed, automaton, run
+
+
+class TestProject:
+    def test_projection_keeps_events(self):
+        _timed, _auto, run = make_run()
+        seq = project(run)
+        assert seq.events == run.events
+
+    def test_projection_maps_states(self):
+        _timed, _auto, run = make_run()
+        seq = project(run)
+        assert all(s in ("on", "off") for s in seq.states)
+
+    def test_projection_rejects_plain_states(self):
+        with pytest.raises(ExecutionError):
+            project(TimedSequence(("plain",), ()))
+
+    def test_lemma_3_2_part_2(self):
+        # project of a finite execution is a timed semi-execution.
+        for seed in range(6):
+            timed, _auto, run = make_run(seed)
+            seq = project(run)
+            assert find_boundmap_violation(timed, seq, semi=True) is None
+
+
+class TestLift:
+    def test_lemma_3_2_part_1_round_trip(self):
+        _timed, automaton, run = make_run(1)
+        seq = project(run)
+        lifted = lift(automaton, seq)
+        assert lifted == run  # the lifting is unique
+
+    def test_lift_rejects_non_semi_executions(self):
+        _timed, automaton, run = make_run(2)
+        seq = project(run)
+        squeezed = TimedSequence(
+            seq.states, [(ev.action, ev.time * F(1, 100)) for ev in seq.events]
+        )
+        with pytest.raises(TimingViolationError):
+            lift(automaton, squeezed)
+
+    def test_lift_rejects_late_events(self):
+        _timed, automaton, run = make_run(3)
+        seq = project(run)
+        if len(seq) == 0:
+            pytest.skip("empty run")
+        stretched = TimedSequence(
+            seq.states, [(ev.action, ev.time * 100) for ev in seq.events]
+        )
+        with pytest.raises(TimingViolationError):
+            lift(automaton, stretched)
+
+
+class TestValidateRun:
+    def test_simulated_runs_validate(self):
+        _timed, automaton, run = make_run(4)
+        validate_run(automaton, run)
+
+    def test_tampered_prediction_rejected(self):
+        _timed, automaton, run = make_run(5)
+        if len(run) < 2:
+            pytest.skip("run too short")
+        states = list(run.states)
+        bad = states[1]
+        from repro.core.time_state import Prediction, TimeState
+
+        states[1] = TimeState(bad.astate, bad.now, (Prediction(0, 999),) * len(bad.preds))
+        tampered = TimedSequence(tuple(states), run.events)
+        with pytest.raises(ExecutionError):
+            validate_run(automaton, tampered)
+
+    def test_non_start_rejected(self):
+        _timed, automaton, run = make_run(6)
+        if len(run) < 1:
+            pytest.skip("run too short")
+        suffix = TimedSequence(run.states[1:], run.events[1:])
+        with pytest.raises(ExecutionError):
+            validate_run(automaton, suffix)

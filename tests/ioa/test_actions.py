@@ -1,0 +1,109 @@
+"""Tests for actions and action signatures (Section 2.1)."""
+
+import pytest
+
+from repro.errors import SignatureError
+from repro.ioa.actions import Act, ActionSignature, Kind, act
+
+
+class TestAct:
+    def test_equality_by_value(self):
+        assert Act("SIGNAL", (1,)) == Act("SIGNAL", (1,))
+
+    def test_inequality_on_args(self):
+        assert Act("SIGNAL", (1,)) != Act("SIGNAL", (2,))
+
+    def test_inequality_on_name(self):
+        assert Act("TICK") != Act("TOCK")
+
+    def test_hashable(self):
+        assert len({Act("A"), Act("A"), Act("B")}) == 2
+
+    def test_act_helper(self):
+        assert act("SIGNAL", 3) == Act("SIGNAL", (3,))
+
+    def test_repr_without_args(self):
+        assert repr(Act("GRANT")) == "GRANT"
+
+    def test_repr_with_args(self):
+        assert repr(act("SIGNAL", 2)) == "SIGNAL(2)"
+
+    def test_ordering(self):
+        assert Act("A") < Act("B")
+
+
+class TestActionSignature:
+    def test_disjointness_enforced(self):
+        with pytest.raises(SignatureError):
+            ActionSignature(inputs={"a"}, outputs={"a"})
+
+    def test_disjointness_internal(self):
+        with pytest.raises(SignatureError):
+            ActionSignature(outputs={"a"}, internals={"a"})
+
+    def test_external(self):
+        sig = ActionSignature(inputs={"i"}, outputs={"o"}, internals={"n"})
+        assert sig.external == {"i", "o"}
+
+    def test_locally_controlled(self):
+        sig = ActionSignature(inputs={"i"}, outputs={"o"}, internals={"n"})
+        assert sig.locally_controlled == {"o", "n"}
+
+    def test_all_actions(self):
+        sig = ActionSignature(inputs={"i"}, outputs={"o"}, internals={"n"})
+        assert sig.all_actions == {"i", "o", "n"}
+
+    def test_kind_of(self):
+        sig = ActionSignature(inputs={"i"}, outputs={"o"}, internals={"n"})
+        assert sig.kind_of("i") == Kind.INPUT
+        assert sig.kind_of("o") == Kind.OUTPUT
+        assert sig.kind_of("n") == Kind.INTERNAL
+
+    def test_kind_of_unknown(self):
+        sig = ActionSignature(inputs={"i"})
+        with pytest.raises(SignatureError):
+            sig.kind_of("zzz")
+
+    def test_contains(self):
+        sig = ActionSignature(inputs={"i"})
+        assert sig.contains("i")
+        assert not sig.contains("o")
+
+    def test_is_external(self):
+        sig = ActionSignature(inputs={"i"}, outputs={"o"}, internals={"n"})
+        assert sig.is_external("i") and sig.is_external("o")
+        assert not sig.is_external("n")
+
+    def test_is_locally_controlled(self):
+        sig = ActionSignature(inputs={"i"}, outputs={"o"}, internals={"n"})
+        assert not sig.is_locally_controlled("i")
+        assert sig.is_locally_controlled("o") and sig.is_locally_controlled("n")
+
+    def test_hide_moves_outputs_to_internal(self):
+        sig = ActionSignature(outputs={"o1", "o2"})
+        hidden = sig.hide(["o1"])
+        assert hidden.outputs == {"o2"}
+        assert hidden.internals == {"o1"}
+
+    def test_hide_rejects_non_outputs(self):
+        sig = ActionSignature(inputs={"i"}, outputs={"o"})
+        with pytest.raises(SignatureError):
+            sig.hide(["i"])
+
+    def test_hide_preserves_inputs(self):
+        sig = ActionSignature(inputs={"i"}, outputs={"o"})
+        assert sig.hide(["o"]).inputs == {"i"}
+
+    def test_empty_signature(self):
+        sig = ActionSignature()
+        assert sig.all_actions == frozenset()
+
+    def test_sets_coerced_to_frozensets(self):
+        sig = ActionSignature(inputs=["i"], outputs=["o"])
+        assert isinstance(sig.inputs, frozenset)
+        assert isinstance(sig.outputs, frozenset)
+
+    def test_describe_mentions_all_kinds(self):
+        sig = ActionSignature(inputs={"i"}, outputs={"o"}, internals={"n"})
+        text = sig.describe()
+        assert "'i'" in text and "'o'" in text and "'n'" in text

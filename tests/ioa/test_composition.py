@@ -1,0 +1,147 @@
+"""Tests for composition and hiding (Section 2.1)."""
+
+import pytest
+
+from repro.errors import CompositionError
+from repro.ioa.actions import Kind
+from repro.ioa.composition import Composition, compose, hide
+from repro.ioa.guarded import ActionSpec, GuardedAutomaton
+from repro.ioa.partition import Partition
+
+
+def producer():
+    return GuardedAutomaton(
+        "producer",
+        [0],
+        [ActionSpec("emit", Kind.OUTPUT, effect=lambda n: n + 1)],
+        partition=Partition.from_pairs([("EMIT", ["emit"])]),
+    )
+
+
+def consumer():
+    return GuardedAutomaton(
+        "consumer",
+        [0],
+        [
+            ActionSpec("emit", Kind.INPUT, effect=lambda n: n + 1),
+            ActionSpec(
+                "ack",
+                Kind.OUTPUT,
+                precondition=lambda n: n > 0,
+                effect=lambda n: n - 1,
+            ),
+        ],
+        partition=Partition.from_pairs([("ACK", ["ack"])]),
+    )
+
+
+class TestComposition:
+    def test_empty_rejected(self):
+        with pytest.raises(CompositionError):
+            Composition([])
+
+    def test_shared_output_rejected(self):
+        with pytest.raises(CompositionError):
+            compose(producer(), producer())
+
+    def test_internal_sharing_rejected(self):
+        internal = GuardedAutomaton(
+            "internal", [0], [ActionSpec("emit", Kind.INTERNAL)]
+        )
+        with pytest.raises(CompositionError):
+            compose(producer(), internal)
+
+    def test_signature_output_wins_over_input(self):
+        comp = compose(producer(), consumer())
+        assert "emit" in comp.signature.outputs
+        assert "emit" not in comp.signature.inputs
+
+    def test_signature_ack_output(self):
+        comp = compose(producer(), consumer())
+        assert "ack" in comp.signature.outputs
+
+    def test_start_states_product(self):
+        comp = compose(producer(), consumer())
+        assert list(comp.start_states()) == [(0, 0)]
+
+    def test_shared_action_moves_both(self):
+        comp = compose(producer(), consumer())
+        assert list(comp.transitions((0, 0), "emit")) == [(1, 1)]
+
+    def test_private_action_moves_one(self):
+        comp = compose(producer(), consumer())
+        assert list(comp.transitions((2, 1), "ack")) == [(2, 0)]
+
+    def test_disabled_participant_blocks(self):
+        comp = compose(producer(), consumer())
+        assert not comp.is_enabled((0, 0), "ack")
+        assert list(comp.transitions((0, 0), "ack")) == []
+
+    def test_unknown_action(self):
+        comp = compose(producer(), consumer())
+        assert list(comp.transitions((0, 0), "zzz")) == []
+        assert not comp.is_enabled((0, 0), "zzz")
+
+    def test_partition_merged(self):
+        comp = compose(producer(), consumer())
+        assert set(comp.partition.names) == {"EMIT", "ACK"}
+
+    def test_partition_collision_rejected(self):
+        a = GuardedAutomaton(
+            "a", [0], [ActionSpec("x", Kind.OUTPUT)],
+            partition=Partition.from_pairs([("C", ["x"])]),
+        )
+        b = GuardedAutomaton(
+            "b", [0], [ActionSpec("y", Kind.OUTPUT)],
+            partition=Partition.from_pairs([("C", ["y"])]),
+        )
+        with pytest.raises(CompositionError):
+            compose(a, b)
+
+    def test_component_index(self):
+        comp = compose(producer(), consumer())
+        assert comp.component_index("producer") == 0
+        assert comp.component_index("consumer") == 1
+
+    def test_component_index_unknown(self):
+        comp = compose(producer(), consumer())
+        with pytest.raises(CompositionError):
+            comp.component_index("zzz")
+
+    def test_component_state(self):
+        comp = compose(producer(), consumer())
+        assert comp.component_state((5, 7), "consumer") == 7
+
+    def test_input_enabledness_of_composition(self):
+        # A composition of these two is closed: no inputs remain.
+        comp = compose(producer(), consumer())
+        assert comp.signature.inputs == frozenset()
+
+    def test_multiple_start_states_product(self):
+        a = GuardedAutomaton("a", [0, 1], [ActionSpec("x", Kind.OUTPUT)])
+        b = GuardedAutomaton("b", ["p"], [ActionSpec("y", Kind.OUTPUT)])
+        comp = compose(a, b)
+        assert set(comp.start_states()) == {(0, "p"), (1, "p")}
+
+
+class TestHiding:
+    def test_hide_changes_signature_only(self):
+        comp = compose(producer(), consumer())
+        hidden = hide(comp, ["emit"])
+        assert "emit" in hidden.signature.internals
+        assert list(hidden.transitions((0, 0), "emit")) == [(1, 1)]
+
+    def test_hide_preserves_partition(self):
+        comp = compose(producer(), consumer())
+        hidden = hide(comp, ["emit"])
+        assert set(hidden.partition.names) == {"EMIT", "ACK"}
+
+    def test_hide_preserves_start_states(self):
+        comp = compose(producer(), consumer())
+        assert list(hide(comp, ["emit"]).start_states()) == [(0, 0)]
+
+    def test_hidden_still_locally_controlled(self):
+        comp = compose(producer(), consumer())
+        hidden = hide(comp, ["emit"])
+        assert hidden.signature.is_locally_controlled("emit")
+        assert not hidden.signature.is_external("emit")

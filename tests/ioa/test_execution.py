@@ -1,0 +1,73 @@
+"""Tests for executions, schedules and behaviors."""
+
+import pytest
+
+from repro.errors import ExecutionError
+from repro.ioa.actions import Kind
+from repro.ioa.execution import Execution, validate_execution
+from repro.ioa.guarded import ActionSpec, GuardedAutomaton
+
+
+def upcounter():
+    return GuardedAutomaton(
+        "up",
+        [0],
+        [
+            ActionSpec("inc", Kind.OUTPUT, effect=lambda n: n + 1),
+            ActionSpec("noop", Kind.INTERNAL),
+        ],
+    )
+
+
+class TestExecution:
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ExecutionError):
+            Execution((0, 1), ())
+
+    def test_initial(self):
+        ex = Execution.initial(5)
+        assert ex.first_state == ex.last_state == 5
+        assert len(ex) == 0
+
+    def test_steps(self):
+        ex = Execution((0, 1, 2), ("inc", "inc"))
+        assert list(ex.steps()) == [(0, "inc", 1), (1, "inc", 2)]
+
+    def test_extend(self):
+        ex = Execution.initial(0).extend("inc", 1)
+        assert ex.states == (0, 1)
+        assert ex.actions == ("inc",)
+
+    def test_sched(self):
+        ex = Execution((0, 1, 1), ("inc", "noop"))
+        assert ex.sched() == ("inc", "noop")
+
+    def test_beh_drops_internals(self):
+        ex = Execution((0, 1, 1), ("inc", "noop"))
+        assert ex.beh(upcounter()) == ("inc",)
+
+    def test_prefix(self):
+        ex = Execution((0, 1, 2), ("inc", "inc"))
+        assert ex.prefix(1).states == (0, 1)
+
+    def test_prefix_out_of_range(self):
+        with pytest.raises(ExecutionError):
+            Execution.initial(0).prefix(1)
+
+    def test_validate_ok(self):
+        ex = Execution((0, 1, 1, 2), ("inc", "noop", "inc"))
+        validate_execution(upcounter(), ex)
+
+    def test_validate_bad_step(self):
+        ex = Execution((0, 5), ("inc",))
+        with pytest.raises(ExecutionError):
+            validate_execution(upcounter(), ex)
+
+    def test_validate_bad_start(self):
+        ex = Execution((3, 4), ("inc",))
+        with pytest.raises(ExecutionError):
+            validate_execution(upcounter(), ex)
+
+    def test_validate_fragment_allows_non_start(self):
+        ex = Execution((3, 4), ("inc",))
+        validate_execution(upcounter(), ex, require_start=False)

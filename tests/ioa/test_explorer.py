@@ -1,0 +1,79 @@
+"""Tests for reachability exploration and invariant checking."""
+
+import pytest
+
+from repro.ioa.actions import Kind
+from repro.ioa.explorer import check_invariant, explore
+from repro.ioa.guarded import ActionSpec, GuardedAutomaton
+
+
+def ring(size=5):
+    """A modular counter with `size` reachable states."""
+    return GuardedAutomaton(
+        "ring",
+        [0],
+        [ActionSpec("step", Kind.OUTPUT, effect=lambda n: (n + 1) % size)],
+    )
+
+
+class TestExplore:
+    def test_reaches_all_states(self):
+        result = explore(ring(5))
+        assert result.reachable == {0, 1, 2, 3, 4}
+        assert not result.truncated
+
+    def test_transition_count(self):
+        result = explore(ring(4))
+        assert result.transitions_explored == 4
+
+    def test_max_states_truncates(self):
+        result = explore(ring(100), max_states=10)
+        assert result.truncated
+        assert len(result.reachable) == 10
+
+    def test_max_depth_truncates(self):
+        result = explore(ring(100), max_depth=3)
+        assert result.truncated
+        assert result.reachable == {0, 1, 2, 3}
+
+    def test_path_to(self):
+        result = explore(ring(5))
+        path = result.path_to(3)
+        assert path.first_state == 0
+        assert path.last_state == 3
+        assert len(path) == 3
+
+    def test_path_to_unreached(self):
+        result = explore(ring(5), max_depth=1)
+        with pytest.raises(Exception):
+            result.path_to(4)
+
+
+class TestCheckInvariant:
+    def test_holds(self):
+        report = check_invariant(ring(5), lambda n: 0 <= n < 5)
+        assert report.holds
+        assert report.states_checked == 5
+
+    def test_violation_found_with_counterexample(self):
+        report = check_invariant(ring(5), lambda n: n != 3)
+        assert not report.holds
+        assert report.counterexample is not None
+        assert report.counterexample.last_state == 3
+
+    def test_counterexample_is_shortest(self):
+        report = check_invariant(ring(5), lambda n: n != 2)
+        assert len(report.counterexample) == 2
+
+    def test_start_state_violation(self):
+        report = check_invariant(ring(5), lambda n: n != 0)
+        assert not report.holds
+        assert len(report.counterexample) == 0
+
+    def test_truthiness(self):
+        assert check_invariant(ring(3), lambda n: True)
+        assert not check_invariant(ring(3), lambda n: False)
+
+    def test_truncation_reported(self):
+        report = check_invariant(ring(100), lambda n: True, max_states=5)
+        assert report.holds and report.truncated

@@ -1,0 +1,163 @@
+"""Tests for precondition/effect automata."""
+
+import pytest
+
+from repro.errors import AutomatonError, NotEnabledError
+from repro.ioa.actions import Kind
+from repro.ioa.guarded import ActionSpec, GuardedAutomaton
+from repro.ioa.partition import Partition
+
+
+def counter_automaton(limit=3):
+    """A counter: INC while below limit, RESET any time, PING input."""
+    return GuardedAutomaton(
+        name="counter",
+        start=[0],
+        specs=[
+            ActionSpec(
+                "INC",
+                Kind.OUTPUT,
+                precondition=lambda n: n < limit,
+                effect=lambda n: n + 1,
+            ),
+            ActionSpec("RESET", Kind.INTERNAL, effect=lambda _n: 0),
+            ActionSpec("PING", Kind.INPUT),
+        ],
+    )
+
+
+class TestActionSpec:
+    def test_input_with_precondition_rejected(self):
+        with pytest.raises(AutomatonError):
+            ActionSpec("a", Kind.INPUT, precondition=lambda s: True)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(AutomatonError):
+            ActionSpec("a", "bogus")
+
+    def test_effect_and_effects_mutually_exclusive(self):
+        with pytest.raises(AutomatonError):
+            ActionSpec(
+                "a",
+                Kind.OUTPUT,
+                effect=lambda s: s,
+                effects=lambda s: [s],
+            )
+
+    def test_default_effect_is_identity(self):
+        spec = ActionSpec("a", Kind.OUTPUT)
+        assert list(spec.successors(42)) == [42]
+
+    def test_nondeterministic_effects(self):
+        spec = ActionSpec("a", Kind.OUTPUT, effects=lambda s: [s + 1, s + 2])
+        assert list(spec.successors(0)) == [1, 2]
+
+
+class TestGuardedAutomaton:
+    def test_signature_built_from_specs(self):
+        auto = counter_automaton()
+        assert auto.signature.outputs == {"INC"}
+        assert auto.signature.internals == {"RESET"}
+        assert auto.signature.inputs == {"PING"}
+
+    def test_start_states(self):
+        assert list(counter_automaton().start_states()) == [0]
+
+    def test_no_start_states_rejected(self):
+        with pytest.raises(AutomatonError):
+            GuardedAutomaton("x", [], [])
+
+    def test_duplicate_specs_rejected(self):
+        with pytest.raises(AutomatonError):
+            GuardedAutomaton(
+                "x",
+                [0],
+                [ActionSpec("a", Kind.OUTPUT), ActionSpec("a", Kind.INTERNAL)],
+            )
+
+    def test_guard_respected(self):
+        auto = counter_automaton(limit=1)
+        assert auto.is_enabled(0, "INC")
+        assert not auto.is_enabled(1, "INC")
+
+    def test_effect_applied(self):
+        auto = counter_automaton()
+        assert list(auto.transitions(0, "INC")) == [1]
+
+    def test_inputs_always_enabled(self):
+        auto = counter_automaton()
+        for state in (0, 1, 2, 3):
+            assert auto.is_enabled(state, "PING")
+
+    def test_input_default_effect_identity(self):
+        auto = counter_automaton()
+        assert list(auto.transitions(2, "PING")) == [2]
+
+    def test_unknown_action_not_enabled(self):
+        auto = counter_automaton()
+        assert not auto.is_enabled(0, "ZZZ")
+        assert list(auto.transitions(0, "ZZZ")) == []
+
+    def test_enabled_actions(self):
+        auto = counter_automaton(limit=3)
+        assert set(auto.enabled_actions(0)) == {"INC", "RESET", "PING"}
+        assert set(auto.enabled_actions(3)) == {"RESET", "PING"}
+
+    def test_is_step(self):
+        auto = counter_automaton()
+        assert auto.is_step(0, "INC", 1)
+        assert not auto.is_step(0, "INC", 2)
+
+    def test_unique_transition(self):
+        auto = counter_automaton()
+        assert auto.unique_transition(0, "INC") == 1
+
+    def test_unique_transition_not_enabled(self):
+        auto = counter_automaton(limit=0)
+        with pytest.raises(NotEnabledError):
+            auto.unique_transition(0, "INC")
+
+    def test_unique_transition_nondeterministic(self):
+        auto = GuardedAutomaton(
+            "nd",
+            [0],
+            [ActionSpec("a", Kind.OUTPUT, effects=lambda s: [1, 2])],
+        )
+        with pytest.raises(AutomatonError):
+            auto.unique_transition(0, "a")
+
+    def test_default_partition_singletons(self):
+        auto = counter_automaton()
+        assert set(auto.partition.names) == {"'INC'", "'RESET'"}
+
+    def test_explicit_partition(self):
+        auto = GuardedAutomaton(
+            "p",
+            [0],
+            [ActionSpec("a", Kind.OUTPUT), ActionSpec("b", Kind.INTERNAL)],
+            partition=Partition.from_pairs([("AB", ["a", "b"])]),
+        )
+        assert auto.partition.names == ("AB",)
+
+    def test_partition_validated_against_signature(self):
+        with pytest.raises(Exception):
+            GuardedAutomaton(
+                "p",
+                [0],
+                [ActionSpec("a", Kind.OUTPUT)],
+                partition=Partition.from_pairs([("AB", ["a", "b"])]),
+            )
+
+    def test_validate_passes(self):
+        counter_automaton().validate()
+
+    def test_class_enabled(self):
+        auto = counter_automaton(limit=1)
+        inc_class = auto.partition.class_of("INC")
+        assert auto.class_enabled(0, inc_class)
+        assert not auto.class_enabled(1, inc_class)
+
+    def test_enabled_classes(self):
+        auto = counter_automaton(limit=0)
+        names = {c.name for c in auto.enabled_classes(0)}
+        assert names == {"'RESET'"}

@@ -1,0 +1,108 @@
+"""Tests for action renaming, including composing two renamed copies
+of the same automaton — the use case the operator exists for."""
+
+from fractions import Fraction as F
+
+import pytest
+
+from repro.errors import AutomatonError
+from repro.ioa.actions import Act, Kind
+from repro.ioa.composition import compose
+from repro.ioa.guarded import ActionSpec, GuardedAutomaton
+from repro.ioa.partition import Partition
+from repro.ioa.rename import rename_actions
+from repro.timed.boundmap import Boundmap, TimedAutomaton
+from repro.timed.interval import Interval
+
+
+def beeper():
+    return GuardedAutomaton(
+        "beeper",
+        [0],
+        [ActionSpec("beep", Kind.OUTPUT, effect=lambda n: n + 1)],
+        partition=Partition.from_pairs([("BEEP", ["beep"])]),
+    )
+
+
+class TestRenaming:
+    def test_signature_renamed(self):
+        renamed = rename_actions(beeper(), {"beep": "honk"})
+        assert renamed.signature.outputs == {"honk"}
+
+    def test_steps_through_new_names(self):
+        renamed = rename_actions(beeper(), {"beep": "honk"})
+        assert list(renamed.transitions(0, "honk")) == [1]
+        assert list(renamed.transitions(0, "beep")) == []
+        assert renamed.is_enabled(0, "honk")
+        assert not renamed.is_enabled(0, "beep")
+
+    def test_partition_actions_renamed(self):
+        renamed = rename_actions(beeper(), {"beep": "honk"})
+        assert renamed.partition["BEEP"].actions == {"honk"}
+
+    def test_class_renaming(self):
+        renamed = rename_actions(
+            beeper(), {"beep": "honk"}, class_map={"BEEP": "HONK"}
+        )
+        assert renamed.partition.names == ("HONK",)
+
+    def test_unknown_action_rejected(self):
+        with pytest.raises(AutomatonError):
+            rename_actions(beeper(), {"zzz": "honk"})
+
+    def test_unknown_class_rejected(self):
+        with pytest.raises(AutomatonError):
+            rename_actions(beeper(), {}, class_map={"ZZZ": "Y"})
+
+    def test_non_injective_rejected(self):
+        auto = GuardedAutomaton(
+            "two",
+            [0],
+            [ActionSpec("a", Kind.OUTPUT), ActionSpec("b", Kind.INTERNAL)],
+        )
+        with pytest.raises(AutomatonError):
+            rename_actions(auto, {"a": "b"})
+
+    def test_identity_renaming_is_transparent(self):
+        renamed = rename_actions(beeper(), {})
+        assert renamed.signature.outputs == {"beep"}
+        assert list(renamed.transitions(0, "beep")) == [1]
+
+    def test_start_states_preserved(self):
+        assert list(rename_actions(beeper(), {"beep": "honk"}).start_states()) == [0]
+
+
+class TestTwoCopies:
+    def test_compose_two_renamed_copies(self):
+        left = rename_actions(
+            beeper(), {"beep": Act("beep", (0,))}, class_map={"BEEP": "BEEP_0"},
+            name="beeper0",
+        )
+        right = rename_actions(
+            beeper(), {"beep": Act("beep", (1,))}, class_map={"BEEP": "BEEP_1"},
+            name="beeper1",
+        )
+        comp = compose(left, right)
+        assert comp.signature.outputs == {Act("beep", (0,)), Act("beep", (1,))}
+        assert list(comp.transitions((0, 0), Act("beep", (1,)))) == [(0, 1)]
+
+    def test_timed_automaton_over_renamed_composition(self):
+        left = rename_actions(
+            beeper(), {"beep": Act("beep", (0,))}, class_map={"BEEP": "BEEP_0"},
+            name="beeper0",
+        )
+        right = rename_actions(
+            beeper(), {"beep": Act("beep", (1,))}, class_map={"BEEP": "BEEP_1"},
+            name="beeper1",
+        )
+        comp = compose(left, right)
+        timed = TimedAutomaton(
+            comp,
+            Boundmap({"BEEP_0": Interval(1, 2), "BEEP_1": Interval(F(1, 2), 3)}),
+        )
+        from repro.zones import event_separation_bounds
+
+        bounds = event_separation_bounds(
+            timed, Act("beep", (0,)), occurrence=2, reset_on=[Act("beep", (0,))]
+        )
+        assert (bounds.lo, bounds.hi) == (1, 2)

@@ -1,0 +1,154 @@
+"""Tests for untimed possibilities mappings — the classical substrate
+the paper's timed mappings extend — including randomized validation of
+the soundness implication (mapping ⇒ schedule inclusion)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ioa.actions import ActionSignature
+from repro.ioa.simulations import (
+    check_possibilities_mapping,
+    schedule_inclusion,
+    schedules_up_to,
+)
+from repro.ioa.table import TableAutomaton
+
+
+def table(name, steps, start="s0", actions=None):
+    acts = actions or {a for (_s, a, _t) in steps}
+    return TableAutomaton(
+        name, ActionSignature(outputs=frozenset(acts)), [start], steps
+    )
+
+
+def identity_mapping(state):
+    return frozenset([state])
+
+
+class TestChecker:
+    def test_identity_on_same_automaton(self):
+        auto = table("m", [("s0", "a", "s1"), ("s1", "b", "s0")])
+        outcome = check_possibilities_mapping(auto, auto, identity_mapping)
+        assert outcome.ok and outcome.pairs_checked > 0
+
+    def test_superset_target_passes(self):
+        small = table("small", [("s0", "a", "s1")], actions={"a", "b"})
+        big = table("big", [("s0", "a", "s1"), ("s1", "b", "s0")])
+        assert check_possibilities_mapping(small, big, identity_mapping).ok
+
+    def test_missing_target_step_fails(self):
+        big = table("big", [("s0", "a", "s1"), ("s1", "b", "s0")])
+        small = table("small", [("s0", "a", "s1")], actions={"a", "b"})
+        outcome = check_possibilities_mapping(big, small, identity_mapping)
+        assert not outcome.ok
+        assert "step condition" in outcome.detail
+
+    def test_start_condition_fails(self):
+        a = table("a", [("s0", "a", "s1")])
+        b = TableAutomaton(
+            "b", ActionSignature(outputs=frozenset({"a"})), ["other"],
+            [("other", "a", "other")],
+        )
+        outcome = check_possibilities_mapping(a, b, identity_mapping)
+        assert not outcome.ok
+        assert "start condition" in outcome.detail
+
+    def test_quotient_mapping(self):
+        # A two-phase toggle maps onto a one-state loop: f(s) = {hub}.
+        toggle = table("toggle", [("s0", "a", "s1"), ("s1", "a", "s0")])
+        hub = TableAutomaton(
+            "hub", ActionSignature(outputs=frozenset({"a"})), ["h"],
+            [("h", "a", "h")],
+        )
+        outcome = check_possibilities_mapping(
+            toggle, hub, lambda _s: frozenset(["h"])
+        )
+        assert outcome.ok
+
+    def test_multivalued_image_any_witness_suffices(self):
+        a = table("a", [("s0", "a", "s1")])
+        b = TableAutomaton(
+            "b", ActionSignature(outputs=frozenset({"a"})), ["u0"],
+            [("u0", "a", "u1")],
+        )
+
+        def f(state):
+            return frozenset(["u0", "u1"]) if state == "s1" else frozenset(["u0"])
+
+        assert check_possibilities_mapping(a, b, f).ok
+
+    def test_unreachable_states_impose_nothing(self):
+        a = table("a", [("s0", "a", "s1"), ("zombie", "b", "zombie")],
+                  actions={"a", "b"})
+        b = table("b", [("s0", "a", "s1")], actions={"a", "b"})
+        # The zombie step has no counterpart in b, but it is unreachable.
+        assert check_possibilities_mapping(a, b, identity_mapping).ok
+
+
+class TestScheduleOracle:
+    def test_schedules_up_to(self):
+        auto = table("m", [("s0", "a", "s1"), ("s1", "b", "s0")])
+        scheds = schedules_up_to(auto, 2)
+        assert () in scheds and ("a",) in scheds and ("a", "b") in scheds
+        assert ("b",) not in scheds
+
+    def test_inclusion_counterexample(self):
+        big = table("big", [("s0", "a", "s1"), ("s1", "b", "s0")])
+        small = table("small", [("s0", "a", "s1")], actions={"a", "b"})
+        assert schedule_inclusion(big, small, 3) == ("a", "b")
+        assert schedule_inclusion(small, big, 3) is None
+
+
+def random_table(rng, n_states=3, n_actions=2, n_steps=5, name="rand"):
+    states = ["q{}".format(i) for i in range(n_states)]
+    actions = ["x{}".format(i) for i in range(n_actions)]
+    steps = set()
+    while len(steps) < n_steps:
+        steps.add(
+            (rng.choice(states), rng.choice(actions), rng.choice(states))
+        )
+    return TableAutomaton(
+        name,
+        ActionSignature(outputs=frozenset(actions)),
+        [states[0]],
+        sorted(steps),
+        states=states,
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_soundness_mapping_implies_schedule_inclusion(seed):
+    """Random A; random superset B.  The identity mapping passes the
+    checker, and brute force confirms schedule inclusion (the classical
+    soundness theorem, validated empirically)."""
+    rng = random.Random(seed)
+    a = random_table(rng, name="A")
+    extra = random_table(random.Random(seed + 1), name="extra")
+    b = TableAutomaton(
+        "B",
+        a.signature,
+        ["q0"],
+        sorted(set(a.all_steps()) | set(extra.all_steps())),
+    )
+    assert check_possibilities_mapping(a, b, identity_mapping).ok
+    assert schedule_inclusion(a, b, depth=4) is None
+
+
+@settings(max_examples=60, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_checker_rejects_only_when_it_should(seed):
+    """Random A; B = A minus one step.  If the checker rejects the
+    identity mapping, fine; if it accepts, schedule inclusion must
+    genuinely hold (the dropped step was unreachable or redundant)."""
+    rng = random.Random(seed)
+    a = random_table(rng, n_steps=6, name="A")
+    steps = sorted(a.all_steps())
+    dropped = steps[rng.randrange(len(steps))]
+    b = TableAutomaton("B", a.signature, ["q0"], [s for s in steps if s != dropped])
+    outcome = check_possibilities_mapping(a, b, identity_mapping)
+    if outcome.ok:
+        assert schedule_inclusion(a, b, depth=4) is None

@@ -1,0 +1,56 @@
+"""Tests for explicit-table automata."""
+
+import pytest
+
+from repro.errors import AutomatonError
+from repro.ioa.actions import ActionSignature
+from repro.ioa.table import TableAutomaton
+
+
+def toggle():
+    sig = ActionSignature(outputs={"flip"})
+    return TableAutomaton(
+        "toggle", sig, start=["off"], steps=[("off", "flip", "on"), ("on", "flip", "off")]
+    )
+
+
+class TestTableAutomaton:
+    def test_transitions(self):
+        auto = toggle()
+        assert list(auto.transitions("off", "flip")) == ["on"]
+
+    def test_round_trip(self):
+        auto = toggle()
+        assert auto.is_step("on", "flip", "off")
+
+    def test_unknown_action_rejected(self):
+        sig = ActionSignature(outputs={"flip"})
+        with pytest.raises(AutomatonError):
+            TableAutomaton("bad", sig, ["s"], [("s", "zzz", "s")])
+
+    def test_state_set_enforced(self):
+        sig = ActionSignature(outputs={"flip"})
+        with pytest.raises(AutomatonError):
+            TableAutomaton(
+                "bad", sig, ["s"], [("s", "flip", "t")], states=["s"]
+            )
+
+    def test_empty_start_rejected(self):
+        sig = ActionSignature(outputs={"flip"})
+        with pytest.raises(AutomatonError):
+            TableAutomaton("bad", sig, [], [])
+
+    def test_nondeterminism_supported(self):
+        sig = ActionSignature(outputs={"go"})
+        auto = TableAutomaton(
+            "nd", sig, ["s"], [("s", "go", "a"), ("s", "go", "b")]
+        )
+        assert set(auto.transitions("s", "go")) == {"a", "b"}
+
+    def test_all_steps(self):
+        auto = toggle()
+        assert set(auto.all_steps()) == {("off", "flip", "on"), ("on", "flip", "off")}
+
+    def test_states_mentioned(self):
+        auto = toggle()
+        assert auto.states_mentioned() == {"off", "on"}

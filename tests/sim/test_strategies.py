@@ -1,0 +1,127 @@
+"""Tests for scheduling strategies."""
+
+import math
+import random
+from fractions import Fraction as F
+
+import pytest
+
+from repro.sim.strategies import (
+    BiasedActionStrategy,
+    EagerStrategy,
+    ExtremalStrategy,
+    LazyStrategy,
+    UniformStrategy,
+)
+
+
+OPTIONS = [("a", 1, 3), ("b", 2, 5)]
+
+
+class TestUniform:
+    def test_time_within_window(self):
+        strategy = UniformStrategy(random.Random(0))
+        for _ in range(50):
+            action, t = strategy.choose(None, OPTIONS)
+            lo, hi = dict((a, (l, h)) for a, l, h in OPTIONS)[action]
+            assert lo <= t <= hi
+
+    def test_caps_unbounded_window(self):
+        strategy = UniformStrategy(random.Random(0), unbounded_extension=2)
+        for _ in range(20):
+            _a, t = strategy.choose(None, [("a", 1, math.inf)])
+            assert 1 <= t <= 3
+
+    def test_exact_arithmetic(self):
+        strategy = UniformStrategy(random.Random(0), quantum=F(1, 4))
+        _a, t = strategy.choose(None, [("a", F(1, 2), F(3, 2))])
+        assert isinstance(t, (int, F))
+
+    def test_degenerate_window(self):
+        strategy = UniformStrategy(random.Random(0))
+        assert strategy.choose(None, [("a", 2, 2)]) == ("a", 2)
+
+    def test_invalid_quantum(self):
+        with pytest.raises(ValueError):
+            UniformStrategy(random.Random(0), quantum=0)
+
+
+class TestEager:
+    def test_picks_latest_opening_window_at_its_lower_end(self):
+        strategy = EagerStrategy(random.Random(0))
+        for _ in range(10):
+            assert strategy.choose(None, OPTIONS) == ("b", 2)
+
+    def test_zero_progress_filler_pushed_to_window_end(self):
+        class StateAtZero:
+            now = 1
+
+        strategy = EagerStrategy(random.Random(0))
+        # The only option opens exactly at `now`: firing there forever
+        # would be a Zeno loop, so the strategy jumps to the window end.
+        assert strategy.choose(StateAtZero(), [("a", 1, 4)]) == ("a", 4)
+
+    def test_ties_broken_among_latest_openers(self):
+        strategy = EagerStrategy(random.Random(0))
+        options = [("a", 2, 3), ("b", 2, 5), ("c", 1, 9)]
+        seen = {strategy.choose(None, options) for _ in range(30)}
+        assert seen == {("a", 2), ("b", 2)}
+
+
+class TestLazy:
+    def test_always_latest(self):
+        strategy = LazyStrategy(random.Random(0))
+        action, t = strategy.choose(None, OPTIONS)
+        assert (action, t) == ("b", 5)
+
+    def test_caps_infinite(self):
+        strategy = LazyStrategy(random.Random(0), unbounded_extension=4)
+        action, t = strategy.choose(None, [("a", 1, math.inf)])
+        assert t == 5
+
+
+class TestExtremal:
+    def test_only_endpoints(self):
+        strategy = ExtremalStrategy(random.Random(0))
+        for _ in range(50):
+            action, t = strategy.choose(None, OPTIONS)
+            lo, hi = dict((a, (l, h)) for a, l, h in OPTIONS)[action]
+            assert t in (lo, hi)
+
+    def test_p_low_one_always_low(self):
+        strategy = ExtremalStrategy(random.Random(0), p_low=1.0)
+        for _ in range(20):
+            action, t = strategy.choose(None, OPTIONS)
+            lo, _hi = dict((a, (l, h)) for a, l, h in OPTIONS)[action]
+            assert t == lo
+
+
+class TestBiased:
+    def test_prefers_matching_actions(self):
+        inner = EagerStrategy(random.Random(0))
+        strategy = BiasedActionStrategy(inner, prefer=lambda a: a == "b")
+        action, _t = strategy.choose(None, OPTIONS)
+        assert action == "b"
+
+    def test_falls_back_when_nothing_matches(self):
+        inner = EagerStrategy(random.Random(0))
+        strategy = BiasedActionStrategy(inner, prefer=lambda a: a == "zzz")
+        action, t = strategy.choose(None, OPTIONS)
+        assert (action, t) == ("b", 2)
+
+
+class TestPickPost:
+    def test_single_post(self):
+        strategy = UniformStrategy(random.Random(0))
+        assert strategy.pick_post(["only"]) == "only"
+
+    def test_multiple_posts_chosen_among(self):
+        strategy = UniformStrategy(random.Random(0))
+        seen = {strategy.pick_post(["a", "b"]) for _ in range(20)}
+        assert seen == {"a", "b"}
+
+    def test_determinism_by_seed(self):
+        s1 = UniformStrategy(random.Random(42))
+        s2 = UniformStrategy(random.Random(42))
+        for _ in range(20):
+            assert s1.choose(None, OPTIONS) == s2.choose(None, OPTIONS)

@@ -1,0 +1,56 @@
+"""Tests for trace/batch helpers."""
+
+import random
+
+from repro.sim.scheduler import Simulator
+from repro.sim.strategies import UniformStrategy
+from repro.sim.trace import RunBatch, run_batch, timed_behavior_of_run
+from repro.core.time_automaton import time_of_boundmap
+
+from tests.timed.test_conditions import pulse_timed
+
+
+def test_timed_behavior_drops_internals():
+    timed = pulse_timed()
+    auto = time_of_boundmap(timed)
+    run = Simulator(auto, UniformStrategy(random.Random(0))).run(max_steps=20)
+    behavior = timed_behavior_of_run(timed.automaton, run)
+    # 'arm' is internal; only 'fire' (an output) appears.
+    assert all(ev.action == "fire" for ev in behavior)
+    assert len(behavior) > 0
+
+
+def test_run_batch_sizes():
+    auto = time_of_boundmap(pulse_timed())
+    batch = run_batch(
+        auto,
+        strategy_factory=lambda rng: UniformStrategy(rng),
+        seeds=range(5),
+        max_steps=15,
+    )
+    assert len(batch) == 5
+    assert len(batch.behaviors) == 5
+    assert batch.event_count() == sum(len(r) for r in batch.runs)
+
+
+def test_run_batch_reproducible():
+    auto = time_of_boundmap(pulse_timed())
+    make = lambda: run_batch(
+        auto,
+        strategy_factory=lambda rng: UniformStrategy(rng),
+        seeds=[1, 2],
+        max_steps=10,
+    )
+    assert make().runs == make().runs
+
+
+def test_run_batch_horizon_propagates():
+    auto = time_of_boundmap(pulse_timed())
+    batch = run_batch(
+        auto,
+        strategy_factory=lambda rng: UniformStrategy(rng),
+        seeds=[0],
+        max_steps=10_000,
+        horizon=10,
+    )
+    assert all(run.t_end <= 20 for run in batch.runs)

@@ -1,0 +1,71 @@
+"""Property-based testing of the heterogeneous chain hierarchy.
+
+For random per-stage intervals, the generalised Section 6 machinery
+must hold end to end: the hierarchy checks on simulated runs, the
+derived requirement is the Minkowski sum, and the zone engine confirms
+the bound tight.
+"""
+
+import random
+from fractions import Fraction as F
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.checker import check_chain_on_run
+from repro.sim.scheduler import Simulator
+from repro.sim.strategies import ExtremalStrategy, UniformStrategy
+from repro.systems.extensions.chain import EVENT, ChainSystem, partial_sum_interval
+from repro.timed.interval import Interval
+from repro.zones.analysis import event_separation_bounds
+
+
+@st.composite
+def stage_lists(draw):
+    count = draw(st.integers(min_value=1, max_value=3))
+    stages = []
+    for _ in range(count):
+        lo = draw(st.fractions(min_value=0, max_value=3, max_denominator=2))
+        width = draw(st.fractions(min_value=0, max_value=3, max_denominator=2))
+        hi = lo + width
+        if hi == 0:
+            hi = F(1, 2)
+        stages.append(Interval(lo, hi))
+    return stages
+
+
+@settings(max_examples=12, deadline=None)
+@given(stages=stage_lists(), seed=st.integers(min_value=0, max_value=1000))
+def test_hierarchy_holds_on_random_chains(stages, seed):
+    system = ChainSystem(stages, dummy_interval=Interval(F(1, 2), F(1)))
+    chain = system.hierarchy()
+    strategy = (
+        UniformStrategy(random.Random(seed))
+        if seed % 2
+        else ExtremalStrategy(random.Random(seed))
+    )
+    run = Simulator(system.algorithm, strategy).run(max_steps=50)
+    outcome = check_chain_on_run(chain, run)
+    assert outcome.ok, outcome.detail
+
+
+@settings(max_examples=12, deadline=None)
+@given(stages=stage_lists())
+def test_requirement_is_partial_sum(stages):
+    system = ChainSystem(stages)
+    assert system.requirement.interval == partial_sum_interval(stages, 0)
+
+
+@settings(max_examples=10, deadline=None)
+@given(stages=stage_lists())
+def test_end_to_end_bound_exact(stages):
+    system = ChainSystem(stages)
+    m = len(stages)
+    bounds = event_separation_bounds(
+        system.timed, EVENT(m), occurrence=1, reset_on=[EVENT(0)], max_nodes=30_000
+    )
+    expected = partial_sum_interval(stages, 0)
+    assert bounds.lo == expected.lo
+    assert bounds.hi == expected.hi
+    assert not bounds.lo_strict and not bounds.hi_strict

@@ -1,0 +1,71 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import _fraction, build_parser, main
+from fractions import Fraction as F
+
+
+class TestFractionParsing:
+    def test_integer(self):
+        assert _fraction("3") == 3
+
+    def test_slash(self):
+        assert _fraction("3/2") == F(3, 2)
+
+    def test_decimal(self):
+        assert _fraction("1.5") == F(3, 2)
+
+
+class TestCommands:
+    def test_rm_runs(self, capsys):
+        assert main(["rm", "--k", "1", "--seeds", "2", "--steps", "60"]) == 0
+        out = capsys.readouterr().out
+        assert "Theorem 4.4" in out and "yes" in out
+
+    def test_relay_runs(self, capsys):
+        assert main(["relay", "--n", "2", "--seeds", "2", "--steps", "60"]) == 0
+        out = capsys.readouterr().out
+        assert "Theorem 6.4" in out and "hierarchy" in out
+
+    def test_zones_rm(self, capsys):
+        assert main(["zones", "rm", "--k", "1"]) == 0
+        assert "tight" in capsys.readouterr().out
+
+    def test_zones_relay(self, capsys):
+        assert main(["zones", "relay", "--n", "2"]) == 0
+        assert "SIGNAL" in capsys.readouterr().out
+
+    def test_verify_holds(self, capsys):
+        assert main(["verify", "rm", "3", "7", "--k", "2"]) == 0
+        assert "verified" in capsys.readouterr().out
+
+    def test_verify_refuted_exit_code(self, capsys):
+        assert main(["verify", "rm", "3", "6", "--k", "2"]) == 1
+        assert "refuted" in capsys.readouterr().out
+
+    def test_timeline(self, capsys):
+        assert main(["timeline", "rm", "--steps", "5", "--k", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "START" in out and "TICK∈[" in out
+
+    def test_fischer_safe(self, capsys):
+        assert main(["fischer", "--a", "1", "--b", "2"]) == 0
+        assert "SAFE" in capsys.readouterr().out
+
+    def test_fischer_violable(self, capsys):
+        assert main(["fischer", "--a", "2", "--b", "1"]) == 1
+        assert "VIOLABLE" in capsys.readouterr().out
+
+    def test_fischer_bounded_critical_section(self, capsys):
+        assert main(["fischer", "--a", "3", "--b", "2", "--e", "1"]) == 0
+        assert "SAFE" in capsys.readouterr().out
+
+    def test_peterson(self, capsys):
+        assert main(["peterson", "--s1", "1", "--s2", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "holds" in out and "agreement: yes" in out
+
+    def test_parser_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])

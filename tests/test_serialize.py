@@ -1,0 +1,93 @@
+"""Round-trip tests for run serialisation."""
+
+import math
+import random
+from fractions import Fraction as F
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.projection import project, validate_run
+from repro.core.time_automaton import time_of_boundmap
+from repro.core.time_state import Prediction, TimeState
+from repro.ioa.actions import Act
+from repro.serialize import (
+    SerializationError,
+    decode_value,
+    encode_value,
+    run_from_json,
+    run_to_json,
+)
+from repro.sim.scheduler import Simulator
+from repro.sim.strategies import UniformStrategy
+from repro.testkit import random_system
+
+from tests.timed.test_conditions import pulse_timed
+
+
+class TestValueRoundTrips:
+    @pytest.mark.parametrize(
+        "value",
+        [
+            None,
+            0,
+            -3,
+            "state",
+            True,
+            False,
+            F(3, 7),
+            math.inf,
+            -math.inf,
+            1.25,
+            Act("SIGNAL", (2,)),
+            ("a", 1, (True, F(1, 2))),
+            Prediction(F(1, 2), math.inf),
+            TimeState("s", F(3), (Prediction(0, math.inf),)),
+            [1, "two", F(3)],
+        ],
+    )
+    def test_round_trip(self, value):
+        assert decode_value(encode_value(value)) == value
+
+    def test_bool_not_confused_with_int(self):
+        assert decode_value(encode_value(True)) is True
+        assert decode_value(encode_value(1)) == 1
+
+    def test_unsupported_type_rejected(self):
+        with pytest.raises(SerializationError):
+            encode_value(object())
+
+    def test_unknown_tag_rejected(self):
+        with pytest.raises(SerializationError):
+            decode_value({"__bogus__": 1})
+
+
+class TestRunRoundTrips:
+    def test_pulse_run(self):
+        automaton = time_of_boundmap(pulse_timed())
+        run = Simulator(automaton, UniformStrategy(random.Random(0))).run(max_steps=20)
+        restored = run_from_json(run_to_json(run))
+        assert restored == run
+        validate_run(automaton, restored)
+
+    def test_projected_sequence(self):
+        automaton = time_of_boundmap(pulse_timed())
+        run = Simulator(automaton, UniformStrategy(random.Random(1))).run(max_steps=15)
+        seq = project(run)
+        assert run_from_json(run_to_json(seq)) == seq
+
+    def test_indentation_option(self):
+        automaton = time_of_boundmap(pulse_timed())
+        run = Simulator(automaton, UniformStrategy(random.Random(2))).run(max_steps=3)
+        assert "\n" in run_to_json(run, indent=2)
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=5_000))
+    def test_random_system_runs_round_trip(self, seed):
+        system = random_system(random.Random(seed))
+        automaton = time_of_boundmap(system.timed)
+        run = Simulator(automaton, UniformStrategy(random.Random(seed + 1))).run(
+            max_steps=25
+        )
+        assert run_from_json(run_to_json(run)) == run

@@ -1,0 +1,76 @@
+"""Tests for boundmaps and timed automata."""
+
+import pytest
+
+from repro.errors import TimingConditionError
+from repro.ioa.actions import Kind
+from repro.ioa.guarded import ActionSpec, GuardedAutomaton
+from repro.ioa.partition import Partition
+from repro.timed.boundmap import Boundmap, TimedAutomaton
+from repro.timed.interval import Interval
+
+
+def two_class_automaton():
+    return GuardedAutomaton(
+        "two",
+        [0],
+        [
+            ActionSpec("a", Kind.OUTPUT, effect=lambda n: n + 1),
+            ActionSpec("b", Kind.INTERNAL),
+        ],
+        partition=Partition.from_pairs([("A", ["a"]), ("B", ["b"])]),
+    )
+
+
+class TestBoundmap:
+    def test_lookup(self):
+        bm = Boundmap({"A": Interval(1, 2)})
+        assert bm["A"] == Interval(1, 2)
+        assert bm.lower("A") == 1 and bm.upper("A") == 2
+
+    def test_missing_entry(self):
+        bm = Boundmap({})
+        with pytest.raises(TimingConditionError):
+            bm["A"]
+
+    def test_contains(self):
+        bm = Boundmap({"A": Interval(1, 2)})
+        assert "A" in bm and "B" not in bm
+
+    def test_extended(self):
+        bm = Boundmap({"A": Interval(1, 2)}).extended("B", Interval(0, 1))
+        assert bm["B"] == Interval(0, 1)
+
+    def test_extended_duplicate_rejected(self):
+        bm = Boundmap({"A": Interval(1, 2)})
+        with pytest.raises(TimingConditionError):
+            bm.extended("A", Interval(0, 1))
+
+    def test_validate_missing_class(self):
+        bm = Boundmap({"A": Interval(1, 2)})
+        with pytest.raises(TimingConditionError):
+            bm.validate_against(two_class_automaton())
+
+    def test_validate_extra_class(self):
+        bm = Boundmap(
+            {"A": Interval(1, 2), "B": Interval(1, 2), "C": Interval(1, 2)}
+        )
+        with pytest.raises(TimingConditionError):
+            bm.validate_against(two_class_automaton())
+
+
+class TestTimedAutomaton:
+    def test_construction_validates(self):
+        with pytest.raises(TimingConditionError):
+            TimedAutomaton(two_class_automaton(), Boundmap({"A": Interval(1, 2)}))
+
+    def test_class_interval(self):
+        bm = Boundmap({"A": Interval(1, 2), "B": Interval(0, 3)})
+        ta = TimedAutomaton(two_class_automaton(), bm)
+        cls = ta.automaton.partition["B"]
+        assert ta.class_interval(cls) == Interval(0, 3)
+
+    def test_classes(self):
+        bm = Boundmap({"A": Interval(1, 2), "B": Interval(0, 3)})
+        ta = TimedAutomaton(two_class_automaton(), bm)
+        assert [c.name for c in ta.classes()] == ["A", "B"]

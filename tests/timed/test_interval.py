@@ -1,0 +1,150 @@
+"""Tests (incl. property-based) for bound intervals."""
+
+import math
+from fractions import Fraction as F
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import TimingConditionError
+from repro.timed.interval import INFINITY, Interval, as_exact
+
+
+class TestValidation:
+    def test_infinite_lower_rejected(self):
+        with pytest.raises(TimingConditionError):
+            Interval(math.inf, math.inf)
+
+    def test_negative_lower_rejected(self):
+        with pytest.raises(TimingConditionError):
+            Interval(-1, 2)
+
+    def test_zero_upper_rejected(self):
+        with pytest.raises(TimingConditionError):
+            Interval(0, 0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(TimingConditionError):
+            Interval(3, 2)
+
+    def test_point_interval(self):
+        assert Interval.exactly(2).lo == Interval.exactly(2).hi == 2
+
+
+class TestConstructorsAndQueries:
+    def test_at_most(self):
+        iv = Interval.at_most(5)
+        assert iv.lo == 0 and iv.hi == 5
+
+    def test_at_least(self):
+        iv = Interval.at_least(3)
+        assert iv.lo == 3 and math.isinf(iv.hi)
+
+    def test_unbounded(self):
+        assert Interval.unbounded().is_trivial
+
+    def test_is_upper_bounded(self):
+        assert Interval(1, 2).is_upper_bounded
+        assert not Interval.at_least(1).is_upper_bounded
+
+    def test_width(self):
+        assert Interval(1, 3).width == 2
+        assert math.isinf(Interval.at_least(1).width)
+
+    def test_contains(self):
+        iv = Interval(1, 3)
+        assert 1 in iv and 3 in iv and 2 in iv
+        assert 0 not in iv and 4 not in iv
+
+    def test_contains_infinite_upper(self):
+        assert 10**9 in Interval.at_least(1)
+
+
+class TestArithmetic:
+    def test_minkowski_sum(self):
+        assert Interval(1, 2) + Interval(3, 4) == Interval(4, 6)
+
+    def test_sum_with_unbounded(self):
+        result = Interval(1, 2) + Interval.at_least(1)
+        assert result.lo == 2 and math.isinf(result.hi)
+
+    def test_shift(self):
+        assert Interval(1, 2).shift(3) == Interval(4, 5)
+
+    def test_shift_negative_rejected(self):
+        with pytest.raises(TimingConditionError):
+            Interval(1, 2).shift(-1)
+
+    def test_scale(self):
+        assert Interval(1, 2).scale(3) == Interval(3, 6)
+
+    def test_scale_unbounded(self):
+        assert math.isinf(Interval.at_least(1).scale(2).hi)
+
+    def test_scale_rejects_non_positive(self):
+        with pytest.raises(TimingConditionError):
+            Interval(1, 2).scale(0)
+
+    def test_intersect(self):
+        assert Interval(1, 5).intersect(Interval(3, 7)) == Interval(3, 5)
+
+    def test_intersect_empty_raises(self):
+        with pytest.raises(TimingConditionError):
+            Interval(1, 2).intersect(Interval(3, 4))
+
+    def test_widen(self):
+        assert Interval(2, 3).widen(1) == Interval(1, 4)
+
+    def test_widen_clamps_at_zero(self):
+        assert Interval(1, 3).widen(5).lo == 0
+
+
+class TestAsExact:
+    def test_int_passthrough(self):
+        assert as_exact(3) == 3 and isinstance(as_exact(3), int)
+
+    def test_fraction_passthrough(self):
+        assert as_exact(F(1, 3)) == F(1, 3)
+
+    def test_float_converted(self):
+        assert as_exact(0.5) == F(1, 2)
+
+    def test_inf_preserved(self):
+        assert math.isinf(as_exact(INFINITY))
+
+
+small = st.fractions(min_value=0, max_value=20, max_denominator=8)
+
+
+@given(small, small, small, small)
+def test_minkowski_sum_contains_pointwise_sums(a, b, c, d):
+    lo1, hi1 = min(a, b), max(a, b)
+    lo2, hi2 = min(c, d), max(c, d)
+    if hi1 == 0 or hi2 == 0:
+        return
+    i1, i2 = Interval(lo1, hi1), Interval(lo2, hi2)
+    total = i1 + i2
+    assert (lo1 + lo2) in total and (hi1 + hi2) in total
+
+
+@given(small, small, st.integers(min_value=1, max_value=5))
+def test_scale_matches_repeated_sum(a, b, k):
+    lo, hi = min(a, b), max(a, b)
+    if hi == 0:
+        return
+    iv = Interval(lo, hi)
+    total = iv
+    for _ in range(k - 1):
+        total = total + iv
+    assert iv.scale(k) == total
+
+
+@given(small, small, small)
+def test_contains_monotone_under_widen(a, b, slack):
+    lo, hi = min(a, b), max(a, b)
+    if hi == 0:
+        return
+    iv = Interval(lo, hi)
+    wide = iv.widen(slack)
+    assert wide.lo <= iv.lo and wide.hi >= iv.hi

@@ -1,0 +1,197 @@
+"""Clause-by-clause tests of Definitions 2.1, 2.2 and 3.1."""
+
+from fractions import Fraction as F
+
+import pytest
+
+from repro.timed.conditions import TimingCondition
+from repro.timed.interval import Interval
+from repro.timed.satisfaction import (
+    find_boundmap_violation,
+    find_condition_violation,
+    satisfies,
+    satisfies_all,
+    semi_satisfies,
+    semi_satisfies_all,
+)
+from repro.timed.timed_sequence import TimedSequence
+
+from tests.timed.test_conditions import pulse_timed
+
+
+def seq(states, events):
+    return TimedSequence(tuple(states), tuple(events))
+
+
+def start_cond(lo, hi, disabling=()):
+    """Measured from the start state to the next 'g'."""
+    return TimingCondition.build(
+        "U",
+        Interval(lo, hi),
+        actions={"g"},
+        start_states=lambda s: True,
+        disabling=set(disabling),
+    )
+
+
+def step_cond(lo, hi, disabling=()):
+    """Measured from every 'req' step to the next 'g'."""
+    return TimingCondition.build(
+        "U",
+        Interval(lo, hi),
+        actions={"g"},
+        step_predicate=lambda pre, a, post: a == "req",
+        disabling=set(disabling),
+    )
+
+
+class TestUpperBoundFromStart:
+    def test_on_time_satisfies(self):
+        assert satisfies(seq(["s", "t"], [("g", 3)]), start_cond(0, 3))
+
+    def test_late_violates(self):
+        violation = find_condition_violation(
+            seq(["s", "t"], [("g", 4)]), start_cond(0, 3)
+        )
+        assert violation is not None and violation.clause == "upper"
+
+    def test_missing_violates_strictly(self):
+        assert not satisfies(seq(["s", "t"], [("x", 1)]), start_cond(0, 3))
+
+    def test_missing_excused_in_semi_before_deadline(self):
+        assert semi_satisfies(seq(["s", "t"], [("x", 1)]), start_cond(0, 3))
+
+    def test_missing_not_excused_in_semi_after_deadline(self):
+        assert not semi_satisfies(seq(["s", "t"], [("x", 5)]), start_cond(0, 3))
+
+    def test_disabling_state_discharges_upper(self):
+        s = seq(["s", "dead"], [("x", 1)])
+        assert satisfies(s, start_cond(0, 3, disabling={"dead"}))
+
+    def test_late_disabling_still_violates(self):
+        s = seq(["s", "dead"], [("x", 9)])
+        assert not satisfies(s, start_cond(0, 3, disabling={"dead"}))
+
+    def test_infinite_upper_imposes_nothing(self):
+        s = seq(["s", "t", "u"], [("x", 100), ("y", 200)])
+        assert satisfies(s, start_cond(0, float("inf")))
+
+
+class TestLowerBoundFromStart:
+    def test_early_pi_violates(self):
+        violation = find_condition_violation(
+            seq(["s", "t"], [("g", 1)]), start_cond(2, 10)
+        )
+        assert violation is not None and violation.clause == "lower"
+
+    def test_exactly_at_lower_is_fine(self):
+        assert satisfies(seq(["s", "t"], [("g", 2)]), start_cond(2, 10))
+
+    def test_early_pi_excused_by_intervening_disabling(self):
+        s = seq(["s", "dead", "t"], [("x", F(1, 2)), ("g", 1)])
+        assert satisfies(s, start_cond(2, 10, disabling={"dead"}))
+
+    def test_disabling_at_pi_index_itself_does_not_excuse(self):
+        # The disabling state must come strictly before the Π event.
+        s = seq(["s", "dead"], [("g", 1)])
+        assert not satisfies(s, start_cond(2, 10, disabling={"dead"}))
+
+    def test_semi_lower_bound_identical(self):
+        s = seq(["s", "t"], [("g", 1)])
+        assert not semi_satisfies(s, start_cond(2, 10))
+
+
+class TestStepTriggers:
+    def test_gap_measured_from_trigger(self):
+        s = seq(["a", "b", "c"], [("req", 5), ("g", 6)])
+        assert satisfies(s, step_cond(1, 2))
+
+    def test_upper_from_trigger_violated(self):
+        s = seq(["a", "b", "c"], [("req", 5), ("g", 9)])
+        violation = find_condition_violation(s, step_cond(1, 2))
+        assert violation is not None
+        assert violation.clause == "upper" and violation.origin_index == 1
+
+    def test_lower_from_trigger_violated(self):
+        s = seq(["a", "b", "c"], [("req", 5), ("g", F(11, 2))])
+        violation = find_condition_violation(s, step_cond(1, 2))
+        assert violation is not None and violation.clause == "lower"
+
+    def test_multiple_triggers_each_checked(self):
+        s = seq(
+            ["a", "b", "c", "d", "e"],
+            [("req", 1), ("g", 2), ("req", 10), ("g", 14)],
+        )
+        assert not satisfies(s, step_cond(1, 2))
+
+    def test_pre_trigger_pi_ignored(self):
+        # a 'g' before any trigger imposes nothing
+        s = seq(["a", "b"], [("g", F(1, 4))])
+        assert satisfies(s, step_cond(1, 2))
+
+    def test_semi_excuses_pending_trigger(self):
+        s = seq(["a", "b"], [("req", 5)])
+        assert not satisfies(s, step_cond(1, 2))
+        assert semi_satisfies(s, step_cond(1, 2))
+
+
+class TestAllHelpers:
+    def test_satisfies_all_returns_first_violation(self):
+        bad = start_cond(2, 10)
+        good = start_cond(0, 10)
+        violation = satisfies_all(seq(["s", "t"], [("g", 1)]), [good, bad])
+        assert violation is not None and violation.condition == "U"
+
+    def test_satisfies_all_none_when_ok(self):
+        assert satisfies_all(seq(["s", "t"], [("g", 3)]), [start_cond(0, 3)]) is None
+
+    def test_semi_satisfies_all(self):
+        pending = seq(["s", "t"], [("x", 1)])
+        assert semi_satisfies_all(pending, [start_cond(0, 3)]) is None
+
+
+class TestDefinition21Direct:
+    """Definition 2.1 on the pulse automaton (FIRE ↦ [1,2], ARM ↦ [0,5])."""
+
+    def _seq(self, *events_and_states):
+        states = ["on"]
+        events = []
+        for action, time, state in events_and_states:
+            events.append((action, time))
+            states.append(state)
+        return seq(states, events)
+
+    def test_valid_cycle(self):
+        # Every finite prefix of this always-live system leaves some
+        # obligation pending (cf. Lemma 4.2), so use the semi reading.
+        s = self._seq(("fire", 1, "off"), ("arm", 3, "on"), ("fire", 5, "off"))
+        assert find_boundmap_violation(pulse_timed(), s, semi=True) is None
+
+    def test_fire_too_early(self):
+        s = self._seq(("fire", F(1, 2), "off"))
+        violation = find_boundmap_violation(pulse_timed(), s)
+        assert violation is not None and violation.clause == "lower"
+        assert violation.condition == "FIRE"
+
+    def test_fire_too_late(self):
+        s = self._seq(("fire", 3, "off"))
+        violation = find_boundmap_violation(pulse_timed(), s)
+        assert violation is not None and violation.clause == "upper"
+
+    def test_fire_missing_strict(self):
+        s = self._seq()
+        assert find_boundmap_violation(pulse_timed(), s) is not None
+
+    def test_fire_missing_semi_excused(self):
+        s = self._seq()
+        assert find_boundmap_violation(pulse_timed(), s, semi=True) is None
+
+    def test_lower_bound_restarts_after_re_enable(self):
+        # fire at 1, arm at 3 (FIRE re-enabled at 3), next fire must be >= 4
+        s = self._seq(("fire", 1, "off"), ("arm", 3, "on"), ("fire", F(7, 2), "off"))
+        violation = find_boundmap_violation(pulse_timed(), s)
+        assert violation is not None and violation.clause == "lower"
+
+    def test_arm_zero_lower_bound(self):
+        s = self._seq(("fire", 1, "off"), ("arm", 1, "on"), ("fire", 2, "off"))
+        assert find_boundmap_violation(pulse_timed(), s, semi=True) is None

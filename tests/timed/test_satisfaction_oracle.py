@@ -1,0 +1,140 @@
+"""Oracle testing of the satisfaction checkers.
+
+The reference implementations below transcribe Definitions 2.2 and 3.1
+literally — nested quantifiers, no early exits, no cleverness — and are
+obviously correct by inspection.  Hypothesis then drives both them and
+the optimised checkers over randomly generated timed sequences and
+conditions; any disagreement is a bug in the optimised code.
+"""
+
+import math
+import random
+from fractions import Fraction as F
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.timed.conditions import TimingCondition
+from repro.timed.interval import INFINITY, Interval
+from repro.timed.satisfaction import find_condition_violation
+from repro.timed.timed_sequence import TimedSequence
+
+
+def reference_satisfies(seq, cond, semi):
+    """Definitions 2.2 / 3.1, transcribed clause by clause."""
+    n = len(seq)
+
+    def upper_from(i, t_i):
+        # 1(a)/1(b): ∃ j > i with t_j ≤ t_i + b_u and (π_j ∈ Π or s_j ∈ S)
+        if not cond.interval.is_upper_bounded:
+            return True
+        witnesses = [
+            j
+            for j in range(i + 1, n + 1)
+            if seq.time(j) <= t_i + cond.upper
+            and (cond.in_pi(seq.action(j)) or cond.disables(seq.state(j)))
+        ]
+        if witnesses:
+            return True
+        if semi and seq.t_end <= t_i + cond.upper:
+            return True
+        return False
+
+    def lower_from(i, t_i):
+        # 2(a)/2(b): ∀ j > i with t_j < t_i + b_l and π_j ∈ Π,
+        #            ∃ k, i < k < j, with s_k ∈ S
+        for j in range(i + 1, n + 1):
+            if seq.time(j) < t_i + cond.lower and cond.in_pi(seq.action(j)):
+                if not any(cond.disables(seq.state(k)) for k in range(i + 1, j)):
+                    return False
+        return True
+
+    if cond.starts(seq.state(0)):
+        if not upper_from(0, 0) or not lower_from(0, 0):
+            return False
+    for i in range(1, n + 1):
+        if cond.triggers(seq.state(i - 1), seq.action(i), seq.state(i)):
+            if not upper_from(i, seq.time(i)) or not lower_from(i, seq.time(i)):
+                return False
+    return True
+
+
+# ----------------------------------------------------------------------
+# Random sequences and conditions over a tiny alphabet
+# ----------------------------------------------------------------------
+
+ACTIONS = ["a", "b", "g"]
+STATES = ["s", "t", "dead"]
+
+times = st.fractions(min_value=0, max_value=8, max_denominator=4)
+
+
+@st.composite
+def timed_sequences(draw):
+    length = draw(st.integers(min_value=0, max_value=7))
+    states = [draw(st.sampled_from(STATES)) for _ in range(length + 1)]
+    raw_times = sorted(draw(st.lists(times, min_size=length, max_size=length)))
+    events = [
+        (draw(st.sampled_from(ACTIONS)), raw_times[i]) for i in range(length)
+    ]
+    return TimedSequence(tuple(states), tuple(events))
+
+
+@st.composite
+def conditions(draw):
+    lo = draw(times)
+    if draw(st.booleans()):
+        hi = INFINITY
+    else:
+        hi = lo + draw(times)
+        if hi == 0:
+            hi = F(1, 2)
+    pi = draw(st.sets(st.sampled_from(ACTIONS), min_size=1, max_size=2))
+    trigger_actions = draw(st.sets(st.sampled_from(ACTIONS), max_size=2))
+    use_start = draw(st.booleans())
+    disabling = draw(st.sets(st.sampled_from(["dead"]), max_size=1))
+    start_states = set(STATES) - disabling if use_start else None
+    return TimingCondition.build(
+        "U",
+        Interval(lo, hi),
+        actions=pi,
+        start_states=start_states,
+        step_predicate=lambda pre, action, post, ts=frozenset(trigger_actions), d=frozenset(disabling): (
+            action in ts and post not in d
+        ),
+        disabling=disabling,
+    )
+
+
+@settings(max_examples=300, deadline=None)
+@given(seq=timed_sequences(), cond=conditions(), semi=st.booleans())
+def test_checker_agrees_with_reference(seq, cond, semi):
+    optimised = find_condition_violation(seq, cond, semi=semi) is None
+    reference = reference_satisfies(seq, cond, semi=semi)
+    assert optimised == reference, "seq={!r} semi={!r}".format(seq, semi)
+
+
+@settings(max_examples=100, deadline=None)
+@given(seq=timed_sequences(), cond=conditions())
+def test_semi_is_weaker_than_strict(seq, cond):
+    """Definition 3.1 only adds escape clauses: strict satisfaction
+    implies semi-satisfaction."""
+    if find_condition_violation(seq, cond, semi=False) is None:
+        assert find_condition_violation(seq, cond, semi=True) is None
+
+
+@settings(max_examples=100, deadline=None)
+@given(seq=timed_sequences(), cond=conditions())
+def test_prefix_monotonicity_of_violations(seq, cond):
+    """A strict lower-bound violation in a prefix persists in every
+    extension (lower bounds are safety properties)."""
+    violation = find_condition_violation(seq, cond, semi=True)
+    if violation is None or violation.clause != "lower":
+        return
+    for cut in range(len(seq) + 1):
+        prefix = seq.prefix(cut)
+        prefix_violation = find_condition_violation(prefix, cond, semi=True)
+        if prefix_violation is not None:
+            break
+    else:
+        raise AssertionError("violation vanished from every prefix")

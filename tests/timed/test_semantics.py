@@ -1,0 +1,93 @@
+"""Lemma 2.1 / Corollary 2.2: the direct boundmap reading of timed
+executions agrees with the cond(C) timing-condition reading — on valid
+executions, on perturbed (invalid) ones, and on randomized families."""
+
+import random
+from fractions import Fraction as F
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.projection import project
+from repro.core.time_automaton import time_of_boundmap
+from repro.sim.scheduler import Simulator
+from repro.sim.strategies import UniformStrategy
+from repro.timed.semantics import check_lemma_2_1, timed_execution_violation
+from repro.timed.timed_sequence import TimedSequence
+
+from tests.timed.test_conditions import pulse_timed
+
+
+def simulated_projection(seed, steps=30):
+    ta = pulse_timed()
+    automaton = time_of_boundmap(ta)
+    run = Simulator(automaton, UniformStrategy(random.Random(seed))).run(max_steps=steps)
+    return ta, project(run)
+
+
+class TestAgreementOnValidRuns:
+    def test_simulated_runs_accepted_by_both(self):
+        for seed in range(10):
+            ta, seq = simulated_projection(seed)
+            report = check_lemma_2_1(ta, seq, semi=True)
+            assert report.agree
+            assert report.accepted
+
+    def test_strict_check_agrees_even_when_rejecting(self):
+        # A finite prefix of a live system strictly violates clause 1 in
+        # both readings simultaneously.
+        ta, seq = simulated_projection(3)
+        report = check_lemma_2_1(ta, seq, semi=False)
+        assert report.agree
+
+
+class TestAgreementOnPerturbedRuns:
+    def _perturb(self, seq, factor):
+        events = [(ev.action, ev.time * factor) for ev in seq.events]
+        return TimedSequence(seq.states, events)
+
+    def test_compressed_times(self):
+        # Compressing time violates lower bounds in both readings.
+        ta, seq = simulated_projection(1)
+        squeezed = self._perturb(seq, F(1, 10))
+        report = check_lemma_2_1(ta, squeezed, semi=True)
+        assert report.agree
+        assert not report.accepted
+
+    def test_stretched_times(self):
+        # Stretching time violates upper bounds in both readings.
+        ta, seq = simulated_projection(2)
+        stretched = self._perturb(seq, 10)
+        report = check_lemma_2_1(ta, stretched, semi=True)
+        assert report.agree
+        assert not report.accepted
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=50),
+        numerator=st.integers(min_value=1, max_value=40),
+        semi=st.booleans(),
+    )
+    def test_random_scalings_agree(self, seed, numerator, semi):
+        ta, seq = simulated_projection(seed, steps=15)
+        scaled = self._perturb(seq, F(numerator, 10))
+        report = check_lemma_2_1(ta, scaled, semi=semi)
+        assert report.agree
+
+
+class TestCorollaryEntryPoint:
+    def test_violation_surfaced(self):
+        ta, seq = simulated_projection(4)
+        squeezed = TimedSequence(
+            seq.states, [(ev.action, ev.time * F(1, 100)) for ev in seq.events]
+        )
+        assert timed_execution_violation(ta, squeezed) is not None
+
+    def test_none_for_infinite_like_prefixes(self):
+        # A strict timed execution needs all obligations discharged; our
+        # prefixes usually are not, so the strict verdict is a violation
+        # of the 'upper' clause with a missing witness — still agreeing.
+        ta, seq = simulated_projection(5)
+        violation = timed_execution_violation(ta, seq)
+        if violation is not None:
+            assert violation.clause == "upper"

@@ -1,0 +1,96 @@
+"""Exact zone bounds versus the paper's claimed intervals (E10)."""
+
+from fractions import Fraction as F
+
+import pytest
+
+from repro.errors import ZoneError
+from repro.systems.resource_manager import (
+    GRANT,
+    ResourceManagerParams,
+    resource_manager,
+)
+from repro.systems.signal_relay import SIGNAL, RelayParams, signal_relay
+from repro.timed.interval import Interval
+from repro.zones.analysis import absolute_event_bounds, event_separation_bounds
+
+from tests.timed.test_conditions import pulse_timed
+
+
+class TestResourceManagerExact:
+    @pytest.mark.parametrize(
+        "k,c1,c2,l",
+        [
+            (1, F(2), F(3), F(1)),
+            (2, F(2), F(3), F(1)),
+            (3, F(2), F(2), F(1)),
+            (2, F(5), F(7), F(2)),
+        ],
+    )
+    def test_first_grant_tight(self, k, c1, c2, l):
+        params = ResourceManagerParams(k=k, c1=c1, c2=c2, l=l)
+        bounds = absolute_event_bounds(resource_manager(params), GRANT)
+        assert bounds.tight(params.first_grant_interval)
+
+    @pytest.mark.parametrize(
+        "k,c1,c2,l",
+        [
+            (1, F(2), F(3), F(1)),
+            (2, F(2), F(3), F(1)),
+            (3, F(2), F(2), F(1)),
+        ],
+    )
+    def test_grant_gap_tight(self, k, c1, c2, l):
+        params = ResourceManagerParams(k=k, c1=c1, c2=c2, l=l)
+        bounds = event_separation_bounds(
+            resource_manager(params), GRANT, occurrence=2, reset_on=[GRANT]
+        )
+        assert bounds.tight(params.grant_gap_interval)
+
+    def test_later_gaps_same_interval(self):
+        params = ResourceManagerParams(k=2, c1=F(2), c2=F(3), l=F(1))
+        third = event_separation_bounds(
+            resource_manager(params), GRANT, occurrence=3, reset_on=[GRANT]
+        )
+        assert third.tight(params.grant_gap_interval)
+
+
+class TestRelayExact:
+    @pytest.mark.parametrize(
+        "n,d1,d2",
+        [(1, F(1), F(2)), (2, F(1), F(2)), (3, F(1), F(3)), (4, F(0), F(1))],
+    )
+    def test_end_to_end_tight(self, n, d1, d2):
+        params = RelayParams(n=n, d1=d1, d2=d2)
+        bounds = event_separation_bounds(
+            signal_relay(params), SIGNAL(n), occurrence=1, reset_on=[SIGNAL(0)]
+        )
+        assert bounds.tight(params.end_to_end_interval)
+
+    def test_absolute_signal_n_unbounded_above(self):
+        # SIGNAL_0 may be delayed arbitrarily ([0, ∞]), so the absolute
+        # time of SIGNAL_n is unbounded while the separation is not.
+        import math
+
+        params = RelayParams(n=2, d1=F(1), d2=F(2))
+        bounds = absolute_event_bounds(signal_relay(params), SIGNAL(2))
+        assert math.isinf(bounds.hi)
+        assert bounds.lo == 2 * params.d1
+
+
+class TestAPIErrors:
+    def test_occurrence_must_be_positive(self):
+        with pytest.raises(ZoneError):
+            event_separation_bounds(pulse_timed(), "fire", occurrence=0)
+
+    def test_unreachable_occurrence(self):
+        params = RelayParams(n=2, d1=F(1), d2=F(2))
+        with pytest.raises(ZoneError):
+            # SIGNAL_n fires once only.
+            event_separation_bounds(signal_relay(params), SIGNAL(2), occurrence=2)
+
+    def test_within_vs_tight(self):
+        params = ResourceManagerParams(k=2, c1=F(2), c2=F(3), l=F(1))
+        bounds = absolute_event_bounds(resource_manager(params), GRANT)
+        loose = Interval(1, 100)
+        assert bounds.within(loose) and not bounds.tight(loose)

@@ -1,0 +1,150 @@
+"""Tests (incl. property-based) for the DBM implementation."""
+
+import math
+from fractions import Fraction as F
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ZoneError
+from repro.zones.dbm import (
+    DBM,
+    INF_BOUND,
+    ZERO_BOUND,
+    bound_add,
+    le_bound,
+    lt_bound,
+)
+
+
+class TestBounds:
+    def test_ordering_strict_tighter(self):
+        assert lt_bound(5) < le_bound(5)
+
+    def test_ordering_by_value(self):
+        assert le_bound(4) < lt_bound(5)
+
+    def test_inf_largest(self):
+        assert le_bound(10**9) < INF_BOUND
+
+    def test_add(self):
+        assert bound_add(le_bound(2), le_bound(3)) == le_bound(5)
+
+    def test_add_strictness_propagates(self):
+        assert bound_add(le_bound(2), lt_bound(3)) == lt_bound(5)
+
+    def test_add_inf(self):
+        assert bound_add(INF_BOUND, le_bound(1)) == INF_BOUND
+
+
+class TestDBMBasics:
+    def test_zero_zone(self):
+        z = DBM.zero(2)
+        assert not z.is_empty()
+        assert z.clock_bounds(1) == ((F(0), 0), ZERO_BOUND)
+
+    def test_universe(self):
+        z = DBM.universe(2)
+        lo, hi = z.clock_bounds(1)
+        assert lo == (F(0), 0) and hi == INF_BOUND
+
+    def test_up_releases_upper(self):
+        z = DBM.zero(2).up()
+        _lo, hi = z.clock_bounds(1)
+        assert hi == INF_BOUND
+        # but differences stay: both started at 0
+        lo_d, hi_d = z.difference_bounds(1, 2)
+        assert lo_d == (F(0), 0) and hi_d == ZERO_BOUND
+
+    def test_constrain_and_bounds(self):
+        z = DBM.zero(1).up()
+        z.constrain(1, 0, le_bound(5))  # x1 <= 5
+        z.constrain(0, 1, le_bound(-2))  # x1 >= 2
+        lo, hi = z.clock_bounds(1)
+        assert lo == (F(2), 0) and hi == le_bound(5)
+
+    def test_empty_on_contradiction(self):
+        z = DBM.zero(1).up()
+        z.constrain(1, 0, le_bound(1))
+        z.constrain(0, 1, lt_bound(-1))  # x1 > 1 and x1 <= 1
+        assert z.is_empty()
+
+    def test_reset(self):
+        z = DBM.zero(2).up()
+        z.constrain(1, 0, le_bound(5))
+        z.constrain(0, 1, le_bound(-5))  # x1 = 5, x2 = x1
+        z.reset(1)
+        lo, hi = z.clock_bounds(1)
+        assert lo == (F(0), 0) and hi == ZERO_BOUND
+        # x2 keeps its value 5
+        lo2, hi2 = z.clock_bounds(2)
+        assert lo2 == (F(5), 0) and hi2 == le_bound(5)
+
+    def test_reset_out_of_range(self):
+        with pytest.raises(ZoneError):
+            DBM.zero(1).reset(2)
+
+    def test_copy_independent(self):
+        z = DBM.zero(1)
+        w = z.copy().up()
+        assert z.clock_bounds(1)[1] == ZERO_BOUND
+        assert w.clock_bounds(1)[1] == INF_BOUND
+
+    def test_key_hashable_and_equal(self):
+        assert DBM.zero(2).key() == DBM.zero(2).key()
+        assert hash(DBM.zero(2)) == hash(DBM.zero(2))
+        assert DBM.zero(2) == DBM.zero(2)
+
+    def test_contains_point(self):
+        z = DBM.zero(2).up()
+        z.constrain(1, 0, le_bound(3))
+        assert z.contains_point([2, 2])
+        assert not z.contains_point([4, 4])
+        assert not z.contains_point([1, 2])  # x1 - x2 must be 0
+
+    def test_contains_point_arity(self):
+        with pytest.raises(ZoneError):
+            DBM.zero(2).contains_point([1])
+
+
+values = st.fractions(min_value=0, max_value=10, max_denominator=4)
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.tuples(values, values), min_size=1, max_size=4))
+def test_delay_preserves_membership_shifted(points):
+    """If v ∈ Z then v + d ∈ up(Z) for any delay d >= 0."""
+    z = DBM.zero(2).up()
+    z.constrain(1, 0, le_bound(6))
+    z.constrain(2, 0, le_bound(6))
+    for a, b in points:
+        if z.contains_point([a, b]):
+            w = z.copy().up()
+            assert w.contains_point([a + 1, b + 1])
+
+
+@settings(max_examples=60, deadline=None)
+@given(values, values, values)
+def test_constrain_is_intersection(a, b, bound):
+    """A point is in the constrained zone iff it is in the original and
+    satisfies the constraint."""
+    z = DBM.zero(2).up()
+    z.constrain(1, 0, le_bound(8))
+    z.constrain(2, 0, le_bound(8))
+    w = z.copy().constrain(1, 2, le_bound(bound))
+    in_z = z.contains_point([a, b])
+    satisfies = (a - b) <= bound
+    assert w.contains_point([a, b]) == (in_z and satisfies)
+
+
+@settings(max_examples=40, deadline=None)
+@given(values, values)
+def test_reset_semantics(a, b):
+    """v ∈ Z implies v[x1 := 0] ∈ reset(Z, x1)."""
+    z = DBM.zero(2).up()
+    z.constrain(1, 0, le_bound(9))
+    z.constrain(2, 0, le_bound(9))
+    if z.contains_point([a, b]):
+        w = z.copy().reset(1)
+        assert w.contains_point([0, b])

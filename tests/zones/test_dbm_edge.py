@@ -1,0 +1,88 @@
+"""Edge cases of the DBM layer: difference bounds, idempotence, bound
+arithmetic corner cases."""
+
+import math
+from fractions import Fraction as F
+
+import pytest
+
+from repro.zones.dbm import (
+    DBM,
+    INF_BOUND,
+    ZERO_BOUND,
+    bound_add,
+    le_bound,
+    lt_bound,
+)
+
+
+class TestBoundArithmetic:
+    def test_add_both_inf(self):
+        assert bound_add(INF_BOUND, INF_BOUND) == INF_BOUND
+
+    def test_add_strict_strict(self):
+        assert bound_add(lt_bound(1), lt_bound(2)) == lt_bound(3)
+
+    def test_add_zero_identity(self):
+        assert bound_add(le_bound(5), ZERO_BOUND) == le_bound(5)
+
+    def test_negative_values(self):
+        assert bound_add(le_bound(-3), le_bound(1)) == le_bound(-2)
+
+    def test_fraction_values(self):
+        assert bound_add(le_bound(F(1, 3)), le_bound(F(1, 6))) == le_bound(F(1, 2))
+
+
+class TestDifferenceBounds:
+    def test_equal_clocks(self):
+        z = DBM.zero(2).up()
+        lo, hi = z.difference_bounds(1, 2)
+        assert lo == (F(0), 0) and hi == ZERO_BOUND
+
+    def test_offset_clocks(self):
+        z = DBM.zero(2).up()
+        z.constrain(1, 0, le_bound(5)).constrain(0, 1, le_bound(-5))  # x1 = 5
+        z.reset(2)  # x2 = 0 while x1 = 5
+        lo, hi = z.difference_bounds(1, 2)
+        assert lo == (F(5), 0) and hi == le_bound(5)
+
+    def test_unbounded_difference(self):
+        z = DBM.universe(2)
+        lo, hi = z.difference_bounds(1, 2)
+        assert lo[0] == -math.inf and hi == INF_BOUND
+
+
+class TestCanonicalisation:
+    def test_idempotent(self):
+        z = DBM.zero(3).up()
+        z.constrain(1, 0, le_bound(4))
+        first = z.key()
+        z.canonicalize()
+        assert z.key() == first
+
+    def test_transitive_tightening(self):
+        z = DBM.universe(2)
+        z.constrain(1, 2, le_bound(1))
+        z.constrain(2, 0, le_bound(2))
+        # x1 ≤ x2 + 1 ≤ 3 must be derived.
+        assert z.m[1][0] <= le_bound(3)
+
+    def test_empty_propagates(self):
+        z = DBM.zero(1)
+        z.constrain(0, 1, lt_bound(0))  # x1 > 0 but x1 = 0
+        assert z.is_empty()
+
+    def test_zero_clock_count(self):
+        z = DBM.zero(0)
+        assert not z.is_empty()
+        assert z.key() == ((ZERO_BOUND,),)
+
+
+class TestRepr:
+    def test_repr_readable(self):
+        z = DBM.zero(1)
+        text = repr(z)
+        assert "x1-x0" in text and "<=" in text
+
+    def test_universe_not_empty(self):
+        assert not DBM.universe(3).is_empty()

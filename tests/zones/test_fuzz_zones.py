@@ -1,0 +1,92 @@
+"""Property-based cross-validation of the zone engine.
+
+On random closed systems (repro.testkit), the zone engine's exact
+answers must bracket everything simulation observes, and for
+always-enabled classes the MMT semantics pins the consecutive-firing
+separation to exactly the class's bound interval.
+"""
+
+import random
+from fractions import Fraction as F
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.projection import project
+from repro.core.time_automaton import time_of_boundmap
+from repro.errors import ZoneError
+from repro.sim.scheduler import Simulator
+from repro.sim.strategies import ExtremalStrategy, UniformStrategy
+from repro.testkit import INC, random_system
+from repro.zones.analysis import event_separation_bounds, find_reachable_state
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=5_000))
+def test_anchor_gap_exactly_the_bound_interval(seed):
+    """Cell 0 is always enabled: Definition 2.1 makes every firing a
+    trigger for the next, so the exact separation interval equals the
+    boundmap interval — and is tight."""
+    system = random_system(random.Random(seed), n_cells=2, allow_unbounded=False)
+    anchor = system.cells[0]
+    try:
+        bounds = event_separation_bounds(
+            system.timed,
+            INC(0),
+            occurrence=2,
+            reset_on=[INC(0)],
+            max_nodes=60_000,
+        )
+    except ZoneError:
+        pytest.skip("zone graph too large for this seed")
+    assert bounds.lo == anchor.interval.lo, system.describe()
+    assert bounds.hi == anchor.interval.hi, system.describe()
+    assert not bounds.lo_strict and not bounds.hi_strict
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=5_000))
+def test_simulated_separations_within_zone_bounds(seed):
+    """Whatever separations simulation produces, the zone bounds cover
+    them (the zone answer is an over-approximation of any sample)."""
+    system = random_system(random.Random(seed), n_cells=2, allow_unbounded=False)
+    try:
+        bounds = event_separation_bounds(
+            system.timed, INC(0), occurrence=2, reset_on=[INC(0)], max_nodes=60_000
+        )
+    except ZoneError:
+        pytest.skip("zone graph too large for this seed")
+    automaton = time_of_boundmap(system.timed)
+    for run_seed in range(3):
+        strategy = (
+            UniformStrategy(random.Random(run_seed))
+            if run_seed % 2
+            else ExtremalStrategy(random.Random(run_seed))
+        )
+        run = Simulator(automaton, strategy).run(max_steps=40)
+        times = [ev.time for ev in project(run).events if ev.action == INC(0)]
+        for earlier, later in zip(times, times[1:]):
+            gap = later - earlier
+            assert bounds.lo <= gap <= bounds.hi, system.describe()
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=5_000))
+def test_simulated_states_are_zone_reachable(seed):
+    """Every A-state visited by a simulation must be reachable in the
+    zone graph (timed reachability over-approximates nothing)."""
+    system = random_system(random.Random(seed), n_cells=2, allow_unbounded=False)
+    automaton = time_of_boundmap(system.timed)
+    run = Simulator(automaton, UniformStrategy(random.Random(seed + 1))).run(
+        max_steps=25
+    )
+    visited = {state.astate for state in run.states}
+    for astate in visited:
+        try:
+            found = find_reachable_state(
+                system.timed, lambda s, target=astate: s == target, max_nodes=60_000
+            )
+        except ZoneError:
+            pytest.skip("zone graph too large for this seed")
+        assert found == astate, system.describe()

@@ -1,0 +1,49 @@
+"""Edge cases of the verifier's multi-occurrence bound merging."""
+
+import math
+from fractions import Fraction as F
+
+from repro.zones.analysis import SeparationBounds
+from repro.zones.verify import _merge
+
+
+def sb(lo, hi, lo_strict=False, hi_strict=False):
+    return SeparationBounds(lo, hi, lo_strict, hi_strict, nodes=1, transitions=1)
+
+
+class TestMerge:
+    def test_first_operand_passthrough(self):
+        b = sb(1, 2)
+        assert _merge(None, b) is b
+
+    def test_widening_both_ends(self):
+        merged = _merge(sb(2, 3), sb(1, 4))
+        assert merged.lo == 1 and merged.hi == 4
+
+    def test_inner_operand_ignored(self):
+        merged = _merge(sb(1, 4), sb(2, 3))
+        assert merged.lo == 1 and merged.hi == 4
+        assert not merged.lo_strict and not merged.hi_strict
+
+    def test_attained_end_wins_on_tie(self):
+        # Equal lo: one strict, one attained — the union attains it.
+        merged = _merge(sb(1, 4, lo_strict=True), sb(1, 3, lo_strict=False))
+        assert merged.lo == 1 and not merged.lo_strict
+        merged = _merge(sb(1, 4, hi_strict=False), sb(2, 4, hi_strict=True))
+        assert merged.hi == 4 and not merged.hi_strict
+
+    def test_strict_preserved_when_both_strict(self):
+        merged = _merge(sb(1, 4, hi_strict=True), sb(1, 4, hi_strict=True))
+        assert merged.hi_strict
+
+    def test_strictness_follows_the_wider_end(self):
+        merged = _merge(sb(1, 3), sb(1, 5, hi_strict=True))
+        assert merged.hi == 5 and merged.hi_strict
+
+    def test_infinite_upper_dominates(self):
+        merged = _merge(sb(1, 3), sb(2, math.inf))
+        assert math.isinf(merged.hi)
+
+    def test_node_counts_accumulate(self):
+        merged = _merge(sb(1, 2), sb(1, 2))
+        assert merged.nodes == 2 and merged.transitions == 2

@@ -1,0 +1,73 @@
+"""Tests for the MMT zone-graph explorer."""
+
+from fractions import Fraction as F
+
+import pytest
+
+from repro.errors import ZoneError
+from repro.ioa.actions import Kind
+from repro.ioa.guarded import ActionSpec, GuardedAutomaton
+from repro.ioa.partition import Partition
+from repro.timed.boundmap import Boundmap, TimedAutomaton
+from repro.timed.interval import Interval
+from repro.zones.zone_graph import Observer, explore_zone_graph
+
+from tests.timed.test_conditions import pulse_timed
+
+
+class TestExploration:
+    def test_pulse_graph_finite(self):
+        result = explore_zone_graph(
+            pulse_timed(), counted_actions={"fire": 3}
+        )
+        assert not result.truncated
+        assert result.nodes > 1
+
+    def test_firing_records_per_occurrence(self):
+        result = explore_zone_graph(
+            pulse_timed(),
+            observers=[Observer("t")],
+            counted_actions={"fire": 2},
+        )
+        assert ("fire", 1) in result.firings
+        assert ("fire", 2) in result.firings
+
+    def test_first_fire_bounds(self):
+        result = explore_zone_graph(
+            pulse_timed(),
+            observers=[Observer("t")],
+            counted_actions={"fire": 1},
+        )
+        record = result.firings[("fire", 1)]
+        assert record.lower["t"] == (F(1), 0)
+        assert record.upper["t"] == (F(2), 0)
+
+    def test_gap_observer(self):
+        result = explore_zone_graph(
+            pulse_timed(),
+            observers=[Observer("gap", frozenset(["fire"]))],
+            counted_actions={"fire": 2},
+        )
+        record = result.firings[("fire", 2)]
+        # arm in [0,5] then fire in [1,2] after re-enable: gap ∈ [1, 7]
+        assert record.lower["gap"] == (F(1), 0)
+        assert record.upper["gap"] == (F(7), 0)
+
+    def test_open_system_rejected(self):
+        listener = GuardedAutomaton(
+            "open", [0], [ActionSpec("in", Kind.INPUT)]
+        )
+        ta = TimedAutomaton(listener, Boundmap({}))
+        with pytest.raises(ZoneError):
+            explore_zone_graph(ta)
+
+    def test_truncation_flag(self):
+        result = explore_zone_graph(
+            pulse_timed(), counted_actions={"fire": 50}, max_nodes=5
+        )
+        assert result.truncated
+
+    def test_occurrence_limit_prunes(self):
+        shallow = explore_zone_graph(pulse_timed(), counted_actions={"fire": 1})
+        deep = explore_zone_graph(pulse_timed(), counted_actions={"fire": 4})
+        assert deep.nodes > shallow.nodes
