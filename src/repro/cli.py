@@ -10,7 +10,9 @@ writing code:
 - ``zones``    exact bounds for either system via zone reachability;
 - ``verify``   exact verdict for a user-claimed interval;
 - ``timeline`` print one run as a timeline with predictions;
-- ``fischer``  exact mutual-exclusion verdict for Fischer's protocol.
+- ``fischer``  exact mutual-exclusion verdict for Fischer's protocol;
+- ``lint``     static pre-flight diagnostics for a shipped system's
+               boundmaps, timing conditions and mapping hierarchies.
 """
 
 from __future__ import annotations
@@ -245,6 +247,38 @@ def cmd_peterson(args) -> int:
     return 0 if (bad is None and agree) else 1
 
 
+def cmd_lint(args) -> int:
+    from repro.lint import build_target, lint_system, system_names
+
+    names = list(system_names()) if args.system == "all" else [args.system]
+    reports = []
+    failed = False
+    for name in names:
+        report = lint_system(build_target(name), max_states=args.max_states)
+        reports.append((name, report))
+        failed = failed or report.fails(strict=args.strict)
+    if args.json:
+        import json as _json
+
+        payload = []
+        for name, report in reports:
+            payload.append(
+                {
+                    "system": name,
+                    "diagnostics": report.to_dicts(),
+                    "summary": report.summary(),
+                }
+            )
+        print(_json.dumps(payload if args.system == "all" else payload[0], indent=2))
+    else:
+        for name, report in reports:
+            print("lint {}:".format(name))
+            print(report.render())
+            print()
+        print("verdict: {}".format("FAIL" if failed else "ok"))
+    return 1 if failed else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -306,6 +340,26 @@ def build_parser() -> argparse.ArgumentParser:
     peterson.add_argument("--s2", type=_fraction, default=Fraction(2), help="step upper bound")
     peterson.add_argument("--max-nodes", type=int, default=400_000)
     peterson.set_defaults(func=cmd_peterson)
+
+    from repro.lint import DEFAULT_MAX_STATES, system_names
+
+    lint = sub.add_parser(
+        "lint", help="static pre-flight diagnostics for a shipped system"
+    )
+    lint.add_argument("system", choices=list(system_names()) + ["all"])
+    lint.add_argument(
+        "--json", action="store_true", help="machine-readable diagnostics"
+    )
+    lint.add_argument(
+        "--strict", action="store_true", help="treat warnings as failures"
+    )
+    lint.add_argument(
+        "--max-states",
+        type=int,
+        default=DEFAULT_MAX_STATES,
+        help="cap on bounded exploration per automaton",
+    )
+    lint.set_defaults(func=cmd_lint)
 
     return parser
 

@@ -57,6 +57,14 @@ class StrongPossibilitiesMapping(ABC):
         """True when ``target_state ∈ f(source_state)``, assuming the
         ``A``-components already agree."""
 
+    @property
+    def bases_agree(self) -> bool:
+        """True when source and target are built over the *same*
+        underlying ``A`` object — a necessary condition for the
+        identity-on-``A`` requirement (checked statically by lint rule
+        R010)."""
+        return self.source.base is self.target.base
+
     def contains(self, target_state: TimeState, source_state: TimeState) -> bool:
         """``target_state ∈ f(source_state)`` including the identity
         requirement on ``A``-state components."""

@@ -22,6 +22,7 @@ __all__ = [
     "MappingError",
     "MappingCheckError",
     "ZoneError",
+    "LintError",
 ]
 
 
@@ -88,3 +89,8 @@ class MappingCheckError(MappingError):
 
 class ZoneError(ReproError):
     """A DBM/zone operation was applied to incompatible operands."""
+
+
+class LintError(ReproError):
+    """The lint driver or registry was used incorrectly (unknown rule
+    id, unknown target, duplicate registration)."""

@@ -15,7 +15,13 @@ from repro.errors import AutomatonError
 from repro.ioa.automaton import IOAutomaton
 from repro.ioa.execution import Execution
 
-__all__ = ["ExplorationResult", "explore", "InvariantReport", "check_invariant"]
+__all__ = [
+    "ExplorationResult",
+    "explore",
+    "iter_steps",
+    "InvariantReport",
+    "check_invariant",
+]
 
 
 @dataclass
@@ -83,6 +89,19 @@ def explore(
                 result.parents[post] = (state, action)
                 frontier.append((post, depth + 1))
     return result
+
+
+def iter_steps(
+    automaton: IOAutomaton, states: Iterable[Hashable]
+) -> Iterable[Tuple[Hashable, Hashable, Hashable]]:
+    """All steps ``(pre, action, post)`` of ``automaton`` whose
+    pre-state lies in ``states`` — typically the reachable set of an
+    :func:`explore` call.  Used by invariant-style checks (e.g. the lint
+    pass) that quantify over reachable steps."""
+    for state in states:
+        for action in automaton.enabled_actions(state):
+            for post in automaton.transitions(state, action):
+                yield (state, action, post)
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,178 @@
+"""Diagnostics emitted by the static lint pass.
+
+A :class:`Diagnostic` is one finding: a rule id, a severity, a location
+string (``"rm/boundmap"``, ``"relay/conditions"``, …), a human-readable
+message and an optional fix hint.  A :class:`LintReport` is an ordered
+collection with the filtering and rendering helpers the CLI and the
+self-check tests need.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+__all__ = ["Severity", "Diagnostic", "LintReport"]
+
+
+class Severity(enum.IntEnum):
+    """Diagnostic severity, ordered so ``ERROR > WARNING > INFO``."""
+
+    INFO = 10
+    WARNING = 20
+    ERROR = 30
+
+    def __str__(self) -> str:  # "ERROR", not "Severity.ERROR"
+        return self.name
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One lint finding."""
+
+    rule: str
+    severity: Severity
+    location: str
+    message: str
+    hint: str = ""
+
+    def to_dict(self) -> Dict[str, str]:
+        """JSON-ready representation (severity as its name)."""
+        return {
+            "rule": self.rule,
+            "severity": self.severity.name,
+            "location": self.location,
+            "message": self.message,
+            "hint": self.hint,
+        }
+
+    def render(self) -> str:
+        """One human-readable line: ``ERROR R001 [loc] message (fix: …)``."""
+        line = "{:<7} {} [{}] {}".format(
+            str(self.severity), self.rule, self.location, self.message
+        )
+        if self.hint:
+            line += " (fix: {})".format(self.hint)
+        return line
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+class LintReport:
+    """An ordered, appendable collection of diagnostics."""
+
+    def __init__(self, diagnostics: Iterable[Diagnostic] = ()):
+        self._diagnostics: List[Diagnostic] = list(diagnostics)
+
+    # ------------------------------------------------------------------
+    # Collection protocol
+    # ------------------------------------------------------------------
+
+    def add(self, diagnostic: Diagnostic) -> None:
+        self._diagnostics.append(diagnostic)
+
+    def extend(self, diagnostics: Iterable[Diagnostic]) -> None:
+        self._diagnostics.extend(diagnostics)
+
+    def merged(self, other: "LintReport") -> "LintReport":
+        return LintReport(self._diagnostics + other._diagnostics)
+
+    @property
+    def diagnostics(self) -> Tuple[Diagnostic, ...]:
+        return tuple(self._diagnostics)
+
+    def __iter__(self) -> Iterator[Diagnostic]:
+        return iter(self._diagnostics)
+
+    def __len__(self) -> int:
+        return len(self._diagnostics)
+
+    def __bool__(self) -> bool:
+        """Truthy when the report is *clean of errors* (usable as a
+        pre-flight gate: ``if not lint_system(t): abort``)."""
+        return not self.has_errors
+
+    # ------------------------------------------------------------------
+    # Filtering
+    # ------------------------------------------------------------------
+
+    def by_severity(self, severity: Severity) -> Tuple[Diagnostic, ...]:
+        return tuple(d for d in self._diagnostics if d.severity is severity)
+
+    @property
+    def errors(self) -> Tuple[Diagnostic, ...]:
+        return self.by_severity(Severity.ERROR)
+
+    @property
+    def warnings(self) -> Tuple[Diagnostic, ...]:
+        return self.by_severity(Severity.WARNING)
+
+    @property
+    def infos(self) -> Tuple[Diagnostic, ...]:
+        return self.by_severity(Severity.INFO)
+
+    @property
+    def has_errors(self) -> bool:
+        return any(d.severity is Severity.ERROR for d in self._diagnostics)
+
+    def by_rule(self, rule_id: str) -> Tuple[Diagnostic, ...]:
+        return tuple(d for d in self._diagnostics if d.rule == rule_id)
+
+    def max_severity(self) -> Optional[Severity]:
+        if not self._diagnostics:
+            return None
+        return max(d.severity for d in self._diagnostics)
+
+    def fails(self, strict: bool = False) -> bool:
+        """Gate verdict: errors always fail; warnings fail under
+        ``strict``."""
+        worst = self.max_severity()
+        if worst is None:
+            return False
+        return worst >= (Severity.WARNING if strict else Severity.ERROR)
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+
+    def summary(self) -> Dict[str, int]:
+        counts = {"ERROR": 0, "WARNING": 0, "INFO": 0}
+        for diagnostic in self._diagnostics:
+            counts[diagnostic.severity.name] += 1
+        return counts
+
+    def render(self) -> str:
+        """Human-readable multi-line report (diagnostics, worst first,
+        then a one-line summary)."""
+        ordered = sorted(
+            self._diagnostics, key=lambda d: (-int(d.severity), d.rule, d.location)
+        )
+        lines = [d.render() for d in ordered]
+        counts = self.summary()
+        lines.append(
+            "{} diagnostic(s): {} error(s), {} warning(s), {} info".format(
+                len(self._diagnostics),
+                counts["ERROR"],
+                counts["WARNING"],
+                counts["INFO"],
+            )
+        )
+        return "\n".join(lines)
+
+    def to_dicts(self) -> List[Dict[str, str]]:
+        return [d.to_dict() for d in self._diagnostics]
+
+    def to_json(self, **extra) -> str:
+        payload = dict(extra)
+        payload["diagnostics"] = self.to_dicts()
+        payload["summary"] = self.summary()
+        return json.dumps(payload, indent=2, sort_keys=True)
+
+    def __repr__(self) -> str:
+        counts = self.summary()
+        return "<LintReport errors={} warnings={} infos={}>".format(
+            counts["ERROR"], counts["WARNING"], counts["INFO"]
+        )

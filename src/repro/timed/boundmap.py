@@ -14,7 +14,7 @@ from typing import Dict, Hashable, Iterable, Mapping, Optional, Tuple
 from repro.errors import TimingConditionError
 from repro.ioa.automaton import IOAutomaton
 from repro.ioa.partition import PartitionClass
-from repro.timed.interval import Interval
+from repro.timed.interval import Interval, Number
 
 __all__ = ["Boundmap", "TimedAutomaton"]
 
@@ -40,12 +40,13 @@ class Boundmap:
     def __contains__(self, class_name: str) -> bool:
         return class_name in self._bounds
 
-    def lower(self, class_name: str) -> object:
-        """``b_l(C)``."""
+    def lower(self, class_name: str) -> Number:
+        """``b_l(C)`` — an int, :class:`~fractions.Fraction` or float."""
         return self[class_name].lo
 
-    def upper(self, class_name: str) -> object:
-        """``b_u(C)``."""
+    def upper(self, class_name: str) -> Number:
+        """``b_u(C)`` — an int, :class:`~fractions.Fraction` or float
+        (``math.inf`` for unbounded classes)."""
         return self[class_name].hi
 
     def names(self) -> Tuple[str, ...]:
@@ -66,19 +67,31 @@ class Boundmap:
 
     def validate_against(self, automaton: IOAutomaton) -> None:
         """Every partition class must have a bound, and every bound must
-        name a partition class."""
-        names = set(automaton.partition.names)
-        bound_names = set(self._bounds)
-        missing = names - bound_names
-        extra = bound_names - names
-        if missing:
+        name a partition class (Definition 2.1) — the same check as lint
+        rules R001/R002, raised eagerly at construction time."""
+        # Imported lazily: repro.lint depends on this module.
+        from repro.lint.rules import coverage_diagnostics
+
+        diagnostics = coverage_diagnostics(
+            automaton.partition.names, self._bounds, location=automaton.name
+        )
+        if diagnostics:
             raise TimingConditionError(
-                "boundmap missing classes: {!r}".format(sorted(missing))
+                "boundmap does not cover the partition of {}:\n{}".format(
+                    automaton.name,
+                    "\n".join(d.render() for d in diagnostics),
+                )
             )
-        if extra:
-            raise TimingConditionError(
-                "boundmap names unknown classes: {!r}".format(sorted(extra))
-            )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Boundmap):
+            return NotImplemented
+        return self._bounds == other._bounds
+
+    def __hash__(self) -> int:
+        # Boundmaps are immutable in practice (every operation copies),
+        # and TimedAutomaton, a frozen dataclass, hashes its fields.
+        return hash(frozenset(self._bounds.items()))
 
     def __repr__(self) -> str:
         entries = ", ".join(

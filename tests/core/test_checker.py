@@ -181,3 +181,82 @@ class TestExhaustiveChecker:
             mapping, grid=F(1, 4), horizon=F(10), max_pairs=20
         )
         assert outcome.ok and "truncated" in outcome.detail
+
+
+class TestFailurePaths:
+    """raise_if_failed and the MappingCheckError diagnostics: both proof
+    obligations (enabledness, containment) must fail with a message a
+    user can act on, carrying the failing state pair."""
+
+    def test_raise_if_failed_returns_self_on_success(self):
+        _t, algorithm, _r, mapping = pulse_setup()
+        outcome = check_mapping_on_run(mapping, run_of(algorithm, 3))
+        assert outcome.raise_if_failed() is outcome
+
+    def test_raise_if_failed_carries_states(self):
+        from repro.core.checker import CheckOutcome
+
+        outcome = CheckOutcome(
+            False, 7, "boom", failing_source_state="s", failing_target_state="u"
+        )
+        with pytest.raises(MappingCheckError) as excinfo:
+            outcome.raise_if_failed()
+        assert str(excinfo.value) == "boom"
+        assert excinfo.value.source_state == "s"
+        assert excinfo.value.target_state == "u"
+
+    def _failing_enabledness_outcome(self):
+        timed = pulse_timed()
+        algorithm = time_of_boundmap(timed)
+        gap = TimingCondition.after_action("GAP", Interval(1, 3), "fire", {"fire"})
+        requirements = time_of_conditions(timed.automaton, [gap], name="req")
+        mapping = InequalityMapping(
+            algorithm, requirements, lambda u, s: True, name="too-tight"
+        )
+        for seed in range(10):
+            outcome = check_mapping_on_run(mapping, run_of(algorithm, seed, steps=60))
+            if not outcome.ok:
+                return outcome
+        pytest.fail("a 3-unit gap bound cannot hold on every run")
+
+    def test_enabledness_failure_message_and_states(self):
+        outcome = self._failing_enabledness_outcome()
+        assert "target step not enabled" in outcome.detail
+        assert "too-tight" in outcome.detail
+        assert outcome.failing_source_state is not None
+        assert outcome.failing_target_state is not None
+        with pytest.raises(MappingCheckError) as excinfo:
+            outcome.raise_if_failed()
+        assert "target step not enabled" in str(excinfo.value)
+        assert excinfo.value.source_state is outcome.failing_source_state
+        assert excinfo.value.target_state is outcome.failing_target_state
+
+    def test_containment_failure_message_uses_explain(self):
+        _t, algorithm, requirements, _m = pulse_setup()
+        bad = InequalityMapping(
+            algorithm,
+            requirements,
+            predicate=lambda u, s: s.now == 0,  # holds initially, fails later
+            name="decays",
+            explain=lambda u, s: "custom-explanation at Ct={!r}".format(s.now),
+        )
+        outcome = check_mapping_on_run(bad, run_of(algorithm, 0))
+        assert not outcome.ok
+        assert "containment fails" in outcome.detail
+        assert "custom-explanation" in outcome.detail
+        with pytest.raises(MappingCheckError) as excinfo:
+            outcome.raise_if_failed()
+        assert "custom-explanation" in str(excinfo.value)
+        assert excinfo.value.source_state is not None
+        assert excinfo.value.target_state is not None
+
+    def test_initial_condition_failure_states(self):
+        _t, algorithm, requirements, _m = pulse_setup()
+        bad = InequalityMapping(
+            algorithm, requirements, lambda u, s: False, name="never"
+        )
+        outcome = check_mapping_on_run(bad, run_of(algorithm, 0))
+        assert not outcome.ok and outcome.steps_checked == 0
+        assert "initial condition fails" in outcome.detail
+        assert outcome.failing_source_state is not None
+        assert outcome.failing_target_state is not None

@@ -1,0 +1,52 @@
+"""Tests for ``python -m repro lint`` (the CLI surface of the linter)."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+class TestLintCommand:
+    def test_rm_json_clean(self, capsys):
+        assert main(["lint", "rm", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["system"] == "rm"
+        assert payload["summary"].get("ERROR", 0) == 0
+
+    def test_relay_json_clean_of_errors(self, capsys):
+        assert main(["lint", "relay", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["summary"].get("ERROR", 0) == 0
+        # relay deliberately leaves SIGNAL_0 untimed — R005 warnings.
+        rules = {d["rule"] for d in payload["diagnostics"]}
+        assert rules <= {"R005"}
+
+    def test_relay_strict_fails_on_warnings(self, capsys):
+        assert main(["lint", "relay", "--strict"]) == 1
+        out = capsys.readouterr().out
+        assert "R005" in out and "FAIL" in out
+
+    def test_all_systems_clean(self, capsys):
+        assert main(["lint", "all"]) == 0
+        out = capsys.readouterr().out
+        assert "verdict: ok" in out
+
+    def test_all_json_is_a_list(self, capsys):
+        assert main(["lint", "all", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert isinstance(payload, list)
+        assert {entry["system"] for entry in payload} >= {"rm", "relay"}
+
+    def test_human_output_renders_rules_and_hints(self, capsys):
+        assert main(["lint", "relay"]) == 0
+        out = capsys.readouterr().out
+        assert "lint relay:" in out
+        assert "WARNING" in out and "R005" in out and "fix:" in out
+
+    def test_max_states_is_accepted(self, capsys):
+        assert main(["lint", "rm", "--max-states", "50"]) == 0
+
+    def test_unknown_system_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["lint", "no-such-system"])

@@ -1,0 +1,135 @@
+"""Tests for the Diagnostic/LintReport machinery and the rule registry."""
+
+import json
+
+import pytest
+
+from repro.errors import LintError
+from repro.lint.diagnostics import Diagnostic, LintReport, Severity
+from repro.lint.registry import all_rules, get_rule, rule, rules_for
+
+
+def diag(rule_id="R001", severity=Severity.ERROR, message="m"):
+    return Diagnostic(rule_id, severity, "loc", message, hint="h")
+
+
+class TestSeverity:
+    def test_ordering(self):
+        assert Severity.ERROR > Severity.WARNING > Severity.INFO
+
+    def test_str(self):
+        assert str(Severity.ERROR) == "ERROR"
+
+
+class TestDiagnostic:
+    def test_render_includes_all_parts(self):
+        rendered = diag().render()
+        assert "ERROR" in rendered and "R001" in rendered
+        assert "[loc]" in rendered and "m" in rendered and "(fix: h)" in rendered
+
+    def test_render_omits_empty_hint(self):
+        d = Diagnostic("R001", Severity.INFO, "loc", "m")
+        assert "fix:" not in d.render()
+
+    def test_to_dict(self):
+        assert diag().to_dict() == {
+            "rule": "R001",
+            "severity": "ERROR",
+            "location": "loc",
+            "message": "m",
+            "hint": "h",
+        }
+
+
+class TestLintReport:
+    def test_empty_report_is_clean(self):
+        report = LintReport()
+        assert len(report) == 0
+        assert not report.has_errors
+        assert report.max_severity() is None
+        assert not report.fails() and not report.fails(strict=True)
+        assert bool(report)
+
+    def test_error_report(self):
+        report = LintReport([diag()])
+        assert report.has_errors and report.fails()
+        assert not bool(report)
+        assert report.errors == (diag(),)
+
+    def test_warning_fails_only_in_strict(self):
+        report = LintReport([diag(severity=Severity.WARNING)])
+        assert not report.fails()
+        assert report.fails(strict=True)
+        assert report.max_severity() is Severity.WARNING
+
+    def test_filters(self):
+        report = LintReport(
+            [
+                diag("R001", Severity.ERROR),
+                diag("R002", Severity.WARNING),
+                diag("R001", Severity.INFO),
+            ]
+        )
+        assert len(report.by_rule("R001")) == 2
+        assert len(report.warnings) == 1 and len(report.infos) == 1
+        assert report.summary() == {"ERROR": 1, "WARNING": 1, "INFO": 1}
+
+    def test_render_orders_worst_first(self):
+        report = LintReport(
+            [diag("R002", Severity.INFO), diag("R001", Severity.ERROR)]
+        )
+        lines = report.render().splitlines()
+        assert lines[0].startswith("ERROR")
+        assert "2 diagnostic(s)" in lines[-1]
+
+    def test_merged_and_extend(self):
+        left = LintReport([diag("R001")])
+        right = LintReport([diag("R002")])
+        merged = left.merged(right)
+        assert len(merged) == 2 and len(left) == 1
+        left.extend(right)
+        assert len(left) == 2
+
+    def test_to_json(self):
+        payload = json.loads(LintReport([diag()]).to_json(system="rm"))
+        assert payload["system"] == "rm"
+        assert payload["summary"]["ERROR"] == 1
+        assert payload["diagnostics"][0]["rule"] == "R001"
+
+
+class TestRegistry:
+    def test_all_rules_sorted_and_complete(self):
+        ids = [r.id for r in all_rules()]
+        assert ids == sorted(ids)
+        expected = {
+            "R001", "R002", "R003", "R004", "R005", "R006", "R007",
+            "R008", "R009", "R010", "R011", "R012", "R013",
+        }
+        assert expected <= set(ids)
+
+    def test_rules_have_titles_and_paper_refs(self):
+        for registered in all_rules():
+            assert registered.title
+            assert registered.paper
+
+    def test_rules_for_target(self):
+        boundmap_ids = {r.id for r in rules_for("boundmap")}
+        assert {"R001", "R002", "R003", "R004"} <= boundmap_ids
+        assert "R010" not in boundmap_ids
+
+    def test_rules_for_unknown_target(self):
+        with pytest.raises(LintError):
+            rules_for("nonsense")
+
+    def test_get_rule(self):
+        assert get_rule("R001").id == "R001"
+        with pytest.raises(LintError):
+            get_rule("R999")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(LintError):
+            rule("R001", targets="boundmap", title="dup")(lambda ctx: [])
+
+    def test_unknown_target_rejected(self):
+        with pytest.raises(LintError):
+            rule("R998", targets="not-a-target", title="bad")(lambda ctx: [])

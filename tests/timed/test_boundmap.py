@@ -74,3 +74,51 @@ class TestTimedAutomaton:
         bm = Boundmap({"A": Interval(1, 2), "B": Interval(0, 3)})
         ta = TimedAutomaton(two_class_automaton(), bm)
         assert [c.name for c in ta.classes()] == ["A", "B"]
+
+
+class TestBoundmapEquality:
+    def test_eq(self):
+        assert Boundmap({"A": Interval(1, 2)}) == Boundmap({"A": Interval(1, 2)})
+
+    def test_neq_different_interval(self):
+        assert Boundmap({"A": Interval(1, 2)}) != Boundmap({"A": Interval(1, 3)})
+
+    def test_neq_different_classes(self):
+        assert Boundmap({"A": Interval(1, 2)}) != Boundmap({"B": Interval(1, 2)})
+
+    def test_neq_other_type(self):
+        assert Boundmap({"A": Interval(1, 2)}) != {"A": Interval(1, 2)}
+
+    def test_hash_consistent_with_eq(self):
+        assert hash(Boundmap({"A": Interval(1, 2)})) == hash(
+            Boundmap({"A": Interval(1, 2)})
+        )
+
+    def test_repr_round_trips_entries(self):
+        rendered = repr(Boundmap({"A": Interval(1, 2), "B": Interval(0, 3)}))
+        assert "'A'" in rendered and "'B'" in rendered and "[1, 2]" in rendered
+
+    def test_lower_upper_are_exact_numbers(self):
+        from fractions import Fraction
+
+        bm = Boundmap({"A": Interval(Fraction(1, 2), Fraction(3, 2))})
+        assert bm.lower("A") == Fraction(1, 2)
+        assert bm.upper("A") == Fraction(3, 2)
+        assert isinstance(bm.lower("A"), Fraction)
+
+
+class TestEagerValidation:
+    def test_construction_error_names_rule_and_class(self):
+        with pytest.raises(TimingConditionError) as excinfo:
+            TimedAutomaton(two_class_automaton(), Boundmap({"A": Interval(1, 2)}))
+        message = str(excinfo.value)
+        assert "R001" in message and "'B'" in message
+
+    def test_construction_error_reports_extra_class(self):
+        bm = Boundmap(
+            {"A": Interval(1, 2), "B": Interval(1, 2), "ZZZ": Interval(1, 2)}
+        )
+        with pytest.raises(TimingConditionError) as excinfo:
+            TimedAutomaton(two_class_automaton(), bm)
+        message = str(excinfo.value)
+        assert "R002" in message and "'ZZZ'" in message
