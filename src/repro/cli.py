@@ -279,6 +279,82 @@ def cmd_lint(args) -> int:
     return 1 if failed else 0
 
 
+def _perturb_budget_factory(args):
+    from repro.faults import Budget
+
+    def factory() -> Budget:
+        return Budget(
+            max_states=args.max_states,
+            max_steps=args.max_steps,
+            wall_time=args.wall_time,
+        )
+
+    return factory
+
+
+def cmd_perturb(args) -> int:
+    from repro.faults import build_perturb_target, perturb_names
+
+    names = list(perturb_names()) if args.system == "all" else [args.system]
+    factory = _perturb_budget_factory(args)
+    payload = []
+    failed = False
+    for name in names:
+        target = build_perturb_target(
+            name,
+            direction=args.direction,
+            mode=args.mode,
+            seeds=args.seeds,
+            steps=args.steps,
+        )
+        if args.epsilon is not None:
+            outcome = target.evaluate(args.epsilon, factory())
+            failed = failed or not outcome.ok
+            payload.append(
+                {
+                    "system": name,
+                    "direction": target.direction,
+                    "mode": target.mode,
+                    "epsilon": str(args.epsilon),
+                    "ok": outcome.ok,
+                    "conclusive": outcome.conclusive,
+                    "steps_checked": outcome.steps_checked,
+                    "exhausted_budget": outcome.exhausted_budget,
+                    "detail": outcome.detail,
+                }
+            )
+            if not args.json:
+                verdict = "ok" if outcome.ok else "FAIL"
+                if outcome.exhausted_budget:
+                    verdict += " (budget exhausted: partial)"
+                print(
+                    "{} [{} {} eps={}]: {} {}".format(
+                        name,
+                        target.direction,
+                        target.mode,
+                        args.epsilon,
+                        verdict,
+                        outcome.detail,
+                    ).rstrip()
+                )
+        else:
+            report = target.search(
+                resolution=args.resolution,
+                ceiling=args.ceiling,
+                budget_factory=factory,
+            )
+            payload.append(report.to_dict())
+            if not args.json:
+                print(report.render())
+    if args.json:
+        import json as _json
+
+        print(_json.dumps(payload if args.system == "all" else payload[0], indent=2))
+    # In search mode a BROKEN system is a *finding*, not a CLI failure;
+    # with an explicit --epsilon the exit code reports the verdict.
+    return 1 if (args.epsilon is not None and failed) else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -360,6 +436,66 @@ def build_parser() -> argparse.ArgumentParser:
         help="cap on bounded exploration per automaton",
     )
     lint.set_defaults(func=cmd_lint)
+
+    from repro.faults.perturb import DIRECTIONS, MODES
+    from repro.faults.targets import perturb_names
+
+    perturb = sub.add_parser(
+        "perturb",
+        help="fault-injection: how much clock drift do the proofs survive?",
+    )
+    perturb.add_argument("system", choices=list(perturb_names()) + ["all"])
+    group = perturb.add_mutually_exclusive_group()
+    group.add_argument(
+        "--epsilon",
+        type=_fraction,
+        default=None,
+        help="evaluate all checks at one exact drift ε (exit 1 on failure)",
+    )
+    group.add_argument(
+        "--search",
+        action="store_true",
+        help="binary-search the largest passing ε (the default)",
+    )
+    perturb.add_argument(
+        "--direction",
+        choices=list(DIRECTIONS),
+        default=None,
+        help="override the system's canonical stress direction",
+    )
+    perturb.add_argument(
+        "--mode",
+        choices=list(MODES),
+        default=None,
+        help="rate drift (scale) or offset jitter (shift)",
+    )
+    perturb.add_argument(
+        "--ceiling", type=_fraction, default=None, help="search cap on ε"
+    )
+    perturb.add_argument(
+        "--resolution",
+        type=_fraction,
+        default=Fraction(1, 64),
+        help="bracket width at which the search stops",
+    )
+    perturb.add_argument("--seeds", type=int, default=3, help="uniform-strategy seeds")
+    perturb.add_argument("--steps", type=int, default=80, help="events per run")
+    perturb.add_argument(
+        "--json", action="store_true", help="machine-readable report"
+    )
+    perturb.add_argument(
+        "--max-states", type=int, default=200_000,
+        help="budget: states/nodes per probe",
+    )
+    perturb.add_argument(
+        "--max-steps", type=int, default=2_000_000,
+        help="budget: steps per probe",
+    )
+    perturb.add_argument(
+        "--wall-time", type=_fraction, default=Fraction(60),
+        help="budget: seconds of wall time per probe",
+    )
+    perturb.set_defaults(func=cmd_perturb)
 
     return parser
 

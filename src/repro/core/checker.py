@@ -21,9 +21,12 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Hashable, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Hashable, List, Optional, Sequence, Tuple
 
 from repro.errors import MappingCheckError, TimingViolationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (faults uses core)
+    from repro.faults.budget import Budget
 from repro.timed.timed_sequence import TimedSequence
 from repro.core.discretize import discrete_options
 from repro.core.mappings import MappingChain, StrongPossibilitiesMapping
@@ -39,16 +42,32 @@ __all__ = [
 
 @dataclass(frozen=True)
 class CheckOutcome:
-    """The verdict of a mapping check."""
+    """The verdict of a mapping check.
+
+    ``exhausted_budget`` marks a *partial* verdict: a
+    :class:`~repro.faults.budget.Budget` ran out before the check
+    covered everything it was asked to.  Truthiness is unchanged —
+    ``bool(outcome)`` is ``outcome.ok``, i.e. "no violation found in
+    the portion checked" — so budget-guarded callers that need
+    certainty must additionally consult :attr:`conclusive`.
+    """
 
     ok: bool
     steps_checked: int
     detail: str = ""
     failing_source_state: Optional[TimeState] = None
     failing_target_state: Optional[TimeState] = None
+    exhausted_budget: bool = False
 
     def __bool__(self) -> bool:
         return self.ok
+
+    @property
+    def conclusive(self) -> bool:
+        """True when the verdict covers the whole requested check (no
+        budget exhaustion).  A failure is always conclusive: the
+        counterexample stands however little was explored."""
+        return not self.ok or not self.exhausted_budget
 
     def raise_if_failed(self) -> "CheckOutcome":
         """Raise :class:`MappingCheckError` when the check failed."""
@@ -118,20 +137,35 @@ def _witness_step(
     return next_witness, None
 
 
+def _budget_cut(steps: int) -> CheckOutcome:
+    return CheckOutcome(
+        True,
+        steps,
+        "budget exhausted after {} steps".format(steps),
+        exhausted_budget=True,
+    )
+
+
 def check_mapping_on_run(
-    mapping: StrongPossibilitiesMapping, run: TimedSequence
+    mapping: StrongPossibilitiesMapping,
+    run: TimedSequence,
+    budget: Optional["Budget"] = None,
 ) -> CheckOutcome:
     """Check a mapping along one execution of the source automaton.
 
     ``run`` must be a :class:`TimedSequence` whose states are
     :class:`TimeState` values of ``mapping.source`` (as produced by the
-    simulator).
+    simulator).  With a ``budget``, each step charges one unit; on
+    exhaustion the outcome so far is returned flagged
+    ``exhausted_budget``.
     """
     witness, failure = _initial_witness(mapping, run.first_state)
     if failure is not None:
         return failure
     steps = 0
     for _pre, event, post in run.triples():
+        if budget is not None and not budget.charge_step():
+            return _budget_cut(steps)
         witness, failure = _witness_step(
             mapping, witness, event.action, event.time, post, steps
         )
@@ -141,9 +175,14 @@ def check_mapping_on_run(
     return CheckOutcome(True, steps)
 
 
-def check_chain_on_run(chain: MappingChain, run: TimedSequence) -> CheckOutcome:
+def check_chain_on_run(
+    chain: MappingChain,
+    run: TimedSequence,
+    budget: Optional["Budget"] = None,
+) -> CheckOutcome:
     """Check every level of a mapping hierarchy in lockstep along one
-    execution of the chain's source automaton (paper Section 6.3)."""
+    execution of the chain's source automaton (paper Section 6.3).
+    Each (event, level) witness step charges one budget unit."""
     witnesses: List[TimeState] = []
     previous: TimeState = run.first_state
     for mapping in chain:
@@ -156,6 +195,8 @@ def check_chain_on_run(chain: MappingChain, run: TimedSequence) -> CheckOutcome:
     for _pre, event, post in run.triples():
         previous = post
         for level, mapping in enumerate(chain):
+            if budget is not None and not budget.charge_step():
+                return _budget_cut(steps)
             witness, failure = _witness_step(
                 mapping, witnesses[level], event.action, event.time, previous, steps
             )
@@ -172,6 +213,7 @@ def check_mapping_exhaustive(
     grid,
     horizon,
     max_pairs: int = 200_000,
+    budget: Optional["Budget"] = None,
 ) -> CheckOutcome:
     """Check a mapping on *every* execution of the source automaton
     whose event times are multiples of ``grid``, up to absolute time
@@ -189,6 +231,8 @@ def check_mapping_exhaustive(
             return failure
         pair = (source_start, witness)
         if pair not in seen:
+            if budget is not None and not budget.charge_state():
+                return _budget_cut(0)
             seen.add(pair)
             frontier.append(pair)
     steps = 0
@@ -196,6 +240,8 @@ def check_mapping_exhaustive(
         source_state, witness = frontier.popleft()
         for action, time in discrete_options(mapping.source, source_state, grid, horizon):
             for source_post in mapping.source.successors(source_state, action, time):
+                if budget is not None and not budget.charge_step():
+                    return _budget_cut(steps)
                 next_witness, failure = _witness_step(
                     mapping, witness, action, time, source_post, steps
                 )
@@ -211,6 +257,8 @@ def check_mapping_exhaustive(
                         steps,
                         "truncated at {} state pairs".format(max_pairs),
                     )
+                if budget is not None and not budget.charge_state():
+                    return _budget_cut(steps)
                 seen.add(pair)
                 frontier.append(pair)
     return CheckOutcome(True, steps, "exhaustive over grid={!r} horizon={!r}".format(grid, horizon))

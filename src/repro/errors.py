@@ -22,6 +22,7 @@ __all__ = [
     "MappingError",
     "MappingCheckError",
     "ZoneError",
+    "PerturbationError",
     "LintError",
 ]
 
@@ -69,7 +70,22 @@ class TimingViolationError(ReproError):
 class SchedulingDeadlockError(ReproError):
     """The simulator reached a state with a pending deadline but no
     schedulable action — the modelled system cannot satisfy its own
-    timing conditions from here."""
+    timing conditions from here.
+
+    Carries the blocking state, the name(s) of the expired condition or
+    class, and the missed deadline, so fault-injection failures (dropped
+    actions starving a deadline-bearing class, over-tightened bounds)
+    are diagnosable from the exception alone.
+    """
+
+    def __init__(self, message, *, state=None, condition=None, deadline=None):
+        super().__init__(message)
+        #: The time(A, U) state in which scheduling got stuck.
+        self.state = state
+        #: Name(s) of the condition/class whose deadline cannot be met.
+        self.condition = condition
+        #: The pending Lt deadline that no schedulable action can satisfy.
+        self.deadline = deadline
 
 
 class MappingError(ReproError):
@@ -89,6 +105,12 @@ class MappingCheckError(MappingError):
 
 class ZoneError(ReproError):
     """A DBM/zone operation was applied to incompatible operands."""
+
+
+class PerturbationError(ReproError):
+    """A perturbation collapsed a bound interval (or condition) into an
+    ill-formed one — e.g. tightening drove ``b_l`` past ``b_u``.  The
+    perturbed system has no well-formed timed semantics at this ε."""
 
 
 class LintError(ReproError):

@@ -1,0 +1,124 @@
+"""A cross-cutting resource budget for graceful degradation.
+
+Perturbed systems routinely blow up: a widened boundmap multiplies zone
+counts, a dropped action can make a simulator spin toward quiescence,
+and an over-tightened bound can make exhaustive checks explode before
+they fail.  A :class:`Budget` caps states, steps, and wall time across
+*all* the engines (``ioa.explorer``, ``sim.Simulator``, ``zones``), so
+a checker handed a budget always returns a partial result flagged
+``exhausted_budget`` instead of hanging or raising.
+
+The budget is *shared and sticky*: one object may be threaded through
+several engine calls, charges accumulate across them, and once any
+limit trips the budget stays exhausted (``renew`` makes a fresh one
+with the same limits for the next probe).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+__all__ = ["Budget"]
+
+
+class Budget:
+    """Caps on exploration states, simulation/checking steps, and wall
+    time.  ``None`` for any limit means unlimited.
+
+    Engines call :meth:`charge_state` / :meth:`charge_step` before
+    consuming a unit of work; a ``False`` return means the budget is
+    exhausted and the engine must stop and report a partial outcome.
+    """
+
+    def __init__(
+        self,
+        max_states: Optional[int] = None,
+        max_steps: Optional[int] = None,
+        wall_time: Optional[float] = None,
+    ):
+        for name, limit in (
+            ("max_states", max_states),
+            ("max_steps", max_steps),
+            ("wall_time", wall_time),
+        ):
+            if limit is not None and limit <= 0:
+                raise ValueError("{} must be positive, got {!r}".format(name, limit))
+        self.max_states = max_states
+        self.max_steps = max_steps
+        self.wall_time = wall_time
+        self.states_used = 0
+        self.steps_used = 0
+        self._started = time.monotonic()
+        self._exhausted_reason: Optional[str] = None
+
+    # -- charging -----------------------------------------------------
+
+    def charge_state(self, n: int = 1) -> bool:
+        """Charge ``n`` discovered states; False when the budget is (or
+        becomes) exhausted — the unit is then *not* consumed."""
+        if not self.ok():
+            return False
+        if self.max_states is not None and self.states_used + n > self.max_states:
+            self._exhausted_reason = "max_states={} reached".format(self.max_states)
+            return False
+        self.states_used += n
+        return True
+
+    def charge_step(self, n: int = 1) -> bool:
+        """Charge ``n`` steps/transitions; same contract as
+        :meth:`charge_state`."""
+        if not self.ok():
+            return False
+        if self.max_steps is not None and self.steps_used + n > self.max_steps:
+            self._exhausted_reason = "max_steps={} reached".format(self.max_steps)
+            return False
+        self.steps_used += n
+        return True
+
+    # -- inspection ---------------------------------------------------
+
+    def ok(self) -> bool:
+        """True while no limit has tripped (checks the wall clock)."""
+        if self._exhausted_reason is not None:
+            return False
+        if (
+            self.wall_time is not None
+            and time.monotonic() - self._started > self.wall_time
+        ):
+            self._exhausted_reason = "wall_time={}s exceeded".format(self.wall_time)
+            return False
+        return True
+
+    @property
+    def exhausted(self) -> bool:
+        return not self.ok()
+
+    @property
+    def reason(self) -> Optional[str]:
+        """Why the budget is exhausted (None while it is not)."""
+        self.ok()
+        return self._exhausted_reason
+
+    def elapsed(self) -> float:
+        return time.monotonic() - self._started
+
+    def renew(self) -> "Budget":
+        """A fresh budget with the same limits and zero charges — one
+        per tolerance-search probe, so probes don't starve each other."""
+        return Budget(self.max_states, self.max_steps, self.wall_time)
+
+    def __repr__(self) -> str:
+        return (
+            "Budget(max_states={!r}, max_steps={!r}, wall_time={!r}, "
+            "states_used={}, steps_used={}{})".format(
+                self.max_states,
+                self.max_steps,
+                self.wall_time,
+                self.states_used,
+                self.steps_used,
+                ", exhausted: " + self._exhausted_reason
+                if self._exhausted_reason
+                else "",
+            )
+        )

@@ -1,0 +1,120 @@
+"""Adversarial scheduling strategies.
+
+The paper's bounds are attained at the *edges* of the per-step
+``Ft``/``Lt`` windows, so an adversary probing a perturbed system
+should live there.  These strategies extend :mod:`repro.sim.strategies`
+(motivated by the adversarial schedulers of Lynch–Saias–Segala's
+randomized time-bound analysis, PAPERS.md): deterministic functions of
+a seed, exact times, usable anywhere a
+:class:`~repro.sim.strategies.Strategy` is.
+"""
+
+from __future__ import annotations
+
+import random
+from fractions import Fraction
+from typing import Hashable, Optional, Sequence, Tuple
+
+from repro.sim.strategies import Option, Strategy
+
+__all__ = ["AdversarialStrategy", "DeadlinePushStrategy", "JitterStrategy"]
+
+
+class AdversarialStrategy(Strategy):
+    """Alternate between the two edge regimes of every window.
+
+    Even steps stress the ``Ft`` side: fire the action whose window
+    opens *latest* at its earliest instant — the run's events bunch up
+    at their lower bounds.  Odd steps stress the ``Lt`` side: fire the
+    action with the *tightest* deadline exactly at that deadline.
+    Alternating visits both ends of every prediction window along one
+    run, which is where inequality mappings and Definition 2.1/2.2
+    checks have zero slack.
+    """
+
+    def __init__(self, rng: Optional[random.Random] = None, unbounded_extension=1):
+        super().__init__(rng, unbounded_extension)
+        self._step = 0
+
+    def choose(self, state, options: Sequence[Option]) -> Tuple[Hashable, object]:
+        self._step += 1
+        if self._step % 2:
+            # Ft regime: latest-opening window, earliest firing.
+            latest_opening = max(lo for _a, lo, _h in options)
+            candidates = [opt for opt in options if opt[1] == latest_opening]
+            action, lo, hi = self.rng.choice(candidates)
+            now = getattr(state, "now", None)
+            if now is not None and lo == now:
+                # Zero-lower-bound fillers: firing "now" forever is a
+                # Zeno loop; push them to their deadline instead.
+                return action, self._cap(lo, hi)
+            return action, lo
+        # Lt regime: tightest deadline, fired exactly at the deadline.
+        capped = [(a, lo, self._cap(lo, hi)) for a, lo, hi in options]
+        tightest = min(t for _a, _lo, t in capped)
+        candidates = [(a, t) for a, _lo, t in capped if t == tightest]
+        return self.rng.choice(candidates)
+
+
+class DeadlinePushStrategy(Strategy):
+    """Always fire the deadline-attaining action exactly at the
+    deadline ``min Lt`` — the lazy adversary that makes every upper
+    bound in the system bind simultaneously.  A claim whose upper end a
+    perturbation has pushed past its requirement fails fastest under
+    this schedule."""
+
+    def choose(self, state, options: Sequence[Option]) -> Tuple[Hashable, object]:
+        capped = [(a, self._cap(lo, hi)) for a, lo, hi in options]
+        deadline = min(t for _a, t in capped)
+        candidates = [(a, t) for a, t in capped if t == deadline]
+        return self.rng.choice(candidates)
+
+
+class JitterStrategy(Strategy):
+    """Wrap another strategy and jitter its chosen firing times.
+
+    After the inner strategy picks ``(action, t)``, the time is
+    perturbed by a random offset drawn from the multiples of
+    ``quantum`` in ``[-jitter, +jitter]``, then clamped back into the
+    action's own window — so every run is still a valid execution of
+    ``time(A, U)``, just displaced from the inner strategy's intent.
+    This models measurement/scheduling noise on top of any nominal
+    schedule (e.g. an eager schedule on a drifting clock).
+    """
+
+    def __init__(
+        self,
+        inner: Strategy,
+        jitter=Fraction(1, 4),
+        quantum=Fraction(1, 16),
+        rng: Optional[random.Random] = None,
+    ):
+        super().__init__(rng or inner.rng, inner.unbounded_extension)
+        if jitter < 0:
+            raise ValueError("jitter must be non-negative")
+        if quantum <= 0:
+            raise ValueError("quantum must be positive")
+        self.inner = inner
+        self.jitter = Fraction(jitter)
+        self.quantum = Fraction(quantum)
+
+    def choose(self, state, options: Sequence[Option]) -> Tuple[Hashable, object]:
+        action, t = self.inner.choose(state, options)
+        windows = [(lo, hi) for a, lo, hi in options if a == action]
+        if not windows or self.jitter == 0:
+            return action, t
+        lo, hi = windows[0]
+        hi = self._cap(lo, hi)
+        steps = int(self.jitter / self.quantum)
+        if steps == 0:
+            return action, t
+        offset = self.quantum * self.rng.randint(-steps, steps)
+        jittered = t + offset
+        if jittered < lo:
+            jittered = lo
+        if jittered > hi:
+            jittered = hi
+        return action, jittered
+
+    def pick_post(self, posts: Sequence) -> object:
+        return self.inner.pick_post(posts)

@@ -1,0 +1,195 @@
+"""Binary search for timing tolerance.
+
+The paper's proofs are inequalities, so each admits a largest drift ε
+under which it still goes through.  :func:`search_tolerance` brackets
+that ε by exact-``Fraction`` bisection over a caller-supplied
+*evaluation* — typically a fold of mapping checks, Lemma 2.1
+acceptance, and zone verification (see :mod:`repro.faults.targets`) —
+and reports the result as a :class:`ToleranceReport`.
+
+Every probe runs under a fresh :class:`~repro.faults.budget.Budget`
+(when a factory is given), so one pathological ε cannot hang the whole
+search; probe exhaustion is propagated as ``exhausted_budget`` on the
+report, marking the verdict best-effort.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Callable, Optional, Tuple
+
+from repro.core.checker import CheckOutcome
+from repro.faults.budget import Budget
+
+__all__ = ["ToleranceReport", "search_tolerance"]
+
+#: evaluate(epsilon, budget) -> folded outcome of all checks at that ε.
+Evaluation = Callable[[Fraction, Optional[Budget]], CheckOutcome]
+
+
+@dataclass
+class ToleranceReport:
+    """How much drift a system's proofs survive.
+
+    - ``broken`` — the *nominal* (ε = 0) checks already fail; the
+      system does not meet its own requirements, so tolerance is
+      meaningless (``tolerance`` is None).
+    - ``tolerance`` — the largest probed ε at which every check passed.
+    - ``breaking_epsilon`` — the smallest probed ε at which a check
+      failed (None when the search ceiling passed: ``ceiling_hit``).
+    - ``exhausted_budget`` — some probe was cut short; the bracket is
+      best-effort rather than exact for the configured budget.
+    """
+
+    system: str
+    direction: str
+    mode: str
+    broken: bool
+    tolerance: Optional[Fraction]
+    breaking_epsilon: Optional[Fraction]
+    ceiling: Fraction
+    ceiling_hit: bool
+    resolution: Fraction
+    probes: int
+    exhausted_budget: bool
+    detail: str = ""
+
+    @property
+    def fragile(self) -> bool:
+        """True when any ε > 0 at all breaks the system (or the system
+        is already broken at ε = 0) — the bounds have zero slack."""
+        return self.broken or (
+            self.tolerance is not None and self.tolerance == 0 and not self.ceiling_hit
+        )
+
+    def to_dict(self) -> dict:
+        def render(value):
+            return None if value is None else str(value)
+
+        return {
+            "system": self.system,
+            "direction": self.direction,
+            "mode": self.mode,
+            "broken": self.broken,
+            "tolerance": render(self.tolerance),
+            "breaking_epsilon": render(self.breaking_epsilon),
+            "ceiling": render(self.ceiling),
+            "ceiling_hit": self.ceiling_hit,
+            "resolution": render(self.resolution),
+            "probes": self.probes,
+            "exhausted_budget": self.exhausted_budget,
+            "fragile": self.fragile,
+            "detail": self.detail,
+        }
+
+    def render(self) -> str:
+        if self.broken:
+            verdict = "BROKEN at eps=0: {}".format(self.detail)
+        elif self.ceiling_hit:
+            verdict = "tolerance >= ceiling {} (search cap hit)".format(self.ceiling)
+        else:
+            verdict = "tolerance = {} (breaks at {})".format(
+                self.tolerance, self.breaking_epsilon
+            )
+        qualifier = " [budget exhausted: best-effort]" if self.exhausted_budget else ""
+        return "{} [{} {}]: {}{}".format(
+            self.system, self.direction, self.mode, verdict, qualifier
+        )
+
+
+def search_tolerance(
+    evaluate: Evaluation,
+    *,
+    system: str = "system",
+    direction: str = "tighten",
+    mode: str = "scale",
+    ceiling: Fraction = Fraction(1),
+    resolution: Fraction = Fraction(1, 64),
+    budget_factory: Optional[Callable[[], Budget]] = None,
+) -> ToleranceReport:
+    """Bracket the largest passing ε in ``[0, ceiling]`` to within
+    ``resolution`` by bisection.
+
+    Monotonicity (more drift never helps) is the modelling assumption
+    behind bisection, and holds for the drift operators here: every
+    probed ε's verdict is real — the bracket endpoints were actually
+    evaluated, never interpolated.
+    """
+    ceiling = Fraction(ceiling)
+    resolution = Fraction(resolution)
+    if ceiling <= 0:
+        raise ValueError("ceiling must be positive")
+    if resolution <= 0:
+        raise ValueError("resolution must be positive")
+
+    probes = 0
+    exhausted = False
+
+    def probe(eps: Fraction) -> CheckOutcome:
+        nonlocal probes, exhausted
+        probes += 1
+        budget = budget_factory() if budget_factory is not None else None
+        outcome = evaluate(eps, budget)
+        exhausted = exhausted or outcome.exhausted_budget
+        return outcome
+
+    nominal = probe(Fraction(0))
+    if not nominal.ok:
+        return ToleranceReport(
+            system=system,
+            direction=direction,
+            mode=mode,
+            broken=True,
+            tolerance=None,
+            breaking_epsilon=Fraction(0),
+            ceiling=ceiling,
+            ceiling_hit=False,
+            resolution=resolution,
+            probes=probes,
+            exhausted_budget=exhausted,
+            detail=nominal.detail,
+        )
+
+    at_ceiling = probe(ceiling)
+    if at_ceiling.ok:
+        return ToleranceReport(
+            system=system,
+            direction=direction,
+            mode=mode,
+            broken=False,
+            tolerance=ceiling,
+            breaking_epsilon=None,
+            ceiling=ceiling,
+            ceiling_hit=True,
+            resolution=resolution,
+            probes=probes,
+            exhausted_budget=exhausted,
+            detail=at_ceiling.detail,
+        )
+
+    lo = Fraction(0)  # known passing
+    hi = ceiling  # known failing
+    detail = at_ceiling.detail
+    while hi - lo > resolution:
+        mid = (lo + hi) / 2
+        outcome = probe(mid)
+        if outcome.ok:
+            lo = mid
+        else:
+            hi = mid
+            detail = outcome.detail
+    return ToleranceReport(
+        system=system,
+        direction=direction,
+        mode=mode,
+        broken=False,
+        tolerance=lo,
+        breaking_epsilon=hi,
+        ceiling=ceiling,
+        ceiling_hit=False,
+        resolution=resolution,
+        probes=probes,
+        exhausted_budget=exhausted,
+        detail=detail,
+    )

@@ -9,11 +9,14 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Hashable, Iterable, List, Optional, Set, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, Hashable, Iterable, List, Optional, Set, Tuple
 
 from repro.errors import AutomatonError
 from repro.ioa.automaton import IOAutomaton
 from repro.ioa.execution import Execution
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (faults uses ioa)
+    from repro.faults.budget import Budget
 
 __all__ = [
     "ExplorationResult",
@@ -35,6 +38,8 @@ class ExplorationResult:
     parents: Dict[Hashable, Tuple[Optional[Hashable], Optional[Hashable]]] = field(
         default_factory=dict
     )
+    #: True when a Budget (not max_states/max_depth) stopped the search.
+    exhausted_budget: bool = False
 
     def path_to(self, state: Hashable) -> Execution:
         """Reconstruct an execution from a start state to ``state``."""
@@ -59,16 +64,24 @@ def explore(
     automaton: IOAutomaton,
     max_states: int = 100_000,
     max_depth: Optional[int] = None,
+    budget: Optional["Budget"] = None,
 ) -> ExplorationResult:
     """Breadth-first exploration of the reachable states of ``automaton``.
 
     Stops (and flags ``truncated``) when ``max_states`` distinct states
-    have been found or ``max_depth`` levels expanded.
+    have been found or ``max_depth`` levels expanded.  A ``budget``
+    additionally caps states, transitions and wall time; budget
+    exhaustion returns the partial result with ``exhausted_budget`` set
+    rather than raising.
     """
     result = ExplorationResult(reachable=set(), transitions_explored=0, truncated=False)
     frontier: deque = deque()
     for s0 in automaton.start_states():
         if s0 not in result.reachable:
+            if budget is not None and not budget.charge_state():
+                result.truncated = True
+                result.exhausted_budget = True
+                return result
             result.reachable.add(s0)
             result.parents[s0] = (None, None)
             frontier.append((s0, 0))
@@ -79,11 +92,19 @@ def explore(
             continue
         for action in automaton.enabled_actions(state):
             for post in automaton.transitions(state, action):
+                if budget is not None and not budget.charge_step():
+                    result.truncated = True
+                    result.exhausted_budget = True
+                    return result
                 result.transitions_explored += 1
                 if post in result.reachable:
                     continue
                 if len(result.reachable) >= max_states:
                     result.truncated = True
+                    return result
+                if budget is not None and not budget.charge_state():
+                    result.truncated = True
+                    result.exhausted_budget = True
                     return result
                 result.reachable.add(post)
                 result.parents[post] = (state, action)
@@ -112,6 +133,9 @@ class InvariantReport:
     states_checked: int
     truncated: bool
     counterexample: Optional[Execution] = None
+    #: True when a Budget stopped the check before the frontier emptied;
+    #: ``holds`` then covers only the states actually visited.
+    exhausted_budget: bool = False
 
     def __bool__(self) -> bool:
         return self.holds
@@ -122,11 +146,14 @@ def check_invariant(
     predicate: Callable[[Hashable], bool],
     max_states: int = 100_000,
     max_depth: Optional[int] = None,
+    budget: Optional["Budget"] = None,
 ) -> InvariantReport:
     """Check ``predicate`` on every reachable state (up to the limits).
 
     On a violation, returns a report carrying a shortest-path
-    counterexample execution.
+    counterexample execution.  With a ``budget``, exhaustion yields a
+    partial ``holds=True`` report flagged ``exhausted_budget`` — the
+    invariant held on everything visited, but the check is inconclusive.
     """
     result = ExplorationResult(reachable=set(), transitions_explored=0, truncated=False)
     frontier: deque = deque()
@@ -134,6 +161,8 @@ def check_invariant(
     for s0 in automaton.start_states():
         if s0 in result.reachable:
             continue
+        if budget is not None and not budget.charge_state():
+            return InvariantReport(True, checked, True, None, exhausted_budget=True)
         result.reachable.add(s0)
         result.parents[s0] = (None, None)
         checked += 1
@@ -148,10 +177,14 @@ def check_invariant(
             continue
         for action in automaton.enabled_actions(state):
             for post in automaton.transitions(state, action):
+                if budget is not None and not budget.charge_step():
+                    return InvariantReport(True, checked, True, None, exhausted_budget=True)
                 if post in result.reachable:
                     continue
                 if len(result.reachable) >= max_states:
                     return InvariantReport(True, checked, True, None)
+                if budget is not None and not budget.charge_state():
+                    return InvariantReport(True, checked, True, None, exhausted_budget=True)
                 result.reachable.add(post)
                 result.parents[post] = (state, action)
                 checked += 1

@@ -21,7 +21,8 @@ pre-flight fast even for systems with unbounded state spaces).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
+from fractions import Fraction
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from repro.ioa.automaton import IOAutomaton
@@ -41,6 +42,7 @@ __all__ = [
     "ConditionsContext",
     "MappingContext",
     "ChainContext",
+    "SystemContext",
     "lint_boundmap",
     "lint_timed_automaton",
     "lint_conditions",
@@ -156,6 +158,17 @@ class ChainContext(_Context):
         self.mappings = tuple(self.mappings)
 
 
+@dataclass
+class SystemContext(_Context):
+    """A whole shipped-system bundle, for rules that need more than one
+    artifact at a time (e.g. R014's tolerance probe)."""
+
+    target: object
+    location: str = "system"
+    #: Drift probed by R014: failing here means ~zero measured tolerance.
+    probe_epsilon: Fraction = Fraction(1, 32)
+
+
 def _run(target: str, ctx: _Context) -> LintReport:
     report = LintReport()
     for lint_rule in rules_for(target):
@@ -250,9 +263,38 @@ def lint_chain(mappings: Sequence, location: str = "chain") -> LintReport:
     return report
 
 
+def _apply_waivers(report: LintReport, waivers) -> LintReport:
+    """Downgrade waived warnings to INFO.
+
+    A waiver is a ``(rule_id, substring)`` pair: diagnostics of that
+    rule whose location or message contains the substring are known,
+    deliberate modelling choices (e.g. the relay's untimed ``SIGNAL_0``
+    environment class) and must not fail a strict gate.  Errors are
+    never waived."""
+    if not waivers:
+        return report
+    adjusted = LintReport()
+    for diagnostic in report:
+        waived = diagnostic.severity is Severity.WARNING and any(
+            diagnostic.rule == rule_id
+            and (needle in diagnostic.location or needle in diagnostic.message)
+            for rule_id, needle in waivers
+        )
+        if waived:
+            diagnostic = replace(
+                diagnostic,
+                severity=Severity.INFO,
+                hint=(diagnostic.hint + " " if diagnostic.hint else "")
+                + "[waived: deliberate modelling choice]",
+            )
+        adjusted.add(diagnostic)
+    return adjusted
+
+
 def lint_system(target, max_states: int = DEFAULT_MAX_STATES) -> LintReport:
     """Lint a whole shipped-system bundle
-    (:class:`~repro.lint.targets.SystemTarget`)."""
+    (:class:`~repro.lint.targets.SystemTarget`), apply its waivers, and
+    finish with the system-level rules (R014's tolerance probe)."""
     report = LintReport()
     for location, timed in target.timed_automata:
         report.extend(lint_timed_automaton(timed, max_states=max_states, location=location))
@@ -265,4 +307,7 @@ def lint_system(target, max_states: int = DEFAULT_MAX_STATES) -> LintReport:
             target.name, getattr(mapping, "name", "?"))))
     for location, chain in target.chains:
         report.extend(lint_chain(chain, location=location))
+    report = _apply_waivers(report, getattr(target, "waivers", ()))
+    ctx = SystemContext(target, location="{}/system".format(target.name))
+    report.extend(_run("system", ctx))
     return report

@@ -26,7 +26,7 @@ from repro.errors import LintError
 __all__ = ["LINT_TARGETS", "Rule", "rule", "all_rules", "rules_for", "get_rule"]
 
 #: The kinds of object a rule can lint.
-LINT_TARGETS = ("boundmap", "timed", "conditions", "mapping", "chain")
+LINT_TARGETS = ("boundmap", "timed", "conditions", "mapping", "chain", "system")
 
 
 @dataclass(frozen=True)

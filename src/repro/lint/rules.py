@@ -23,6 +23,7 @@ R010      mapping endpoints disagree on the underlying ``A``
 R011      mapping chain levels do not share intermediate automata
 R012      input action disabled in a reachable state
 R013      timing condition never activated in bounded exploration
+R014      fragile bounds: a small drift already breaks the proofs
 ========  =========================================================
 """
 
@@ -494,3 +495,60 @@ def chain_broken_link(ctx):
                 hint="reuse one intermediate automaton instance per level "
                 "(cache B_k as RelaySystem.intermediate does)",
             )
+
+
+@rule(
+    "R014",
+    targets="system",
+    title="fragile bounds: zero measured timing tolerance",
+    paper="Section 4 (the mapping inequalities)",
+)
+def fragile_bounds(ctx):
+    """Probe the system's perturbation harness at a small drift.  A
+    system whose proofs already fail at ``ε = 1/32`` has (to lint
+    precision) *zero* timing tolerance: its bounds sit exactly at the
+    proofs' breaking point, and any implementation drift voids them.
+    Systems without a harness are skipped; an exhausted probe budget
+    downgrades to INFO (inconclusive, not fragile)."""
+    from repro.faults import Budget, perturb_names, probe_tolerance
+
+    name = ctx.target.name
+    if name not in perturb_names():
+        return
+    budget = Budget(max_states=50_000, max_steps=500_000, wall_time=15)
+    try:
+        _target, nominal, probe = probe_tolerance(
+            name, ctx.probe_epsilon, budget=budget, seeds=1, steps=40
+        )
+    except Exception as exc:  # pragma: no cover - defensive
+        yield ctx.diagnostic(
+            Severity.WARNING,
+            "tolerance probe crashed: {}".format(exc),
+            hint="run `python -m repro perturb {} --search` by hand".format(name),
+        )
+        return
+    if not nominal.ok:
+        yield ctx.diagnostic(
+            Severity.WARNING,
+            "system fails its own checks at eps=0: {}".format(nominal.detail),
+            hint="the nominal bounds do not satisfy the requirements; "
+            "see `python -m repro perturb {}`".format(name),
+        )
+        return
+    if not probe.ok:
+        yield ctx.diagnostic(
+            Severity.WARNING,
+            "fragile bounds: drift eps={} already breaks the checks "
+            "({})".format(ctx.probe_epsilon, probe.detail),
+            hint="measured tolerance is zero to lint precision; widen the "
+            "slack between algorithm and requirement bounds",
+        )
+        return
+    if nominal.exhausted_budget or probe.exhausted_budget:
+        yield ctx.diagnostic(
+            Severity.INFO,
+            "tolerance probe inconclusive: the lint budget ran out before "
+            "the checks finished",
+            hint="run `python -m repro perturb {} --search` with a larger "
+            "budget".format(name),
+        )

@@ -17,13 +17,16 @@ raises :class:`SchedulingDeadlockError` rather than silently stopping.
 from __future__ import annotations
 
 import math
-from typing import Hashable, Optional
+from typing import TYPE_CHECKING, Hashable, Optional
 
 from repro.errors import SchedulingDeadlockError
 from repro.timed.timed_sequence import TimedSequence
 from repro.core.time_automaton import PredictiveTimeAutomaton
 from repro.core.time_state import TimeState
 from repro.sim.strategies import Strategy
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (faults uses sim)
+    from repro.faults.budget import Budget
 
 __all__ = ["Simulator", "simulate"]
 
@@ -41,6 +44,7 @@ class Simulator:
         horizon=None,
         start_astate: Optional[Hashable] = None,
         from_state: Optional[TimeState] = None,
+        budget: Optional["Budget"] = None,
     ) -> TimedSequence:
         """Produce a run of up to ``max_steps`` events.
 
@@ -50,28 +54,45 @@ class Simulator:
         (used by the completeness estimators); otherwise the run begins
         in the start state over ``start_astate`` (default: the unique
         start state of the base automaton).
+
+        A ``budget`` caps the number of steps and the wall time: on
+        exhaustion the run produced so far is returned (a valid, partial
+        execution) and ``budget.exhausted`` tells the caller why it is
+        short.
         """
         state = self._initial_state(start_astate, from_state)
         run = TimedSequence.initial(state)
         for _ in range(max_steps):
+            if budget is not None and not budget.charge_step():
+                break  # partial run; budget.exhausted explains the cut
             if horizon is not None and state.now >= horizon:
                 break
             options = self.automaton.schedulable_actions(state)
             if not options:
-                if math.isinf(self.automaton.deadline(state)):
+                deadline = self.automaton.deadline(state)
+                if math.isinf(deadline):
                     break  # quiescent: nothing to do, no obligation pending
+                expired = ", ".join(
+                    cond.name
+                    for cond, pred in zip(self.automaton.conditions, state.preds)
+                    if pred.lt == deadline
+                )
                 raise SchedulingDeadlockError(
-                    "{}: no schedulable action in {!r} but deadline {!r} is "
-                    "pending".format(
-                        self.automaton.name, state, self.automaton.deadline(state)
-                    )
+                    "{}: no schedulable action in {!r} but deadline {!r} of "
+                    "{} is pending".format(
+                        self.automaton.name, state, deadline, expired or "<unknown>"
+                    ),
+                    state=state,
+                    condition=expired or None,
+                    deadline=deadline,
                 )
             action, t = self.strategy.choose(state, options)
             posts = self.automaton.successors(state, action, t)
             if not posts:
                 raise SchedulingDeadlockError(
                     "{}: strategy chose infeasible step ({!r}, {!r}) in "
-                    "{!r}".format(self.automaton.name, action, t, state)
+                    "{!r}".format(self.automaton.name, action, t, state),
+                    state=state,
                 )
             state = self.strategy.pick_post(posts)
             run = run.extend(action, t, state)

@@ -33,11 +33,34 @@ class Strategy:
     """Base class: choose an (action, time) pair among the options.
 
     ``unbounded_extension`` caps how far past the earliest time a
-    strategy may schedule when the window's upper end is infinite.
+    strategy may schedule when the window's upper end is infinite:
+    a window ``[lo, ∞)`` is treated *deterministically* as
+    ``[lo, lo + unbounded_extension]``.  Consequences, relied on by
+    tests and by the fault-injection harness:
+
+    - :class:`LazyStrategy` fires an unbounded action exactly at
+      ``lo + unbounded_extension`` (never "infinitely late");
+    - :class:`ExtremalStrategy`'s high endpoint for an unbounded window
+      is ``lo + unbounded_extension``;
+    - the cap is relative to each window's own ``lo``, so the same
+      strategy object behaves identically across re-enables — runs
+      remain deterministic functions of the seed.
+
+    The extension must be a positive exact number (int or Fraction).
     """
 
     def __init__(self, rng: Optional[random.Random] = None, unbounded_extension=1):
         self.rng = rng or random.Random(0)
+        if isinstance(unbounded_extension, float) and not math.isfinite(
+            unbounded_extension
+        ):
+            raise ValueError("unbounded_extension must be finite")
+        if unbounded_extension <= 0:
+            raise ValueError(
+                "unbounded_extension must be positive, got {!r}".format(
+                    unbounded_extension
+                )
+            )
         self.unbounded_extension = unbounded_extension
 
     def choose(self, state, options: Sequence[Option]) -> Tuple[Hashable, object]:

@@ -22,16 +22,27 @@ from repro.core.mappings import InequalityMapping
 from repro.core.time_state import TimeState
 from repro.systems.resource_manager import ResourceManagerSystem, timer_of
 
-__all__ = ["resource_manager_mapping"]
+__all__ = ["resource_manager_mapping", "resource_manager_mapping_over"]
 
 
 def resource_manager_mapping(system: ResourceManagerSystem) -> InequalityMapping:
     """The mapping ``f : time(A, b) → B`` of Section 4.3."""
-    algorithm = system.algorithm
-    requirements = system.requirements
-    c1 = system.params.c1
-    c2 = system.params.c2
-    l = system.params.l
+    return resource_manager_mapping_over(
+        system.algorithm, system.requirements, system.params
+    )
+
+
+def resource_manager_mapping_over(
+    algorithm, requirements, params
+) -> InequalityMapping:
+    """The same mapping over an explicit (algorithm, requirements,
+    params) triple.  The fault-injection harness uses this to check a
+    *perturbed* algorithm automaton against the *nominal* requirements
+    and constants — a robust-refinement question the bundled
+    :func:`resource_manager_mapping` cannot pose."""
+    c1 = params.c1
+    c2 = params.c2
+    l = params.l
 
     def bounds(u: TimeState, s: TimeState):
         min_lt = min(requirements.lt(u, "G1"), requirements.lt(u, "G2"))

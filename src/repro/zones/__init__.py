@@ -2,10 +2,12 @@
 event-separation bound queries."""
 
 from repro.zones.analysis import (
+    SafetySearchResult,
     SeparationBounds,
     absolute_event_bounds,
     event_separation_bounds,
     find_reachable_state,
+    search_reachable_state,
 )
 from repro.zones.dbm import (
     Bound,
@@ -40,6 +42,8 @@ __all__ = [
     "event_separation_bounds",
     "absolute_event_bounds",
     "find_reachable_state",
+    "SafetySearchResult",
+    "search_reachable_state",
     "Verdict",
     "ConditionReport",
     "verify_event_condition",

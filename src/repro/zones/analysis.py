@@ -10,18 +10,23 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, Hashable, Iterable, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, Hashable, Iterable, Optional, Tuple
 
 from repro.errors import ZoneError
 from repro.timed.boundmap import TimedAutomaton
 from repro.timed.interval import Interval
 from repro.zones.zone_graph import Observer, ZoneGraphResult, explore_zone_graph
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (faults uses zones)
+    from repro.faults.budget import Budget
+
 __all__ = [
     "SeparationBounds",
     "event_separation_bounds",
     "absolute_event_bounds",
     "find_reachable_state",
+    "SafetySearchResult",
+    "search_reachable_state",
 ]
 
 
@@ -32,6 +37,12 @@ class SeparationBounds:
     ``lo``/``hi`` are the extreme values over every timed execution;
     ``lo_strict``/``hi_strict`` record whether the extreme is attained
     (False) or only approached (True).  ``hi`` may be ``inf``.
+
+    ``exhausted_budget`` marks *partial* bounds: the zone exploration
+    was cut short by a :class:`~repro.faults.budget.Budget`, so the
+    bounds cover only the firings found — still sound evidence for
+    refutation (any firing outside a claim refutes it) but not for
+    verification.
     """
 
     lo: object
@@ -40,6 +51,7 @@ class SeparationBounds:
     hi_strict: bool
     nodes: int
     transitions: int
+    exhausted_budget: bool = False
 
     def within(self, interval: Interval) -> bool:
         """True when every reachable separation lies inside ``interval``
@@ -80,10 +92,17 @@ def event_separation_bounds(
     occurrence: int = 1,
     reset_on: Iterable[Hashable] = (),
     max_nodes: int = 100_000,
+    budget: Optional["Budget"] = None,
 ) -> SeparationBounds:
     """Exact bounds of the time at which ``measure`` fires for the
     ``occurrence``-th time, measured by an observer clock reset on each
     action in ``reset_on`` (empty: absolute time since the start).
+
+    Without a ``budget``, truncation raises :class:`ZoneError` as
+    before.  With one, budget exhaustion degrades gracefully: if any
+    firing was recorded, the partial bounds are returned flagged
+    ``exhausted_budget``; only when *nothing* was measured does the
+    call raise.
     """
     if occurrence < 1:
         raise ZoneError("occurrence is 1-based")
@@ -101,13 +120,19 @@ def event_separation_bounds(
         timed,
         observers=[observer],
         max_nodes=max_nodes,
+        budget=budget,
         **counted_kwargs,
     )
-    if result.truncated:
-        raise ZoneError(
-            "zone exploration truncated at {} nodes; raise max_nodes".format(result.nodes)
-        )
     record = result.firings.get((key, occurrence))
+    if result.truncated and not (result.exhausted_budget and record is not None):
+        raise ZoneError(
+            "zone exploration truncated at {} nodes{}".format(
+                result.nodes,
+                " (budget exhausted before any firing)"
+                if result.exhausted_budget
+                else "; raise max_nodes",
+            )
+        )
     if record is None:
         raise ZoneError(
             "action {!r} never reaches occurrence {} in any execution".format(
@@ -123,6 +148,57 @@ def event_separation_bounds(
         hi_strict=(hi_flag == -1),
         nodes=result.nodes,
         transitions=result.transitions,
+        exhausted_budget=result.exhausted_budget,
+    )
+
+
+@dataclass(frozen=True)
+class SafetySearchResult:
+    """Outcome of a budget-guarded timed safety search.
+
+    ``state`` is a reachable bad state (None when none was found);
+    ``exhausted_budget``/``truncated`` qualify a ``None``: the absence
+    proof is complete only when both are False.
+    """
+
+    state: Optional[Hashable]
+    nodes: int
+    truncated: bool
+    exhausted_budget: bool
+
+    @property
+    def conclusive(self) -> bool:
+        """A found state is always conclusive; a clean sweep is
+        conclusive only if nothing cut the search short."""
+        return self.state is not None or not self.truncated
+
+    def __bool__(self) -> bool:
+        """True when a bad state was found."""
+        return self.state is not None
+
+
+def search_reachable_state(
+    timed: TimedAutomaton,
+    predicate,
+    max_nodes: int = 200_000,
+    budget: Optional["Budget"] = None,
+) -> SafetySearchResult:
+    """Budget-guarded variant of :func:`find_reachable_state`: never
+    raises on truncation, returning a :class:`SafetySearchResult` whose
+    ``conclusive`` property distinguishes "proved unreachable" from
+    "ran out of budget"."""
+    result = explore_zone_graph(
+        timed,
+        watch=predicate,
+        stop_on_watch=True,
+        max_nodes=max_nodes,
+        budget=budget,
+    )
+    return SafetySearchResult(
+        state=result.watched[0] if result.watched else None,
+        nodes=result.nodes,
+        truncated=result.truncated,
+        exhausted_budget=result.exhausted_budget,
     )
 
 
@@ -140,11 +216,9 @@ def find_reachable_state(
     mutual exclusion are decided: unreachability of the bad states under
     one timing discipline, reachability under another.
     """
-    result = explore_zone_graph(
-        timed, watch=predicate, stop_on_watch=True, max_nodes=max_nodes
-    )
-    if result.watched:
-        return result.watched[0]
+    result = search_reachable_state(timed, predicate, max_nodes=max_nodes)
+    if result.state is not None:
+        return result.state
     if result.truncated:
         raise ZoneError(
             "safety check inconclusive: truncated at {} nodes".format(result.nodes)
@@ -157,9 +231,15 @@ def absolute_event_bounds(
     measure: Hashable,
     occurrence: int = 1,
     max_nodes: int = 100_000,
+    budget: Optional["Budget"] = None,
 ) -> SeparationBounds:
     """Exact bounds of the absolute time of an event's ``occurrence``-th
     firing (observer never reset)."""
     return event_separation_bounds(
-        timed, measure, occurrence=occurrence, reset_on=(), max_nodes=max_nodes
+        timed,
+        measure,
+        occurrence=occurrence,
+        reset_on=(),
+        max_nodes=max_nodes,
+        budget=budget,
     )

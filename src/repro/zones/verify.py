@@ -20,9 +20,12 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 from enum import Enum
-from typing import Hashable, Optional
+from typing import TYPE_CHECKING, Hashable, Optional
 
 from repro.errors import ZoneError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (faults uses zones)
+    from repro.faults.budget import Budget
 from repro.timed.boundmap import TimedAutomaton
 from repro.timed.interval import Interval
 from repro.zones.analysis import SeparationBounds, event_separation_bounds
@@ -46,11 +49,17 @@ class Verdict(Enum):
 
 @dataclass(frozen=True)
 class ConditionReport:
-    """The verdict plus the exact separation evidence."""
+    """The verdict plus the exact separation evidence.
+
+    ``exhausted_budget`` qualifies a VERIFIED verdict as partial (the
+    evidence covers only the explored portion); REFUTED verdicts stand
+    regardless — the offending firing was actually reached.
+    """
 
     verdict: Verdict
     claimed: Interval
     exact: Optional[SeparationBounds]
+    exhausted_budget: bool = False
 
     def __bool__(self) -> bool:
         return self.verdict.holds
@@ -68,6 +77,7 @@ def verify_event_condition(
     claimed: Interval,
     occurrences: int = 1,
     max_nodes: int = 200_000,
+    budget: Optional["Budget"] = None,
 ) -> ConditionReport:
     """Exactly decide "after every ``trigger``, the next ``target``
     occurs within ``claimed``" for the first ``occurrences`` trigger
@@ -85,6 +95,7 @@ def verify_event_condition(
     # has no preceding trigger — Definition 2.2 leaves it unconstrained —
     # so measurement starts at the second occurrence.
     first = 2 if trigger == target else 1
+    partial = False
     for occurrence in range(first, first + occurrences):
         try:
             bounds = event_separation_bounds(
@@ -93,25 +104,32 @@ def verify_event_condition(
                 occurrence=occurrence,
                 reset_on=[trigger],
                 max_nodes=max_nodes,
+                budget=budget,
             )
         except ZoneError:
+            if budget is not None and budget.exhausted:
+                # Graceful degradation: nothing measured at this
+                # occurrence; report what earlier occurrences gave.
+                partial = True
+                break
             if occurrence == first:
                 return ConditionReport(Verdict.VACUOUS, claimed, None)
             break
+        partial = partial or bounds.exhausted_budget
         worst = _merge(worst, bounds)
     if worst is None:
-        return ConditionReport(Verdict.VACUOUS, claimed, None)
+        return ConditionReport(Verdict.VACUOUS, claimed, None, exhausted_budget=partial)
     if worst.lo < claimed.lo:
-        return ConditionReport(Verdict.REFUTED_LOWER, claimed, worst)
+        return ConditionReport(Verdict.REFUTED_LOWER, claimed, worst, exhausted_budget=partial)
     hi_infinite = isinstance(worst.hi, float) and math.isinf(worst.hi)
     claimed_infinite = math.isinf(claimed.hi)
     if hi_infinite and not claimed_infinite:
-        return ConditionReport(Verdict.REFUTED_UPPER, claimed, worst)
+        return ConditionReport(Verdict.REFUTED_UPPER, claimed, worst, exhausted_budget=partial)
     if not hi_infinite and not claimed_infinite and worst.hi > claimed.hi:
-        return ConditionReport(Verdict.REFUTED_UPPER, claimed, worst)
+        return ConditionReport(Verdict.REFUTED_UPPER, claimed, worst, exhausted_budget=partial)
     if worst.tight(claimed):
-        return ConditionReport(Verdict.VERIFIED_TIGHT, claimed, worst)
-    return ConditionReport(Verdict.VERIFIED_SLACK, claimed, worst)
+        return ConditionReport(Verdict.VERIFIED_TIGHT, claimed, worst, exhausted_budget=partial)
+    return ConditionReport(Verdict.VERIFIED_SLACK, claimed, worst, exhausted_budget=partial)
 
 
 def _merge(
@@ -140,4 +158,5 @@ def _merge(
         hi_strict=bool(hi_strict),
         nodes=accumulated.nodes + bounds.nodes,
         transitions=accumulated.transitions + bounds.transitions,
+        exhausted_budget=accumulated.exhausted_budget or bounds.exhausted_budget,
     )

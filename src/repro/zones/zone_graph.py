@@ -25,9 +25,12 @@ from __future__ import annotations
 import math
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Hashable, Iterable, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, FrozenSet, Hashable, Iterable, List, Optional, Sequence, Tuple
 
 from repro.errors import ZoneError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (faults uses zones)
+    from repro.faults.budget import Budget
 from repro.timed.boundmap import TimedAutomaton
 from repro.zones.dbm import Bound, DBM, INF_BOUND, le_bound
 
@@ -72,6 +75,8 @@ class ZoneGraphResult:
     firings: Dict[Tuple[Hashable, int], FiringRecord]
     #: Reachable A-states matched by the ``watch`` predicate (if given).
     watched: List[Hashable] = field(default_factory=list)
+    #: True when a Budget (not max_nodes) stopped the exploration.
+    exhausted_budget: bool = False
 
     def record(self, action: Hashable, occurrence: int) -> FiringRecord:
         key = (action, occurrence)
@@ -88,8 +93,14 @@ def explore_zone_graph(
     max_nodes: int = 100_000,
     watch=None,
     stop_on_watch: bool = False,
+    budget: Optional["Budget"] = None,
 ) -> ZoneGraphResult:
     """Forward zone reachability of ``(A, b)``.
+
+    A ``budget`` caps nodes (as states), fired transitions (as steps)
+    and wall time; exhaustion returns the partial result with both
+    ``truncated`` and ``exhausted_budget`` set, never raising — firing
+    records accumulated so far remain valid lower/upper evidence.
 
     ``counted_actions`` maps actions to occurrence limits; exploration
     stops along a branch once any counted action reaches its limit, and
@@ -181,6 +192,10 @@ def explore_zone_graph(
     visited = set()
     frontier: deque = deque()
     start_key = (start_astate, zero_counts, initial_zone.key())
+    if budget is not None and not budget.charge_state():
+        result.truncated = True
+        result.exhausted_budget = True
+        return result
     visited.add(start_key)
     frontier.append((start_astate, zero_counts, initial_zone))
     result.nodes = 1
@@ -188,6 +203,10 @@ def explore_zone_graph(
         return result
 
     while frontier:
+        if budget is not None and not budget.ok():
+            result.truncated = True
+            result.exhausted_budget = True
+            return result
         astate, counts, zone = frontier.popleft()
         pre_enabled = enabled_classes(astate)
         for action in automaton.enabled_actions(astate):
@@ -203,6 +222,10 @@ def explore_zone_graph(
                 fire_zone.constrain(0, class_index[cls.name], le_bound(-lower))
             if fire_zone.is_empty():
                 continue
+            if budget is not None and not budget.charge_step():
+                result.truncated = True
+                result.exhausted_budget = True
+                return result
             result.transitions += 1
 
             # Occurrence bookkeeping and observer measurement at fire time.
@@ -251,6 +274,10 @@ def explore_zone_graph(
                     continue
                 if result.nodes >= max_nodes:
                     result.truncated = True
+                    return result
+                if budget is not None and not budget.charge_state():
+                    result.truncated = True
+                    result.exhausted_budget = True
                     return result
                 visited.add(key)
                 result.nodes += 1

@@ -1,0 +1,68 @@
+"""Tests for the cross-cutting resource budget."""
+
+import pytest
+
+from repro.faults.budget import Budget
+
+
+class TestValidation:
+    def test_rejects_nonpositive_limits(self):
+        with pytest.raises(ValueError):
+            Budget(max_states=0)
+        with pytest.raises(ValueError):
+            Budget(max_steps=-1)
+        with pytest.raises(ValueError):
+            Budget(wall_time=0)
+
+    def test_unlimited_by_default(self):
+        budget = Budget()
+        assert not budget.exhausted
+        for _ in range(1000):
+            assert budget.charge_state()
+            assert budget.charge_step()
+        assert not budget.exhausted
+
+
+class TestCharging:
+    def test_states_and_steps_are_independent(self):
+        budget = Budget(max_states=2, max_steps=3)
+        assert budget.charge_state() and budget.charge_state()
+        assert not budget.charge_state()
+        assert budget.exhausted
+        # Steps still had room, but exhaustion is global and sticky.
+        assert not budget.charge_step()
+
+    def test_refuses_without_consuming(self):
+        budget = Budget(max_steps=5)
+        assert budget.charge_step(5)
+        assert not budget.charge_step()
+        # The refused unit was not consumed and the verdict is stable.
+        assert not budget.charge_step()
+        assert "steps" in budget.reason
+
+    def test_bulk_charge_that_would_overflow_is_refused(self):
+        budget = Budget(max_steps=5)
+        assert budget.charge_step(3)
+        assert not budget.charge_step(3)
+        assert budget.exhausted
+
+    def test_ok_checks_wall_clock(self):
+        budget = Budget(wall_time=10_000)
+        assert budget.ok()
+        tight = Budget(wall_time=0.000001)
+        while tight.ok():  # pragma: no cover - immediate in practice
+            pass
+        assert tight.exhausted
+        assert "wall" in tight.reason
+
+    def test_renew_gives_fresh_budget_with_same_limits(self):
+        budget = Budget(max_states=1)
+        assert budget.charge_state()
+        assert not budget.charge_state()
+        fresh = budget.renew()
+        assert not fresh.exhausted
+        assert fresh.charge_state()
+        assert not fresh.charge_state()
+
+    def test_repr_mentions_limits(self):
+        assert "max_steps" in repr(Budget(max_steps=7))

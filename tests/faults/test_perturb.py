@@ -1,0 +1,191 @@
+"""Tests for the perturbation operators."""
+
+from fractions import Fraction as F
+
+import pytest
+
+from repro.errors import PerturbationError, SchedulingDeadlockError
+from repro.faults.perturb import (
+    Drift,
+    delay_class,
+    drop_actions,
+    perturb_boundmap,
+    perturb_conditions,
+    perturb_interval,
+)
+from repro.timed.interval import INFINITY, Interval
+from repro.timed.conditions import TimingCondition
+
+
+class TestDrift:
+    def test_rejects_float_epsilon(self):
+        with pytest.raises(PerturbationError):
+            Drift(0.1)
+
+    def test_rejects_negative_epsilon(self):
+        with pytest.raises(PerturbationError):
+            Drift(F(-1, 2))
+
+    def test_rejects_unknown_mode_and_direction(self):
+        with pytest.raises(PerturbationError):
+            Drift(F(1, 2), mode="stretch")
+        with pytest.raises(PerturbationError):
+            Drift(F(1, 2), direction="sideways")
+
+    def test_class_scoping(self):
+        drift = Drift(F(1, 4), classes=["TICK"])
+        assert drift.applies_to("TICK")
+        assert not drift.applies_to("GRANT")
+        assert Drift(F(1, 4)).applies_to("anything")
+
+
+class TestPerturbInterval:
+    def test_widen_scale(self):
+        out = perturb_interval(Interval(2, 4), Drift(F(1, 4), direction="widen"))
+        assert (out.lo, out.hi) == (F(3, 2), 5)
+
+    def test_tighten_scale(self):
+        out = perturb_interval(Interval(2, 4), Drift(F(1, 4), direction="tighten"))
+        assert (out.lo, out.hi) == (F(5, 2), 3)
+
+    def test_widen_shift_clamps_lower_at_zero(self):
+        out = perturb_interval(
+            Interval(1, 4), Drift(2, mode="shift", direction="widen")
+        )
+        assert (out.lo, out.hi) == (0, 6)
+
+    def test_tighten_shift(self):
+        out = perturb_interval(
+            Interval(1, 4), Drift(F(1, 2), mode="shift", direction="tighten")
+        )
+        assert (out.lo, out.hi) == (F(3, 2), F(7, 2))
+
+    def test_infinite_upper_end_is_preserved(self):
+        out = perturb_interval(Interval(1, INFINITY), Drift(F(1, 2), direction="widen"))
+        assert out.hi == INFINITY
+        assert out.lo == F(1, 2)
+
+    def test_tightening_past_inversion_raises(self):
+        with pytest.raises(PerturbationError):
+            perturb_interval(Interval(2, 3), Drift(F(1, 2), direction="tighten"))
+
+    def test_exactness(self):
+        out = perturb_interval(Interval(F(1, 3), F(2, 3)), Drift(F(1, 7)))
+        assert out.lo == F(1, 3) * F(8, 7)
+        assert out.hi == F(2, 3) * F(6, 7)
+
+
+class TestPerturbBoundmap:
+    def _rm(self):
+        from repro.systems import ResourceManagerParams, resource_manager
+
+        return resource_manager(
+            ResourceManagerParams(k=3, c1=F(2), c2=F(3), l=F(1))
+        )
+
+    def test_same_base_automaton(self):
+        timed = self._rm()
+        out = perturb_boundmap(timed, Drift(F(1, 10)))
+        assert out.automaton is timed.automaton
+
+    def test_trivial_bounds_untouched(self):
+        from repro.systems.extensions.chain import ChainSystem, event_class_name
+
+        timed = ChainSystem([Interval(1, 2)]).timed
+        out = perturb_boundmap(timed, Drift(F(1, 10), direction="widen"))
+        assert out.boundmap[event_class_name(0)] == timed.boundmap[event_class_name(0)]
+        assert out.boundmap[event_class_name(1)] != timed.boundmap[event_class_name(1)]
+
+    def test_class_scoped_drift(self):
+        timed = self._rm()
+        out = perturb_boundmap(timed, Drift(F(1, 10), classes=["TICK"]))
+        assert out.boundmap["TICK"] != timed.boundmap["TICK"]
+        assert out.boundmap["LOCAL"] == timed.boundmap["LOCAL"]
+
+
+class TestPerturbConditions:
+    def _condition(self, name="U"):
+        return TimingCondition.after_action(name, Interval(2, 4), "a", ["b"])
+
+    def test_widen_and_restrict_by_name(self):
+        conds = (self._condition("U"), self._condition("V"))
+        out = perturb_conditions(conds, Drift(F(1, 4), direction="widen"), names=["U"])
+        assert out[0].interval == Interval(F(3, 2), 5)
+        assert out[1].interval == Interval(2, 4)
+
+    def test_structure_preserved(self):
+        (out,) = perturb_conditions((self._condition(),), Drift(F(1, 4)))
+        original = self._condition()
+        assert out.name == original.name
+        assert out.interval == Interval(F(5, 2), 3)
+
+
+class TestInjection:
+    def _tiny(self):
+        from repro.ioa.actions import Kind
+        from repro.ioa.guarded import ActionSpec, GuardedAutomaton
+        from repro.ioa.partition import Partition
+        from repro.timed.boundmap import Boundmap, TimedAutomaton
+
+        automaton = GuardedAutomaton(
+            "tiny",
+            [True],
+            [
+                ActionSpec(
+                    "go",
+                    Kind.OUTPUT,
+                    precondition=lambda up: up,
+                    effect=lambda _up: False,
+                )
+            ],
+            partition=Partition.from_pairs([("GO", ["go"])]),
+        )
+        return TimedAutomaton(automaton, Boundmap({"GO": Interval(1, 2)}))
+
+    def test_delay_class_shifts_both_ends(self):
+        out = delay_class(self._tiny(), "GO", F(1, 2))
+        assert out.boundmap["GO"] == Interval(F(3, 2), F(5, 2))
+
+    def test_delay_unknown_class_raises(self):
+        with pytest.raises(PerturbationError):
+            delay_class(self._tiny(), "NOPE", 1)
+
+    def test_dropped_action_never_fires(self):
+        timed = self._tiny()
+        out = drop_actions(timed, ["go"])
+        (start,) = out.automaton.start_states()
+        assert list(out.automaton.transitions(start, "go")) == []
+        # Signature and partition survive, so (A, b) still validates.
+        assert out.boundmap["GO"] == Interval(1, 2)
+
+    def test_dropped_class_quiesces_under_boundmap_semantics(self):
+        import random
+
+        from repro.core.time_automaton import time_of_boundmap
+        from repro.sim.scheduler import Simulator
+        from repro.sim.strategies import UniformStrategy
+
+        # cond(GO) starts only while the class is enabled, and the drop
+        # disables it, so the run is quiescent (length 0) — not an error.
+        out = time_of_boundmap(drop_actions(self._tiny(), ["go"]))
+        run = Simulator(out, UniformStrategy(random.Random(0))).run(max_steps=5)
+        assert len(run.events) == 0
+
+    def test_dropped_requirement_target_is_a_diagnosable_deadlock(self):
+        import random
+
+        from repro.core.time_automaton import time_of_conditions
+        from repro.sim.scheduler import Simulator
+        from repro.sim.strategies import UniformStrategy
+
+        timed = self._tiny()
+        requirement = TimingCondition.from_start("U", Interval(1, 2), ["go"])
+        dropped = drop_actions(timed, ["go"]).automaton
+        out = time_of_conditions(dropped, [requirement], name="tiny-req")
+        with pytest.raises(SchedulingDeadlockError) as info:
+            Simulator(out, UniformStrategy(random.Random(0))).run(max_steps=5)
+        error = info.value
+        # The satellite contract: failures carry state, condition, deadline.
+        assert error.state is not None
+        assert error.condition == "U"
+        assert error.deadline == 2

@@ -1,0 +1,118 @@
+"""Tests for the adversarial scheduling strategies."""
+
+import random
+from fractions import Fraction as F
+
+import pytest
+
+from repro.faults.strategies import (
+    AdversarialStrategy,
+    DeadlinePushStrategy,
+    JitterStrategy,
+)
+from repro.sim.strategies import EagerStrategy, LazyStrategy
+from repro.timed.interval import INFINITY
+
+
+OPTIONS = [("a", 1, 3), ("b", 2, 5)]
+
+
+class FakeState:
+    def __init__(self, now=0):
+        self.now = now
+
+
+class TestAdversarial:
+    def test_alternates_between_window_edges(self):
+        strategy = AdversarialStrategy(random.Random(0))
+        first = strategy.choose(FakeState(), OPTIONS)
+        second = strategy.choose(FakeState(), OPTIONS)
+        # Ft regime: latest-opening window ("b", lo=2) at its earliest.
+        assert first == ("b", 2)
+        # Lt regime: the tightest deadline is "a"'s hi=3.
+        assert second == ("a", 3)
+
+    def test_zeno_guard_pushes_now_filler_to_deadline(self):
+        strategy = AdversarialStrategy(random.Random(0))
+        action, t = strategy.choose(FakeState(now=2), [("only", 2, 7)])
+        assert (action, t) == ("only", 7)
+
+    def test_unbounded_window_capped(self):
+        strategy = AdversarialStrategy(random.Random(0), unbounded_extension=4)
+        strategy.choose(FakeState(), OPTIONS)  # burn the Ft step
+        action, t = strategy.choose(FakeState(), [("u", 1, INFINITY)])
+        assert (action, t) == ("u", 5)
+
+    def test_deterministic_per_seed(self):
+        runs = []
+        for _ in range(2):
+            strategy = AdversarialStrategy(random.Random(7))
+            runs.append([strategy.choose(FakeState(), OPTIONS) for _ in range(6)])
+        assert runs[0] == runs[1]
+
+
+class TestDeadlinePush:
+    def test_fires_exactly_at_min_deadline(self):
+        strategy = DeadlinePushStrategy(random.Random(0))
+        assert strategy.choose(FakeState(), OPTIONS) == ("a", 3)
+
+    def test_caps_unbounded_deadlines(self):
+        strategy = DeadlinePushStrategy(random.Random(0), unbounded_extension=2)
+        action, t = strategy.choose(FakeState(), [("u", 1, INFINITY), ("v", 0, 10)])
+        assert (action, t) == ("u", 3)
+
+
+class TestJitter:
+    def test_stays_inside_the_window(self):
+        inner = DeadlinePushStrategy(random.Random(0))
+        strategy = JitterStrategy(inner, jitter=F(1, 2), rng=random.Random(1))
+        for _ in range(50):
+            action, t = strategy.choose(FakeState(), OPTIONS)
+            lo, hi = dict((a, (l, h)) for a, l, h in OPTIONS)[action]
+            assert lo <= t <= hi
+
+    def test_zero_jitter_is_the_inner_strategy(self):
+        inner = DeadlinePushStrategy(random.Random(0))
+        strategy = JitterStrategy(inner, jitter=0, rng=random.Random(1))
+        assert strategy.choose(FakeState(), OPTIONS) == ("a", 3)
+
+    def test_rejects_bad_parameters(self):
+        inner = DeadlinePushStrategy(random.Random(0))
+        with pytest.raises(ValueError):
+            JitterStrategy(inner, jitter=-1)
+        with pytest.raises(ValueError):
+            JitterStrategy(inner, quantum=0)
+
+    def test_delegates_post_choice(self):
+        class Recording(DeadlinePushStrategy):
+            def pick_post(self, posts):
+                self.recorded = True
+                return posts[0]
+
+        inner = Recording(random.Random(0))
+        strategy = JitterStrategy(inner, rng=random.Random(1))
+        strategy.pick_post(["x", "y"])
+        assert inner.recorded
+
+
+class TestUnboundedExtensionSemantics:
+    """Satellite: ``unbounded_extension`` is documented, validated, and
+    deterministic for the extremal strategies."""
+
+    def test_rejects_nonpositive_or_infinite(self):
+        with pytest.raises(ValueError):
+            LazyStrategy(random.Random(0), unbounded_extension=0)
+        with pytest.raises(ValueError):
+            EagerStrategy(random.Random(0), unbounded_extension=-2)
+        with pytest.raises(ValueError):
+            LazyStrategy(random.Random(0), unbounded_extension=float("inf"))
+
+    def test_lazy_fires_exactly_at_lo_plus_extension(self):
+        strategy = LazyStrategy(random.Random(0), unbounded_extension=F(3, 2))
+        action, t = strategy.choose(FakeState(), [("u", 2, INFINITY)])
+        assert (action, t) == ("u", F(7, 2))
+
+    def test_cap_is_relative_to_each_window(self):
+        strategy = LazyStrategy(random.Random(0), unbounded_extension=1)
+        assert strategy.choose(FakeState(), [("u", 5, INFINITY)]) == ("u", 6)
+        assert strategy.choose(FakeState(), [("u", 9, INFINITY)]) == ("u", 10)

@@ -1,0 +1,91 @@
+"""Tests for the tolerance binary search."""
+
+from fractions import Fraction as F
+
+import pytest
+
+from repro.core.checker import CheckOutcome
+from repro.faults.budget import Budget
+from repro.faults.tolerance import search_tolerance
+
+
+def threshold_evaluation(threshold):
+    """Passes strictly below ``threshold``, fails at or above it."""
+
+    def evaluate(eps, budget=None):
+        return CheckOutcome(eps < threshold, 1, "eps={}".format(eps))
+
+    return evaluate
+
+
+class TestSearch:
+    def test_brackets_a_known_threshold(self):
+        report = search_tolerance(
+            threshold_evaluation(F(1, 5)), resolution=F(1, 64)
+        )
+        assert not report.broken and not report.ceiling_hit
+        assert report.tolerance < F(1, 5) <= report.breaking_epsilon
+        assert report.breaking_epsilon - report.tolerance <= F(1, 64)
+
+    def test_broken_at_zero(self):
+        report = search_tolerance(threshold_evaluation(F(0)))
+        assert report.broken
+        assert report.tolerance is None
+        assert report.breaking_epsilon == 0
+        assert report.fragile
+
+    def test_ceiling_hit(self):
+        report = search_tolerance(threshold_evaluation(F(99)), ceiling=F(2))
+        assert report.ceiling_hit
+        assert report.tolerance == F(2)
+        assert report.breaking_epsilon is None
+        assert not report.fragile
+
+    def test_every_probe_is_real_monotone_bracketing(self):
+        probed = []
+
+        def evaluate(eps, budget=None):
+            probed.append(eps)
+            return CheckOutcome(eps < F(1, 3), 1)
+
+        search_tolerance(evaluate, resolution=F(1, 32))
+        assert probed[0] == 0 and probed[1] == 1
+        assert all(0 <= eps <= 1 for eps in probed)
+
+    def test_validates_parameters(self):
+        with pytest.raises(ValueError):
+            search_tolerance(threshold_evaluation(F(1)), ceiling=F(0))
+        with pytest.raises(ValueError):
+            search_tolerance(threshold_evaluation(F(1)), resolution=F(-1))
+
+
+class TestBudgetPropagation:
+    def test_fresh_budget_per_probe(self):
+        budgets = []
+
+        def evaluate(eps, budget=None):
+            budgets.append(budget)
+            budget.charge_step()
+            return CheckOutcome(eps < F(1, 2), 1)
+
+        report = search_tolerance(
+            evaluate, budget_factory=lambda: Budget(max_steps=1)
+        )
+        assert len(set(map(id, budgets))) == len(budgets)
+        assert not report.exhausted_budget
+
+    def test_probe_exhaustion_marks_the_report(self):
+        def evaluate(eps, budget=None):
+            return CheckOutcome(
+                eps < F(1, 2), 1, exhausted_budget=(eps == F(1, 2))
+            )
+
+        report = search_tolerance(evaluate, resolution=F(1, 4))
+        assert report.exhausted_budget
+
+    def test_to_dict_renders_fractions_as_strings(self):
+        report = search_tolerance(threshold_evaluation(F(1, 5)))
+        payload = report.to_dict()
+        assert isinstance(payload["tolerance"], str)
+        assert payload["fragile"] is False
+        assert "tolerance" in report.render() or "BROKEN" in report.render()

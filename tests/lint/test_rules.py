@@ -403,3 +403,24 @@ class TestR013InactiveCondition:
         )
         report = lint_conditions(automaton, [cond], max_states=5)
         assert not report.by_rule("R013")
+
+
+class TestR014FragileBounds:
+    def _lint(self, target):
+        from repro.lint import lint_system
+
+        return lint_system(target)
+
+    def test_broken_system_warns_at_nominal(self):
+        from repro.lint.targets import SystemTarget
+
+        report = self._lint(SystemTarget(name="fischer-tight"))
+        (diagnostic,) = report.by_rule("R014")
+        assert diagnostic.severity is Severity.WARNING
+        assert "eps=0" in diagnostic.message
+
+    def test_system_without_harness_is_skipped(self):
+        from repro.lint.targets import SystemTarget
+
+        report = self._lint(SystemTarget(name="interrupt"))
+        assert not report.by_rule("R014")

@@ -69,3 +69,47 @@ class TestCommands:
     def test_parser_requires_command(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
+
+
+class TestPerturbCommand:
+    def test_epsilon_probe_failure_sets_exit_code(self, capsys):
+        assert main(["perturb", "fischer-tight", "--epsilon", "0"]) == 1
+        assert "FAIL" in capsys.readouterr().out
+
+    def test_epsilon_probe_json(self, capsys):
+        import json
+
+        assert (
+            main(
+                [
+                    "perturb",
+                    "peterson",
+                    "--epsilon",
+                    "1",
+                    "--json",
+                    "--seeds",
+                    "1",
+                    "--steps",
+                    "30",
+                ]
+            )
+            == 0
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["system"] == "peterson"
+        assert payload["ok"] is True
+        assert payload["epsilon"] == "1"
+
+    def test_search_broken_system_is_a_finding_not_a_failure(self, capsys):
+        import json
+
+        assert main(["perturb", "fischer-tight", "--search", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["broken"] is True and payload["fragile"] is True
+        assert payload["tolerance"] is None
+
+    def test_epsilon_and_search_are_exclusive(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["perturb", "rm", "--epsilon", "1/8", "--search"]
+            )
