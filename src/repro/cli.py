@@ -12,7 +12,10 @@ writing code:
 - ``timeline`` print one run as a timeline with predictions;
 - ``fischer``  exact mutual-exclusion verdict for Fischer's protocol;
 - ``lint``     static pre-flight diagnostics for a shipped system's
-               boundmaps, timing conditions and mapping hierarchies.
+               boundmaps, timing conditions and mapping hierarchies;
+- ``perturb``  fault injection: how much drift do the proofs survive?;
+- ``bench``    perf-trajectory benchmark runner (``BENCH_<n>.json``);
+- ``trace``    replayable JSONL telemetry trace of a checked run.
 """
 
 from __future__ import annotations
@@ -80,13 +83,24 @@ def _add_relay_arguments(parser) -> None:
     parser.add_argument("--d2", type=_fraction, default=Fraction(2), help="hop upper bound")
 
 
+def _add_sim_arguments(parser) -> None:
+    parser.add_argument("--seed", type=int, default=0, help="base RNG seed")
+    parser.add_argument(
+        "--sim-runs", type=int, default=0,
+        help="additionally simulate this many seeded runs",
+    )
+    parser.add_argument(
+        "--sim-steps", type=int, default=120, help="events per simulated run"
+    )
+
+
 def cmd_rm(args) -> int:
     params = _rm_params(args)
     system = ResourceManagerSystem(params)
     mapping = resource_manager_mapping(system)
     first = BoundsAccumulator()
     gap = BoundsAccumulator()
-    for seed in range(args.seeds):
+    for seed in range(args.seed, args.seed + args.seeds):
         run = Simulator(system.algorithm, UniformStrategy(random.Random(seed))).run(
             max_steps=args.steps
         )
@@ -114,7 +128,7 @@ def cmd_relay(args) -> int:
     system = RelaySystem(params)
     chain = relay_hierarchy(system)
     delays = BoundsAccumulator()
-    for seed in range(args.seeds):
+    for seed in range(args.seed, args.seed + args.seeds):
         run = Simulator(system.algorithm, UniformStrategy(random.Random(seed))).run(
             max_steps=args.steps
         )
@@ -190,6 +204,19 @@ def cmd_timeline(args) -> int:
     return 0
 
 
+def _seeded_safety_runs(automaton, predicate, seed: int, runs: int, steps: int) -> int:
+    """Simulate ``runs`` seeded UniformStrategy runs and count states
+    violating ``predicate`` — the reproducible-from-the-CLI complement
+    to the exact zone verdict."""
+    violations = 0
+    for offset in range(runs):
+        run = Simulator(automaton, UniformStrategy(random.Random(seed + offset))).run(
+            max_steps=steps
+        )
+        violations += sum(1 for s in run.states if predicate(s.astate))
+    return violations
+
+
 def cmd_fischer(args) -> int:
     import math
 
@@ -210,9 +237,28 @@ def cmd_fischer(args) -> int:
             params.n, params.a, params.b, "inf" if e == math.inf else e
         )
     )
+    violations = None
+    if args.sim_runs:
+        from repro.core import time_of_boundmap
+
+        sim_params = FischerParams(
+            n=args.n, a=args.a, b=args.b, e=params.e if args.e is not None else 1
+        )
+        violations = _seeded_safety_runs(
+            time_of_boundmap(fischer_system(sim_params)),
+            mutual_exclusion_violated,
+            seed=args.seed,
+            runs=args.sim_runs,
+            steps=args.sim_steps,
+        )
+        print(
+            "simulation: {} seeded runs (seed base {}): {} violation(s)".format(
+                args.sim_runs, args.seed, violations
+            )
+        )
     if bad is None:
         print("verdict: SAFE (no double-critical state is timed-reachable)")
-        return 0
+        return 0 if not violations else 1
     print("verdict: VIOLABLE — reachable state {!r}".format(bad))
     return 1
 
@@ -244,7 +290,23 @@ def cmd_peterson(args) -> int:
     print("recurrence argument (3 winner steps): {!r}".format(operational))
     agree = (bounds.lo, bounds.hi) == (operational.lo, operational.hi)
     print("agreement: {}".format("yes" if agree else "no"))
-    return 0 if (bad is None and agree) else 1
+    violations = 0
+    if args.sim_runs:
+        from repro.core import time_of_boundmap
+
+        violations = _seeded_safety_runs(
+            time_of_boundmap(peterson_system(params)),
+            both_critical,
+            seed=args.seed,
+            runs=args.sim_runs,
+            steps=args.sim_steps,
+        )
+        print(
+            "simulation: {} seeded runs (seed base {}): {} violation(s)".format(
+                args.sim_runs, args.seed, violations
+            )
+        )
+    return 0 if (bad is None and agree and not violations) else 1
 
 
 def cmd_lint(args) -> int:
@@ -306,6 +368,7 @@ def cmd_perturb(args) -> int:
             mode=args.mode,
             seeds=args.seeds,
             steps=args.steps,
+            seed=args.seed,
         )
         if args.epsilon is not None:
             outcome = target.evaluate(args.epsilon, factory())
@@ -355,6 +418,80 @@ def cmd_perturb(args) -> int:
     return 1 if (args.epsilon is not None and failed) else 0
 
 
+def cmd_bench(args) -> int:
+    import json as _json
+    import os
+
+    from repro.obs import bench as _bench
+
+    systems = args.system or None
+    suite_rows = os.path.join(args.root, "benchmarks", "bench_rows.jsonl")
+    report = _bench.run_bench(
+        systems=systems,
+        iterations=args.iterations,
+        suite_rows_path=suite_rows,
+    )
+    previous_path = args.compare or _bench.latest_bench_path(args.root)
+    out_path = args.out or _bench.next_bench_path(args.root)
+    comparison = None
+    if previous_path is not None and os.path.exists(previous_path):
+        comparison = _bench.compare_reports(_bench.load_report(previous_path), report)
+    _bench.write_report(report, out_path)
+    if args.json:
+        payload = {
+            "path": out_path,
+            "report": report.to_dict(),
+            "compared_to": previous_path,
+            "comparison": None if comparison is None else comparison.to_dict(),
+        }
+        print(_json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        table = Table("bench — perf trajectory", [
+            "system", "wall (s)", "states", "zones", "mapping evals", "ok",
+        ])
+        for record in report.records:
+            table.add_row(
+                record.system,
+                "{:.3f}".format(record.wall_time),
+                record.counters.get("explore.states", 0),
+                record.counters.get("zones.nodes", 0),
+                record.counters.get("mapping.evals", 0),
+                record.meta.get("ok", "?"),
+            )
+        table.print()
+        print("\nwrote {}".format(out_path))
+        if comparison is not None:
+            print("compared against {}:".format(previous_path))
+            print(comparison.render())
+        else:
+            print("no previous report to compare against")
+    if args.fail_on_regress and comparison is not None and not comparison.ok:
+        return 1
+    return 0
+
+
+def cmd_trace(args) -> int:
+    from repro.obs.tracing import trace_system
+    from repro.serialize import events_to_jsonl
+
+    recorder, summary = trace_system(
+        args.system, seed=args.seed, steps=args.steps
+    )
+    text = events_to_jsonl(recorder.events)
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(text)
+        print("trace {}: {} events -> {}".format(
+            args.system, summary["events"], args.out
+        ))
+        for key in sorted(summary):
+            if key != "events":
+                print("  {}: {}".format(key, summary[key]))
+    else:
+        sys.stdout.write(text)
+    return 0 if summary.get("ok", True) else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -366,12 +503,14 @@ def build_parser() -> argparse.ArgumentParser:
     _add_rm_arguments(rm)
     rm.add_argument("--seeds", type=int, default=10)
     rm.add_argument("--steps", type=int, default=300)
+    rm.add_argument("--seed", type=int, default=0, help="base RNG seed")
     rm.set_defaults(func=cmd_rm)
 
     relay = sub.add_parser("relay", help="simulate + check the signal relay")
     _add_relay_arguments(relay)
     relay.add_argument("--seeds", type=int, default=10)
     relay.add_argument("--steps", type=int, default=120)
+    relay.add_argument("--seed", type=int, default=0, help="base RNG seed")
     relay.set_defaults(func=cmd_relay)
 
     zones = sub.add_parser("zones", help="exact bounds via zone reachability")
@@ -407,6 +546,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="critical-section bound (default: unbounded)",
     )
     fischer.add_argument("--max-nodes", type=int, default=400_000)
+    _add_sim_arguments(fischer)
     fischer.set_defaults(func=cmd_fischer)
 
     peterson = sub.add_parser(
@@ -415,6 +555,7 @@ def build_parser() -> argparse.ArgumentParser:
     peterson.add_argument("--s1", type=_fraction, default=Fraction(1), help="step lower bound")
     peterson.add_argument("--s2", type=_fraction, default=Fraction(2), help="step upper bound")
     peterson.add_argument("--max-nodes", type=int, default=400_000)
+    _add_sim_arguments(peterson)
     peterson.set_defaults(func=cmd_peterson)
 
     from repro.lint import DEFAULT_MAX_STATES, system_names
@@ -479,6 +620,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="bracket width at which the search stops",
     )
     perturb.add_argument("--seeds", type=int, default=3, help="uniform-strategy seeds")
+    perturb.add_argument("--seed", type=int, default=0, help="base RNG seed")
     perturb.add_argument("--steps", type=int, default=80, help="events per run")
     perturb.add_argument(
         "--json", action="store_true", help="machine-readable report"
@@ -496,6 +638,54 @@ def build_parser() -> argparse.ArgumentParser:
         help="budget: seconds of wall time per probe",
     )
     perturb.set_defaults(func=cmd_perturb)
+
+    from repro.obs.bench import DEFAULT_ITERATIONS, bench_names
+    from repro.obs.tracing import trace_names
+
+    bench = sub.add_parser(
+        "bench", help="perf-trajectory benchmark runner (BENCH_<n>.json)"
+    )
+    bench.add_argument(
+        "system", nargs="*", metavar="SYSTEM",
+        help="systems to profile (default: all of {})".format(
+            ", ".join(bench_names())
+        ),
+    )
+    bench.add_argument(
+        "--iterations", type=int, default=DEFAULT_ITERATIONS,
+        help="seeded simulation iterations per profile",
+    )
+    bench.add_argument(
+        "--out", default=None,
+        help="output path (default: next free BENCH_<n>.json under --root)",
+    )
+    bench.add_argument(
+        "--root", default=".", help="directory holding BENCH_<n>.json files"
+    )
+    bench.add_argument(
+        "--compare", default=None, metavar="PREV",
+        help="compare against this report (default: latest BENCH_<n>.json)",
+    )
+    bench.add_argument(
+        "--fail-on-regress", action="store_true",
+        help="exit 1 when the comparison finds a regression",
+    )
+    bench.add_argument(
+        "--json", action="store_true", help="machine-readable report + comparison"
+    )
+    bench.set_defaults(func=cmd_bench)
+
+    trace = sub.add_parser(
+        "trace", help="replayable JSONL telemetry trace of a checked run"
+    )
+    trace.add_argument("system", choices=list(trace_names()))
+    trace.add_argument("--seed", type=int, default=0, help="RNG seed")
+    trace.add_argument("--steps", type=int, default=80, help="events per run")
+    trace.add_argument(
+        "--out", default=None, metavar="FILE.jsonl",
+        help="write the trace here (default: stdout)",
+    )
+    trace.set_defaults(func=cmd_trace)
 
     return parser
 

@@ -24,6 +24,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Hashable, List, Optional, Sequence, Tuple
 
 from repro.errors import MappingCheckError, TimingViolationError
+from repro.obs import instrument as _telemetry
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (faults uses core)
     from repro.faults.budget import Budget
@@ -109,6 +110,7 @@ def _witness_step(
 ) -> Tuple[Optional[TimeState], Optional[CheckOutcome]]:
     """One simulation step: construct the target step and check both
     proof obligations."""
+    _telemetry.incr("check.steps")
     try:
         next_witness = mapping.target.successor_matching(
             witness, action, time, source_post.astate
@@ -146,6 +148,24 @@ def _budget_cut(steps: int) -> CheckOutcome:
     )
 
 
+def _emit_outcome(check: str, outcome: CheckOutcome) -> CheckOutcome:
+    """Telemetry terminal event: every check verdict — pass, fail, or
+    budget cut — leaves a ``check.outcome`` trace event, so aborted
+    checks are visible in traces rather than ending silently."""
+    rec = _telemetry._ACTIVE
+    if rec is not None:
+        rec.incr("check.outcomes")
+        rec.event(
+            "check.outcome",
+            check=check,
+            ok=outcome.ok,
+            steps=outcome.steps_checked,
+            detail=outcome.detail,
+            exhausted_budget=outcome.exhausted_budget,
+        )
+    return outcome
+
+
 def check_mapping_on_run(
     mapping: StrongPossibilitiesMapping,
     run: TimedSequence,
@@ -161,18 +181,18 @@ def check_mapping_on_run(
     """
     witness, failure = _initial_witness(mapping, run.first_state)
     if failure is not None:
-        return failure
+        return _emit_outcome("mapping_on_run", failure)
     steps = 0
     for _pre, event, post in run.triples():
         if budget is not None and not budget.charge_step():
-            return _budget_cut(steps)
+            return _emit_outcome("mapping_on_run", _budget_cut(steps))
         witness, failure = _witness_step(
             mapping, witness, event.action, event.time, post, steps
         )
         if failure is not None:
-            return failure
+            return _emit_outcome("mapping_on_run", failure)
         steps += 1
-    return CheckOutcome(True, steps)
+    return _emit_outcome("mapping_on_run", CheckOutcome(True, steps))
 
 
 def check_chain_on_run(
@@ -188,7 +208,7 @@ def check_chain_on_run(
     for mapping in chain:
         witness, failure = _initial_witness(mapping, previous)
         if failure is not None:
-            return failure
+            return _emit_outcome("chain_on_run", failure)
         witnesses.append(witness)
         previous = witness
     steps = 0
@@ -196,16 +216,16 @@ def check_chain_on_run(
         previous = post
         for level, mapping in enumerate(chain):
             if budget is not None and not budget.charge_step():
-                return _budget_cut(steps)
+                return _emit_outcome("chain_on_run", _budget_cut(steps))
             witness, failure = _witness_step(
                 mapping, witnesses[level], event.action, event.time, previous, steps
             )
             if failure is not None:
-                return failure
+                return _emit_outcome("chain_on_run", failure)
             witnesses[level] = witness
             previous = witness
         steps += 1
-    return CheckOutcome(True, steps)
+    return _emit_outcome("chain_on_run", CheckOutcome(True, steps))
 
 
 def check_mapping_exhaustive(
@@ -223,16 +243,17 @@ def check_mapping_exhaustive(
     breadth-first.  Exhaustive for the grid semantics; raises the same
     two obligations as :func:`check_mapping_on_run` at every step.
     """
+    rec = _telemetry._ACTIVE
     seen = set()
     frontier: deque = deque()
     for source_start in mapping.source.start_states():
         witness, failure = _initial_witness(mapping, source_start)
         if failure is not None:
-            return failure
+            return _emit_outcome("mapping_exhaustive", failure)
         pair = (source_start, witness)
         if pair not in seen:
             if budget is not None and not budget.charge_state():
-                return _budget_cut(0)
+                return _emit_outcome("mapping_exhaustive", _budget_cut(0))
             seen.add(pair)
             frontier.append(pair)
     steps = 0
@@ -241,24 +262,34 @@ def check_mapping_exhaustive(
         for action, time in discrete_options(mapping.source, source_state, grid, horizon):
             for source_post in mapping.source.successors(source_state, action, time):
                 if budget is not None and not budget.charge_step():
-                    return _budget_cut(steps)
+                    return _emit_outcome("mapping_exhaustive", _budget_cut(steps))
                 next_witness, failure = _witness_step(
                     mapping, witness, action, time, source_post, steps
                 )
                 if failure is not None:
-                    return failure
+                    return _emit_outcome("mapping_exhaustive", failure)
                 steps += 1
                 pair = (source_post, next_witness)
                 if pair in seen:
+                    if rec is not None:
+                        rec.incr("check.cache_hits")
                     continue
                 if len(seen) >= max_pairs:
-                    return CheckOutcome(
-                        True,
-                        steps,
-                        "truncated at {} state pairs".format(max_pairs),
+                    return _emit_outcome(
+                        "mapping_exhaustive",
+                        CheckOutcome(
+                            True,
+                            steps,
+                            "truncated at {} state pairs".format(max_pairs),
+                        ),
                     )
                 if budget is not None and not budget.charge_state():
-                    return _budget_cut(steps)
+                    return _emit_outcome("mapping_exhaustive", _budget_cut(steps))
                 seen.add(pair)
                 frontier.append(pair)
-    return CheckOutcome(True, steps, "exhaustive over grid={!r} horizon={!r}".format(grid, horizon))
+    return _emit_outcome(
+        "mapping_exhaustive",
+        CheckOutcome(
+            True, steps, "exhaustive over grid={!r} horizon={!r}".format(grid, horizon)
+        ),
+    )

@@ -23,6 +23,7 @@ from abc import ABC, abstractmethod
 from typing import Callable, Dict, Optional, Sequence
 
 from repro.errors import MappingError
+from repro.obs import instrument as _telemetry
 from repro.core.time_automaton import PredictiveTimeAutomaton
 from repro.core.time_state import TimeState
 
@@ -68,6 +69,9 @@ class StrongPossibilitiesMapping(ABC):
     def contains(self, target_state: TimeState, source_state: TimeState) -> bool:
         """``target_state ∈ f(source_state)`` including the identity
         requirement on ``A``-state components."""
+        rec = _telemetry._ACTIVE
+        if rec is not None:
+            rec.incr("mapping.evals")
         if target_state.astate != source_state.astate:
             return False
         return self.image_contains(target_state, source_state)

@@ -167,14 +167,22 @@ def _run_checks(
     return CheckOutcome(True, total, detail, exhausted_budget=exhausted)
 
 
-def _adversarial_runs(algorithm, budget: Optional[Budget], seeds: int, steps: int):
+def _adversarial_runs(
+    algorithm, budget: Optional[Budget], seeds: int, steps: int, base: int = 0
+):
     """Seeded runs under the full strategy battery: uniform sampling,
-    both edge-of-window adversaries, and a jittered deadline-pusher."""
-    strategies = [UniformStrategy(random.Random(seed)) for seed in range(seeds)]
-    strategies.append(AdversarialStrategy(random.Random(0)))
-    strategies.append(DeadlinePushStrategy(random.Random(0)))
+    both edge-of-window adversaries, and a jittered deadline-pusher.
+    ``base`` offsets every RNG seed, so distinct bases give independent
+    but reproducible batteries."""
+    strategies = [
+        UniformStrategy(random.Random(seed)) for seed in range(base, base + seeds)
+    ]
+    strategies.append(AdversarialStrategy(random.Random(base)))
+    strategies.append(DeadlinePushStrategy(random.Random(base)))
     strategies.append(
-        JitterStrategy(DeadlinePushStrategy(random.Random(1)), rng=random.Random(2))
+        JitterStrategy(
+            DeadlinePushStrategy(random.Random(base + 1)), rng=random.Random(base + 2)
+        )
     )
     runs = []
     for strategy in strategies:
@@ -191,7 +199,7 @@ def _adversarial_runs(algorithm, budget: Optional[Budget], seeds: int, steps: in
 # ----------------------------------------------------------------------
 
 
-def _rm_builder(direction: str, mode: str, seeds: int, steps: int):
+def _rm_builder(direction: str, mode: str, seeds: int, steps: int, seed: int):
     nominal = ResourceManagerSystem(
         ResourceManagerParams(k=3, c1=Fraction(2), c2=Fraction(3), l=Fraction(1))
     )
@@ -208,7 +216,7 @@ def _rm_builder(direction: str, mode: str, seeds: int, steps: int):
         mapping = resource_manager_mapping_over(
             algorithm, nominal.requirements, params
         )
-        runs = _adversarial_runs(algorithm, budget, seeds, steps)
+        runs = _adversarial_runs(algorithm, budget, seeds, steps, base=seed)
         checks = [
             ("Section 4.3 mapping", lambda: mapping_run_check(mapping, runs, budget)),
             (
@@ -244,7 +252,7 @@ def _rm_builder(direction: str, mode: str, seeds: int, steps: int):
     return description, Fraction(1), evaluate
 
 
-def _relay_builder(direction: str, mode: str, seeds: int, steps: int):
+def _relay_builder(direction: str, mode: str, seeds: int, steps: int, seed: int):
     nominal = RelaySystem(RelayParams(n=3, d1=Fraction(1), d2=Fraction(2)))
     params = nominal.params
     claimed = params.end_to_end_interval
@@ -270,7 +278,7 @@ def _relay_builder(direction: str, mode: str, seeds: int, steps: int):
                 )
             ]
         )
-        runs = _adversarial_runs(perturbed.algorithm, budget, seeds, steps)
+        runs = _adversarial_runs(perturbed.algorithm, budget, seeds, steps, base=seed)
         checks = [
             (
                 "Section 6 hierarchy + slack refinement",
@@ -298,7 +306,7 @@ def _relay_builder(direction: str, mode: str, seeds: int, steps: int):
     return description, Fraction(1), evaluate
 
 
-def _chain_builder(direction: str, mode: str, seeds: int, steps: int):
+def _chain_builder(direction: str, mode: str, seeds: int, steps: int, seed: int):
     stages = (Interval(1, 2), Interval(2, 3))
     nominal = ChainSystem(list(stages))
     claimed = nominal.requirement.interval
@@ -321,7 +329,7 @@ def _chain_builder(direction: str, mode: str, seeds: int, steps: int):
                 )
             ]
         )
-        runs = _adversarial_runs(perturbed.algorithm, budget, seeds, steps)
+        runs = _adversarial_runs(perturbed.algorithm, budget, seeds, steps, base=seed)
         checks = [
             (
                 "Section 8 hierarchy + slack refinement",
@@ -361,7 +369,7 @@ def _safety_builder(
     description: str,
     max_nodes: int = 200_000,
 ):
-    def builder(direction: str, mode: str, seeds: int, steps: int):
+    def builder(direction: str, mode: str, seeds: int, steps: int, seed: int):
         def evaluate(eps: Fraction, budget: Optional[Budget]) -> CheckOutcome:
             perturbed = (
                 timed
@@ -394,8 +402,8 @@ def _safety_builder(
 # ----------------------------------------------------------------------
 
 #: name -> (builder, canonical direction). Builders take
-#: (direction, mode, seeds, steps) and return (description, ceiling,
-#: evaluate).
+#: (direction, mode, seeds, steps, seed) and return (description,
+#: ceiling, evaluate).
 _BUILDERS: Dict[str, Tuple[Callable, str]] = {
     "rm": (_rm_builder, "tighten"),
     "relay": (_relay_builder, "tighten"),
@@ -454,9 +462,11 @@ def build_perturb_target(
     mode: Optional[str] = None,
     seeds: int = 3,
     steps: int = 80,
+    seed: int = 0,
 ) -> PerturbTarget:
     """Build one system's harness, optionally overriding the canonical
-    stress direction or drift mode."""
+    stress direction or drift mode.  ``seed`` offsets every RNG in the
+    adversarial battery for reproducible-but-independent reruns."""
     if name not in _BUILDERS:
         raise ReproError(
             "unknown perturbation target {!r}; expected one of {}".format(
@@ -468,7 +478,7 @@ def build_perturb_target(
     mode = mode or "scale"
     # Validate direction/mode eagerly (Drift owns the vocabulary).
     Drift(Fraction(0), mode=mode, direction=direction)
-    description, ceiling, evaluate = builder(direction, mode, seeds, steps)
+    description, ceiling, evaluate = builder(direction, mode, seeds, steps, seed)
     return PerturbTarget(
         name=name,
         description=description,
@@ -487,12 +497,13 @@ def probe_tolerance(
     mode: Optional[str] = None,
     seeds: int = 2,
     steps: int = 60,
+    seed: int = 0,
 ) -> Tuple[PerturbTarget, CheckOutcome, CheckOutcome]:
     """Evaluate a target at ε = 0 and at ``epsilon`` (each probe under a
     fresh copy of ``budget``).  The lint rule R014 uses this to flag
     fragile bounds: nominal passes but even a small drift fails."""
     target = build_perturb_target(
-        name, direction=direction, mode=mode, seeds=seeds, steps=steps
+        name, direction=direction, mode=mode, seeds=seeds, steps=steps, seed=seed
     )
     nominal = target.evaluate(
         Fraction(0), budget.renew() if budget is not None else None

@@ -14,6 +14,7 @@ from typing import TYPE_CHECKING, Callable, Dict, Hashable, Iterable, List, Opti
 from repro.errors import AutomatonError
 from repro.ioa.automaton import IOAutomaton
 from repro.ioa.execution import Execution
+from repro.obs import instrument as _telemetry
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (faults uses ioa)
     from repro.faults.budget import Budget
@@ -74,6 +75,7 @@ def explore(
     exhaustion returns the partial result with ``exhausted_budget`` set
     rather than raising.
     """
+    rec = _telemetry._ACTIVE
     result = ExplorationResult(reachable=set(), transitions_explored=0, truncated=False)
     frontier: deque = deque()
     for s0 in automaton.start_states():
@@ -85,7 +87,11 @@ def explore(
             result.reachable.add(s0)
             result.parents[s0] = (None, None)
             frontier.append((s0, 0))
+    if rec is not None:
+        rec.incr("explore.states", len(result.reachable))
     while frontier:
+        if rec is not None:
+            rec.gauge("explore.frontier", len(frontier))
         state, depth = frontier.popleft()
         if max_depth is not None and depth >= max_depth:
             result.truncated = True
@@ -97,6 +103,8 @@ def explore(
                     result.exhausted_budget = True
                     return result
                 result.transitions_explored += 1
+                if rec is not None:
+                    rec.incr("explore.transitions")
                 if post in result.reachable:
                     continue
                 if len(result.reachable) >= max_states:
@@ -108,6 +116,8 @@ def explore(
                     return result
                 result.reachable.add(post)
                 result.parents[post] = (state, action)
+                if rec is not None:
+                    rec.incr("explore.states")
                 frontier.append((post, depth + 1))
     return result
 
@@ -155,6 +165,7 @@ def check_invariant(
     partial ``holds=True`` report flagged ``exhausted_budget`` — the
     invariant held on everything visited, but the check is inconclusive.
     """
+    rec = _telemetry._ACTIVE
     result = ExplorationResult(reachable=set(), transitions_explored=0, truncated=False)
     frontier: deque = deque()
     checked = 0
@@ -166,11 +177,15 @@ def check_invariant(
         result.reachable.add(s0)
         result.parents[s0] = (None, None)
         checked += 1
+        if rec is not None:
+            rec.incr("explore.states")
         if not predicate(s0):
             return InvariantReport(False, checked, False, result.path_to(s0))
         frontier.append((s0, 0))
     truncated = False
     while frontier:
+        if rec is not None:
+            rec.gauge("explore.frontier", len(frontier))
         state, depth = frontier.popleft()
         if max_depth is not None and depth >= max_depth:
             truncated = True
@@ -179,6 +194,8 @@ def check_invariant(
             for post in automaton.transitions(state, action):
                 if budget is not None and not budget.charge_step():
                     return InvariantReport(True, checked, True, None, exhausted_budget=True)
+                if rec is not None:
+                    rec.incr("explore.transitions")
                 if post in result.reachable:
                     continue
                 if len(result.reachable) >= max_states:
@@ -188,6 +205,8 @@ def check_invariant(
                 result.reachable.add(post)
                 result.parents[post] = (state, action)
                 checked += 1
+                if rec is not None:
+                    rec.incr("explore.states")
                 if not predicate(post):
                     return InvariantReport(False, checked, truncated, result.path_to(post))
                 frontier.append((post, depth + 1))

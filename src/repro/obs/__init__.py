@@ -1,0 +1,50 @@
+"""repro.obs — observability: telemetry, tracing, and the perf
+trajectory.
+
+- :mod:`repro.obs.instrument` — the zero-dependency telemetry core
+  (:class:`Recorder`, counters/gauges/timers/trace events) every engine
+  hooks into;
+- :mod:`repro.obs.bench` — the benchmark runner behind
+  ``python -m repro bench``: micro-profiles each shipped system,
+  aggregates wall time + telemetry into a versioned ``BENCH_<n>.json``
+  and compares runs with per-metric regression thresholds;
+- :mod:`repro.obs.tracing` — builds the replayable JSONL event traces
+  behind ``python -m repro trace``.
+
+Only the instrument core is imported eagerly (it has no dependencies
+and is imported *by* the engines); import :mod:`repro.obs.bench` and
+:mod:`repro.obs.tracing` explicitly — they pull in the systems and
+engines.
+"""
+
+from repro.obs.instrument import (
+    GaugeStat,
+    Recorder,
+    TimerStat,
+    TraceEvent,
+    active,
+    emit,
+    gauge,
+    incr,
+    install,
+    jsonable,
+    recording,
+    span,
+    uninstall,
+)
+
+__all__ = [
+    "TraceEvent",
+    "GaugeStat",
+    "TimerStat",
+    "Recorder",
+    "active",
+    "recording",
+    "install",
+    "uninstall",
+    "incr",
+    "gauge",
+    "emit",
+    "span",
+    "jsonable",
+]

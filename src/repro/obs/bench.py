@@ -1,0 +1,626 @@
+"""The perf-trajectory benchmark runner behind ``python -m repro bench``.
+
+Micro-profiles every shipped system under a fresh
+:class:`~repro.obs.instrument.Recorder`: each profile simulates and/or
+symbolically analyses one system the way its CLI command and tests do,
+and its wall time plus the recorder's counters/gauges/timers become one
+:class:`BenchRecord`.  A :class:`BenchReport` bundles the records with a
+schema version and environment stamp and is written to
+``BENCH_<n>.json`` at the repo root — the machine-readable perf
+trajectory every subsequent optimisation PR is judged against.
+
+:func:`compare_reports` diffs two reports with per-metric regression
+thresholds: wall time may wobble with the machine (generous relative
+threshold plus an absolute floor), while counters are deterministic
+under fixed seeds (tight threshold) — a counter that *grows* means the
+engine is doing more work for the same task.  Improvements never count
+as regressions.
+
+Rows emitted by the pytest-benchmark suite (``benchmarks/*.py`` via
+``conftest.emit``) land in ``benchmarks/bench_rows.jsonl``;
+:func:`load_suite_rows` folds them into the report when present.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import random
+import re
+import time
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ReproError
+from repro.obs.instrument import Recorder, recording
+from repro.serialize import SerializationError
+
+__all__ = [
+    "BENCH_SCHEMA_VERSION",
+    "BenchRecord",
+    "BenchReport",
+    "MetricDelta",
+    "Comparison",
+    "bench_names",
+    "run_profile",
+    "run_bench",
+    "compare_reports",
+    "load_report",
+    "write_report",
+    "next_bench_path",
+    "latest_bench_path",
+    "load_suite_rows",
+]
+
+#: Version of the ``BENCH_<n>.json`` schema; unknown versions are
+#: rejected on load rather than misread.
+BENCH_SCHEMA_VERSION = 1
+
+#: Wall-time regression gate: ratio above which (and absolute growth
+#: beyond ``WALL_FLOOR_S``) a profile counts as regressed.
+WALL_THRESHOLD = 0.50
+WALL_FLOOR_S = 0.05
+
+#: Counter regression gate: counters are seed-deterministic, so > 10%
+#: growth (and more than ``COUNTER_FLOOR`` units) flags a regression.
+COUNTER_THRESHOLD = 0.10
+COUNTER_FLOOR = 10
+
+_BENCH_RE = re.compile(r"^BENCH_(\d+)\.json$")
+
+#: Default number of seeded simulation iterations per profile.
+DEFAULT_ITERATIONS = 3
+
+
+@dataclass
+class BenchRecord:
+    """Wall time + telemetry of one system's micro-profile."""
+
+    system: str
+    wall_time: float
+    iterations: int
+    counters: Dict[str, int] = field(default_factory=dict)
+    gauges: Dict[str, Any] = field(default_factory=dict)
+    timers: Dict[str, Any] = field(default_factory=dict)
+    meta: Dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "system": self.system,
+            "wall_time": self.wall_time,
+            "iterations": self.iterations,
+            "counters": self.counters,
+            "gauges": self.gauges,
+            "timers": self.timers,
+            "meta": self.meta,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "BenchRecord":
+        return cls(
+            system=payload["system"],
+            wall_time=payload["wall_time"],
+            iterations=payload["iterations"],
+            counters=dict(payload.get("counters", {})),
+            gauges=dict(payload.get("gauges", {})),
+            timers=dict(payload.get("timers", {})),
+            meta=dict(payload.get("meta", {})),
+        )
+
+
+@dataclass
+class BenchReport:
+    """One benchmark run: schema + environment stamp + per-system records."""
+
+    schema: int
+    created: str
+    python: str
+    platform: str
+    records: List[BenchRecord] = field(default_factory=list)
+    suite: List[Dict[str, Any]] = field(default_factory=list)
+
+    def record_for(self, system: str) -> Optional[BenchRecord]:
+        for record in self.records:
+            if record.system == system:
+                return record
+        return None
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "schema": self.schema,
+            "created": self.created,
+            "python": self.python,
+            "platform": self.platform,
+            "records": [r.to_dict() for r in self.records],
+            "suite": self.suite,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "BenchReport":
+        if not isinstance(payload, dict) or "schema" not in payload:
+            raise SerializationError("bench report has no schema field")
+        if payload["schema"] != BENCH_SCHEMA_VERSION:
+            raise SerializationError(
+                "unsupported bench schema version {!r} (supported: {})".format(
+                    payload["schema"], BENCH_SCHEMA_VERSION
+                )
+            )
+        return cls(
+            schema=payload["schema"],
+            created=payload.get("created", ""),
+            python=payload.get("python", ""),
+            platform=payload.get("platform", ""),
+            records=[BenchRecord.from_dict(r) for r in payload.get("records", [])],
+            suite=list(payload.get("suite", [])),
+        )
+
+
+# ----------------------------------------------------------------------
+# Per-system micro-profiles
+# ----------------------------------------------------------------------
+#
+# Each profile exercises one shipped system the way its CLI command /
+# tests do — seeded simulation runs through the paper's mapping checks
+# where the system has mappings, exact zone queries where it has claims,
+# and a bounded untimed exploration so explorer telemetry shows up
+# everywhere.  All randomness is seeded: counters are deterministic.
+
+
+def _explore_base(automaton, max_states: int = 4_000) -> int:
+    from repro.ioa.explorer import explore
+
+    return len(explore(automaton, max_states=max_states).reachable)
+
+
+def _profile_rm(iterations: int) -> Dict[str, Any]:
+    from repro.core import check_mapping_on_run
+    from repro.sim import Simulator, UniformStrategy
+    from repro.systems import (
+        GRANT,
+        ResourceManagerParams,
+        ResourceManagerSystem,
+        resource_manager_mapping,
+    )
+    from repro.zones.analysis import absolute_event_bounds, event_separation_bounds
+
+    system = ResourceManagerSystem(
+        ResourceManagerParams(k=3, c1=Fraction(2), c2=Fraction(3), l=Fraction(1))
+    )
+    mapping = resource_manager_mapping(system)
+    ok = True
+    for seed in range(iterations):
+        run = Simulator(system.algorithm, UniformStrategy(random.Random(seed))).run(
+            max_steps=120
+        )
+        ok = ok and bool(check_mapping_on_run(mapping, run))
+    first = absolute_event_bounds(system.timed, GRANT)
+    gap = event_separation_bounds(system.timed, GRANT, occurrence=2, reset_on=[GRANT])
+    states = _explore_base(system.timed.automaton)
+    return {
+        "ok": ok,
+        "first_grant": repr(first),
+        "grant_gap": repr(gap),
+        "base_states": states,
+    }
+
+
+def _profile_relay(iterations: int) -> Dict[str, Any]:
+    from repro.core import check_chain_on_run
+    from repro.sim import Simulator, UniformStrategy
+    from repro.systems import SIGNAL, RelayParams, RelaySystem, relay_hierarchy
+    from repro.zones.analysis import event_separation_bounds
+
+    system = RelaySystem(RelayParams(n=3, d1=Fraction(1), d2=Fraction(2)))
+    chain = relay_hierarchy(system)
+    ok = True
+    for seed in range(iterations):
+        run = Simulator(system.algorithm, UniformStrategy(random.Random(seed))).run(
+            max_steps=80
+        )
+        ok = ok and bool(check_chain_on_run(chain, run))
+    bounds = event_separation_bounds(
+        system.timed, SIGNAL(system.params.n), occurrence=1, reset_on=[SIGNAL(0)]
+    )
+    states = _explore_base(system.timed.automaton)
+    return {
+        "ok": ok,
+        "levels": len(chain),
+        "end_to_end": repr(bounds),
+        "base_states": states,
+    }
+
+
+def _profile_chain(iterations: int) -> Dict[str, Any]:
+    from repro.core import check_chain_on_run
+    from repro.sim import Simulator, UniformStrategy
+    from repro.systems.extensions import ChainSystem
+    from repro.systems.extensions.chain import EVENT
+    from repro.timed.interval import Interval
+    from repro.zones.analysis import event_separation_bounds
+
+    system = ChainSystem([Interval(1, 2), Interval(2, 3)])
+    chain = system.hierarchy()
+    ok = True
+    for seed in range(iterations):
+        run = Simulator(system.algorithm, UniformStrategy(random.Random(seed))).run(
+            max_steps=60
+        )
+        ok = ok and bool(check_chain_on_run(chain, run))
+    bounds = event_separation_bounds(
+        system.timed, EVENT(system.m), occurrence=1, reset_on=[EVENT(0)]
+    )
+    states = _explore_base(system.timed.automaton)
+    return {
+        "ok": ok,
+        "levels": len(chain),
+        "end_to_end": repr(bounds),
+        "base_states": states,
+    }
+
+
+def _profile_fischer(iterations: int) -> Dict[str, Any]:
+    from repro.core import time_of_boundmap
+    from repro.sim import Simulator, UniformStrategy
+    from repro.systems.extensions import (
+        FischerParams,
+        fischer_system,
+        mutual_exclusion_violated,
+    )
+    from repro.zones.analysis import search_reachable_state
+
+    timed = fischer_system(FischerParams(n=2, a=Fraction(1), b=Fraction(2)))
+    search = search_reachable_state(timed, mutual_exclusion_violated, max_nodes=400_000)
+    violations = 0
+    sim = time_of_boundmap(
+        fischer_system(FischerParams(n=2, a=Fraction(1), b=Fraction(2), e=Fraction(1)))
+    )
+    for seed in range(iterations):
+        run = Simulator(sim, UniformStrategy(random.Random(seed))).run(max_steps=100)
+        violations += sum(
+            1 for s in run.states if mutual_exclusion_violated(s.astate)
+        )
+    states = _explore_base(timed.automaton)
+    return {
+        "ok": search.state is None and violations == 0,
+        "verdict": "safe" if search.state is None else "violable",
+        "sim_violations": violations,
+        "base_states": states,
+    }
+
+
+def _profile_fischer_tight(iterations: int) -> Dict[str, Any]:
+    from repro.systems.extensions import (
+        FischerParams,
+        fischer_system,
+        mutual_exclusion_violated,
+    )
+    from repro.zones.analysis import search_reachable_state
+
+    timed = fischer_system(FischerParams(n=2, a=Fraction(1), b=Fraction(1)))
+    search = search_reachable_state(timed, mutual_exclusion_violated, max_nodes=400_000)
+    states = _explore_base(timed.automaton)
+    # A reachable violation is the *expected* finding here (a = b).
+    return {
+        "ok": search.state is not None,
+        "verdict": "violable" if search.state is not None else "safe",
+        "base_states": states,
+    }
+
+
+def _profile_peterson(iterations: int) -> Dict[str, Any]:
+    from repro.analysis.recurrence import peterson_first_entry_chain
+    from repro.systems.extensions import PetersonParams, both_critical, peterson_system
+    from repro.systems.extensions.peterson import ENTER
+    from repro.zones.analysis import event_separation_bounds, search_reachable_state
+
+    params = PetersonParams(s1=Fraction(1), s2=Fraction(2))
+    timed = peterson_system(params)
+    search = search_reachable_state(timed, both_critical, max_nodes=400_000)
+    bounds = event_separation_bounds(
+        timed, {ENTER(1), ENTER(2)}, occurrence=1, max_nodes=400_000
+    )
+    operational = peterson_first_entry_chain(params.step_interval).total()
+    agree = (bounds.lo, bounds.hi) == (operational.lo, operational.hi)
+    states = _explore_base(timed.automaton)
+    return {
+        "ok": search.state is None and agree,
+        "first_entry": repr(bounds),
+        "recurrence_agrees": agree,
+        "base_states": states,
+    }
+
+
+def _profile_tournament(iterations: int) -> Dict[str, Any]:
+    from repro.systems.extensions import (
+        TournamentParams,
+        tournament_mutex_violated,
+        tournament_system,
+    )
+    from repro.zones.analysis import search_reachable_state
+
+    timed = tournament_system(
+        TournamentParams(n=2, s1=Fraction(1), s2=Fraction(2))
+    )
+    search = search_reachable_state(
+        timed, tournament_mutex_violated, max_nodes=400_000
+    )
+    states = _explore_base(timed.automaton)
+    return {
+        "ok": search.state is None,
+        "verdict": "safe" if search.state is None else "violable",
+        "base_states": states,
+    }
+
+
+#: name -> profile callable; ordered like ``repro perturb``'s registry.
+PROFILES: Dict[str, Callable[[int], Dict[str, Any]]] = {
+    "rm": _profile_rm,
+    "relay": _profile_relay,
+    "chain": _profile_chain,
+    "fischer": _profile_fischer,
+    "fischer-tight": _profile_fischer_tight,
+    "peterson": _profile_peterson,
+    "tournament": _profile_tournament,
+}
+
+
+def bench_names() -> Tuple[str, ...]:
+    """Names accepted by :func:`run_profile` (and the CLI)."""
+    return tuple(PROFILES)
+
+
+def run_profile(name: str, iterations: int = DEFAULT_ITERATIONS) -> BenchRecord:
+    """Run one system's micro-profile under a fresh recorder."""
+    if name not in PROFILES:
+        raise ReproError(
+            "unknown bench profile {!r}; expected one of {}".format(
+                name, ", ".join(PROFILES)
+            )
+        )
+    recorder = Recorder(name="bench." + name, max_events=256)
+    with recording(recorder):
+        start = time.perf_counter()
+        meta = PROFILES[name](iterations)
+        wall = time.perf_counter() - start
+    snap = recorder.snapshot()
+    return BenchRecord(
+        system=name,
+        wall_time=wall,
+        iterations=iterations,
+        counters=snap["counters"],
+        gauges=snap["gauges"],
+        timers=snap["timers"],
+        meta=meta,
+    )
+
+
+def run_bench(
+    systems: Optional[Sequence[str]] = None,
+    iterations: int = DEFAULT_ITERATIONS,
+    suite_rows_path: Optional[str] = None,
+) -> BenchReport:
+    """Profile the requested systems (default: all seven) into a report."""
+    names = list(systems) if systems else list(PROFILES)
+    report = BenchReport(
+        schema=BENCH_SCHEMA_VERSION,
+        created=time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        python=platform.python_version(),
+        platform=platform.platform(),
+    )
+    for name in names:
+        report.records.append(run_profile(name, iterations=iterations))
+    if suite_rows_path and os.path.exists(suite_rows_path):
+        report.suite = load_suite_rows(suite_rows_path)
+    return report
+
+
+# ----------------------------------------------------------------------
+# Persistence: BENCH_<n>.json at the repo root
+# ----------------------------------------------------------------------
+
+
+def _bench_indices(root: str) -> List[int]:
+    if not os.path.isdir(root):
+        return []
+    indices = []
+    for entry in os.listdir(root):
+        match = _BENCH_RE.match(entry)
+        if match:
+            indices.append(int(match.group(1)))
+    return sorted(indices)
+
+
+def next_bench_path(root: str = ".") -> str:
+    """The next free ``BENCH_<n>.json`` path under ``root``."""
+    indices = _bench_indices(root)
+    nxt = indices[-1] + 1 if indices else 0
+    return os.path.join(root, "BENCH_{}.json".format(nxt))
+
+
+def latest_bench_path(root: str = ".") -> Optional[str]:
+    """The most recent existing ``BENCH_<n>.json`` (None when none)."""
+    indices = _bench_indices(root)
+    if not indices:
+        return None
+    return os.path.join(root, "BENCH_{}.json".format(indices[-1]))
+
+
+def write_report(report: BenchReport, path: str) -> str:
+    parent = os.path.dirname(os.path.abspath(path))
+    os.makedirs(parent, exist_ok=True)
+    with open(path, "w") as fh:
+        json.dump(report.to_dict(), fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return path
+
+
+def load_report(path: str) -> BenchReport:
+    with open(path) as fh:
+        return BenchReport.from_dict(json.load(fh))
+
+
+def load_suite_rows(path: str) -> List[Dict[str, Any]]:
+    """Parse the machine-readable rows ``benchmarks/conftest.emit``
+    appends (one JSON object per line)."""
+    rows = []
+    with open(path) as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                rows.append(json.loads(line))
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Comparison with per-metric regression thresholds
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class MetricDelta:
+    """One metric compared across two reports."""
+
+    system: str
+    metric: str
+    old: float
+    new: float
+    regressed: bool
+
+    @property
+    def ratio(self) -> Optional[float]:
+        if self.old == 0:
+            return None
+        return self.new / self.old
+
+
+@dataclass
+class Comparison:
+    """The diff of two bench reports."""
+
+    deltas: List[MetricDelta] = field(default_factory=list)
+    #: Systems present in the old report but missing from the new one —
+    #: a silently dropped profile must not read as "no regressions".
+    missing: List[str] = field(default_factory=list)
+    added: List[str] = field(default_factory=list)
+
+    @property
+    def regressions(self) -> List[MetricDelta]:
+        return [d for d in self.deltas if d.regressed]
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions and not self.missing
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "ok": self.ok,
+            "missing": self.missing,
+            "added": self.added,
+            "regressions": [
+                {
+                    "system": d.system,
+                    "metric": d.metric,
+                    "old": d.old,
+                    "new": d.new,
+                    "ratio": d.ratio,
+                }
+                for d in self.regressions
+            ],
+            "deltas": [
+                {
+                    "system": d.system,
+                    "metric": d.metric,
+                    "old": d.old,
+                    "new": d.new,
+                    "ratio": d.ratio,
+                    "regressed": d.regressed,
+                }
+                for d in self.deltas
+            ],
+        }
+
+    def render(self) -> str:
+        from repro.analysis.report import Table
+
+        table = Table(
+            "bench comparison (per-metric regression gates)",
+            ["system", "metric", "previous", "current", "ratio", "verdict"],
+        )
+        for d in self.deltas:
+            table.add_row(
+                d.system,
+                d.metric,
+                "{:.4g}".format(d.old),
+                "{:.4g}".format(d.new),
+                "-" if d.ratio is None else "{:.2f}x".format(d.ratio),
+                "REGRESSED" if d.regressed else "ok",
+            )
+        lines = [table.render()]
+        if self.missing:
+            lines.append("missing systems (regression): " + ", ".join(self.missing))
+        if self.added:
+            lines.append("new systems: " + ", ".join(self.added))
+        lines.append("verdict: {}".format("ok" if self.ok else "REGRESSED"))
+        return "\n".join(lines)
+
+
+def compare_reports(
+    old: BenchReport,
+    new: BenchReport,
+    wall_threshold: float = WALL_THRESHOLD,
+    counter_threshold: float = COUNTER_THRESHOLD,
+) -> Comparison:
+    """Diff ``new`` against ``old`` with per-metric thresholds.
+
+    Wall time regresses when it grows by more than ``wall_threshold``
+    relatively *and* ``WALL_FLOOR_S`` absolutely.  A counter regresses
+    when it grows by more than ``counter_threshold`` relatively and
+    ``COUNTER_FLOOR`` units absolutely — counters are deterministic
+    under fixed seeds, so growth means the engine got less efficient.
+    When the new run used fewer iterations than the old one (a CI
+    smoke), counters can only shrink, so only wall time is gated.
+    """
+    comparison = Comparison()
+    new_names = {r.system for r in new.records}
+    comparison.missing = [
+        r.system for r in old.records if r.system not in new_names
+    ]
+    old_names = {r.system for r in old.records}
+    comparison.added = [r.system for r in new.records if r.system not in old_names]
+    for record in new.records:
+        previous = old.record_for(record.system)
+        if previous is None:
+            continue
+        grew = record.wall_time - previous.wall_time
+        comparison.deltas.append(
+            MetricDelta(
+                system=record.system,
+                metric="wall_time",
+                old=previous.wall_time,
+                new=record.wall_time,
+                regressed=(
+                    previous.wall_time > 0
+                    and grew > WALL_FLOOR_S
+                    and record.wall_time > previous.wall_time * (1 + wall_threshold)
+                ),
+            )
+        )
+        same_workload = record.iterations >= previous.iterations
+        for name in sorted(set(previous.counters) & set(record.counters)):
+            before, after = previous.counters[name], record.counters[name]
+            comparison.deltas.append(
+                MetricDelta(
+                    system=record.system,
+                    metric=name,
+                    old=before,
+                    new=after,
+                    regressed=(
+                        same_workload
+                        and after - before > COUNTER_FLOOR
+                        and after > before * (1 + counter_threshold)
+                    ),
+                )
+            )
+    return comparison

@@ -1,0 +1,304 @@
+"""Zero-dependency telemetry core: counters, timers, gauges, traces.
+
+A :class:`Recorder` accumulates four kinds of signal:
+
+- **counters** — monotone totals (states explored, zone nodes built,
+  mapping inequalities evaluated);
+- **gauges** — last/min/max of a sampled quantity (frontier size,
+  per-condition deadline slack);
+- **timers** — total seconds and call counts of labelled spans
+  (zone queries);
+- **trace events** — an ordered, timestamped list of structured
+  :class:`TraceEvent` records (one per simulator step, one per check
+  verdict, one per scheduling deadlock), exportable as JSONL via
+  :func:`repro.serialize.events_to_jsonl`.
+
+Telemetry is *opt-in and process-wide*: engines consult the module
+variable ``_ACTIVE`` (``None`` unless a recorder is installed) and do
+nothing when it is unset, so the instrumented hot paths cost a single
+global load + ``is None`` test per unit of work.  Hot paths read
+``_ACTIVE`` directly instead of calling :func:`active`; everything else
+should go through the public helpers.
+
+Use :func:`recording` to scope a recorder::
+
+    from repro.obs import Recorder, recording
+
+    with recording() as rec:
+        run = Simulator(automaton, strategy).run(max_steps=100)
+    print(rec.counters["sim.steps"])
+
+This module deliberately imports nothing from the rest of the library,
+so every engine can import it without cycles.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Any, Dict, Iterator, List, Optional
+
+__all__ = [
+    "TraceEvent",
+    "GaugeStat",
+    "TimerStat",
+    "Recorder",
+    "active",
+    "recording",
+    "install",
+    "uninstall",
+    "incr",
+    "gauge",
+    "emit",
+    "span",
+    "jsonable",
+]
+
+#: Default cap on retained trace events (overflow increments
+#: ``Recorder.dropped_events`` instead of growing without bound).
+DEFAULT_MAX_EVENTS = 100_000
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One structured telemetry event.
+
+    ``seq`` orders events within a recorder; ``wall`` is seconds since
+    the recorder started.  ``fields`` must hold only values the
+    :mod:`repro.serialize` tagged encoding supports (exact numbers,
+    strings, actions, tuples…) — emitters stringify anything else.
+    """
+
+    seq: int
+    name: str
+    wall: float
+    fields: Dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass
+class GaugeStat:
+    """Last/min/max summary of a sampled quantity."""
+
+    last: Any
+    lo: Any
+    hi: Any
+    updates: int = 1
+
+    def update(self, value) -> None:
+        self.last = value
+        if value < self.lo:
+            self.lo = value
+        if value > self.hi:
+            self.hi = value
+        self.updates += 1
+
+
+@dataclass
+class TimerStat:
+    """Accumulated seconds and call count of a labelled span."""
+
+    total: float = 0.0
+    calls: int = 0
+
+
+def jsonable(value) -> Any:
+    """Lossy-but-readable JSON projection of a telemetry value: exact
+    fractions render as ``"p/q"``, infinities as ``"inf"``, unknown
+    types via ``repr``.  (Exact round-trips go through
+    :mod:`repro.serialize` instead.)"""
+    if value is None or isinstance(value, (bool, str)):
+        return value
+    if isinstance(value, Fraction):
+        if value.denominator == 1:
+            return int(value)
+        return "{}/{}".format(value.numerator, value.denominator)
+    if isinstance(value, int):
+        return value
+    if isinstance(value, float):
+        if math.isinf(value):
+            return "inf" if value > 0 else "-inf"
+        return value
+    if isinstance(value, (tuple, list)):
+        return [jsonable(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): jsonable(v) for k, v in value.items()}
+    return repr(value)
+
+
+class Recorder:
+    """Accumulates counters, gauges, timers and trace events."""
+
+    def __init__(self, name: str = "recorder", max_events: int = DEFAULT_MAX_EVENTS):
+        if max_events < 0:
+            raise ValueError("max_events must be >= 0")
+        self.name = name
+        self.max_events = max_events
+        self.counters: Dict[str, int] = {}
+        self.gauges: Dict[str, GaugeStat] = {}
+        self.timers: Dict[str, TimerStat] = {}
+        self.events: List[TraceEvent] = []
+        self.dropped_events = 0
+        self._seq = 0
+        self._t0 = time.perf_counter()
+
+    # -- recording ----------------------------------------------------
+
+    def incr(self, name: str, n: int = 1) -> None:
+        """Add ``n`` to counter ``name`` (created at 0)."""
+        self.counters[name] = self.counters.get(name, 0) + n
+
+    def gauge(self, name: str, value) -> None:
+        """Sample gauge ``name``; last/min/max are tracked."""
+        stat = self.gauges.get(name)
+        if stat is None:
+            self.gauges[name] = GaugeStat(last=value, lo=value, hi=value)
+        else:
+            stat.update(value)
+
+    @contextmanager
+    def timer(self, name: str) -> Iterator[None]:
+        """Time a ``with`` block under timer ``name``."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            stat = self.timers.setdefault(name, TimerStat())
+            stat.total += time.perf_counter() - start
+            stat.calls += 1
+
+    def event(self, name: str, **fields) -> Optional[TraceEvent]:
+        """Append a :class:`TraceEvent` (None when the cap dropped it).
+
+        Every emission counts under the ``events.<name>`` counter even
+        when the retention cap is hit, so aggregate telemetry stays
+        exact while memory stays bounded.
+        """
+        self.incr("events." + name)
+        if len(self.events) >= self.max_events:
+            self.dropped_events += 1
+            return None
+        ev = TraceEvent(
+            seq=self._seq,
+            name=name,
+            wall=time.perf_counter() - self._t0,
+            fields=dict(fields),
+        )
+        self._seq += 1
+        self.events.append(ev)
+        return ev
+
+    # -- inspection ---------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Any]:
+        """A plain JSON-able summary (events themselves excluded; use
+        :mod:`repro.serialize` to export those)."""
+        return {
+            "name": self.name,
+            "counters": {k: self.counters[k] for k in sorted(self.counters)},
+            "gauges": {
+                k: {
+                    "last": jsonable(g.last),
+                    "min": jsonable(g.lo),
+                    "max": jsonable(g.hi),
+                    "updates": g.updates,
+                }
+                for k, g in sorted(self.gauges.items())
+            },
+            "timers": {
+                k: {"total_s": t.total, "calls": t.calls}
+                for k, t in sorted(self.timers.items())
+            },
+            "events_recorded": len(self.events),
+            "events_dropped": self.dropped_events,
+        }
+
+    def clear(self) -> None:
+        """Reset all accumulated telemetry (the clock restarts too)."""
+        self.counters.clear()
+        self.gauges.clear()
+        self.timers.clear()
+        self.events = []
+        self.dropped_events = 0
+        self._seq = 0
+        self._t0 = time.perf_counter()
+
+    def __repr__(self) -> str:
+        return "<Recorder {} counters={} events={}>".format(
+            self.name, len(self.counters), len(self.events)
+        )
+
+
+#: The process-wide active recorder; ``None`` means telemetry is off.
+#: Hot paths read this directly (one global load per unit of work).
+_ACTIVE: Optional[Recorder] = None
+
+
+def active() -> Optional[Recorder]:
+    """The currently installed recorder, or ``None``."""
+    return _ACTIVE
+
+
+def install(recorder: Recorder) -> Recorder:
+    """Install ``recorder`` as the process-wide active recorder."""
+    global _ACTIVE
+    _ACTIVE = recorder
+    return recorder
+
+
+def uninstall() -> None:
+    """Disable telemetry (the previous recorder keeps its data)."""
+    global _ACTIVE
+    _ACTIVE = None
+
+
+@contextmanager
+def recording(
+    recorder: Optional[Recorder] = None,
+    name: str = "recorder",
+    max_events: int = DEFAULT_MAX_EVENTS,
+) -> Iterator[Recorder]:
+    """Scope a recorder: install for the ``with`` block, then restore
+    whatever was active before (recorders nest)."""
+    global _ACTIVE
+    rec = recorder if recorder is not None else Recorder(name=name, max_events=max_events)
+    previous = _ACTIVE
+    _ACTIVE = rec
+    try:
+        yield rec
+    finally:
+        _ACTIVE = previous
+
+
+# -- module-level conveniences (no-ops while telemetry is off) --------
+
+
+def incr(name: str, n: int = 1) -> None:
+    rec = _ACTIVE
+    if rec is not None:
+        rec.incr(name, n)
+
+
+def gauge(name: str, value) -> None:
+    rec = _ACTIVE
+    if rec is not None:
+        rec.gauge(name, value)
+
+
+def emit(name: str, **fields) -> None:
+    rec = _ACTIVE
+    if rec is not None:
+        rec.event(name, **fields)
+
+
+@contextmanager
+def span(name: str) -> Iterator[Optional[Recorder]]:
+    """Time a block under the active recorder (no-op when off)."""
+    rec = _ACTIVE
+    if rec is None:
+        yield None
+    else:
+        with rec.timer(name):
+            yield rec

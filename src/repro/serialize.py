@@ -1,10 +1,14 @@
-"""JSON (de)serialisation of runs and timed sequences.
+"""JSON (de)serialisation of runs, timed sequences, and telemetry.
 
 Lets users persist a failing counterexample run and reload it later —
 exactness included: fractions round-trip as ``"p/q"`` strings, ``∞`` as
 a tagged object, and the structured state types (:class:`Act` actions,
 tuples, :class:`TimeState` with its predictions) as tagged JSON
-objects.
+objects.  :class:`~repro.obs.instrument.TraceEvent` telemetry records
+round-trip the same way, and :func:`events_to_jsonl` /
+:func:`events_from_jsonl` wrap whole traces in a *versioned* JSONL
+container (``python -m repro trace`` output) whose unknown versions are
+rejected rather than misread.
 
 Only the value shapes the library itself produces are supported; an
 unknown type raises :class:`SerializationError` rather than degrading
@@ -16,20 +20,28 @@ from __future__ import annotations
 import json
 import math
 from fractions import Fraction
-from typing import Any, List
+from typing import Any, Iterable, List
 
 from repro.errors import ReproError
 from repro.ioa.actions import Act
 from repro.core.time_state import Prediction, TimeState
+from repro.obs.instrument import TraceEvent
 from repro.timed.timed_sequence import TimedEvent, TimedSequence
 
 __all__ = [
     "SerializationError",
+    "TRACE_SCHEMA_VERSION",
     "encode_value",
     "decode_value",
     "run_to_json",
     "run_from_json",
+    "events_to_jsonl",
+    "events_from_jsonl",
 ]
+
+#: Version of the JSONL trace container written by
+#: :func:`events_to_jsonl`; bumped whenever the event shape changes.
+TRACE_SCHEMA_VERSION = 1
 
 
 class SerializationError(ReproError):
@@ -58,6 +70,15 @@ def encode_value(value: Any) -> Any:
                 "astate": encode_value(value.astate),
                 "now": encode_value(value.now),
                 "preds": [encode_value(p) for p in value.preds],
+            }
+        }
+    if isinstance(value, TraceEvent):
+        return {
+            "__trace__": {
+                "seq": value.seq,
+                "name": value.name,
+                "wall": encode_value(value.wall),
+                "fields": {k: encode_value(v) for k, v in value.fields.items()},
             }
         }
     if isinstance(value, tuple):
@@ -94,6 +115,14 @@ def decode_value(value: Any) -> Any:
             decode_value(body["now"]),
             tuple(decode_value(p) for p in body["preds"]),
         )
+    if "__trace__" in value:
+        body = value["__trace__"]
+        return TraceEvent(
+            seq=body["seq"],
+            name=body["name"],
+            wall=decode_value(body["wall"]),
+            fields={k: decode_value(v) for k, v in body["fields"].items()},
+        )
     if "__tuple__" in value:
         return tuple(decode_value(v) for v in value["__tuple__"])
     raise SerializationError("unknown tagged object: {!r}".format(sorted(value)))
@@ -120,3 +149,49 @@ def run_from_json(text: str) -> TimedSequence:
         for ev in payload["events"]
     )
     return TimedSequence(states, events)
+
+
+def events_to_jsonl(events: Iterable[TraceEvent]) -> str:
+    """Serialise a trace to JSONL: one header line carrying the schema
+    version, then one encoded :class:`TraceEvent` per line."""
+    lines = [json.dumps({"__trace_jsonl__": TRACE_SCHEMA_VERSION})]
+    for ev in events:
+        if not isinstance(ev, TraceEvent):
+            raise SerializationError(
+                "events_to_jsonl expects TraceEvent values, got {!r}".format(ev)
+            )
+        lines.append(json.dumps(encode_value(ev)))
+    return "\n".join(lines) + "\n"
+
+
+def events_from_jsonl(text: str) -> List[TraceEvent]:
+    """Inverse of :func:`events_to_jsonl`.
+
+    Rejects traces without a header or with an unknown schema version —
+    silently misreading a future trace shape would be worse than
+    failing.
+    """
+    lines = [line for line in text.splitlines() if line.strip()]
+    if not lines:
+        raise SerializationError("empty trace: missing schema header")
+    header = json.loads(lines[0])
+    if not isinstance(header, dict) or "__trace_jsonl__" not in header:
+        raise SerializationError(
+            "trace does not start with a __trace_jsonl__ schema header"
+        )
+    version = header["__trace_jsonl__"]
+    if version != TRACE_SCHEMA_VERSION:
+        raise SerializationError(
+            "unsupported trace schema version {!r} (supported: {})".format(
+                version, TRACE_SCHEMA_VERSION
+            )
+        )
+    events = []
+    for line in lines[1:]:
+        value = decode_value(json.loads(line))
+        if not isinstance(value, TraceEvent):
+            raise SerializationError(
+                "trace line is not a TraceEvent: {!r}".format(value)
+            )
+        events.append(value)
+    return events

@@ -20,6 +20,7 @@ import math
 from typing import TYPE_CHECKING, Hashable, Optional
 
 from repro.errors import SchedulingDeadlockError
+from repro.obs import instrument as _telemetry
 from repro.timed.timed_sequence import TimedSequence
 from repro.core.time_automaton import PredictiveTimeAutomaton
 from repro.core.time_state import TimeState
@@ -60,23 +61,37 @@ class Simulator:
         execution) and ``budget.exhausted`` tells the caller why it is
         short.
         """
+        rec = _telemetry._ACTIVE
         state = self._initial_state(start_astate, from_state)
         run = TimedSequence.initial(state)
+        reason = "max_steps"
         for _ in range(max_steps):
             if budget is not None and not budget.charge_step():
+                reason = "budget"
                 break  # partial run; budget.exhausted explains the cut
             if horizon is not None and state.now >= horizon:
+                reason = "horizon"
                 break
             options = self.automaton.schedulable_actions(state)
             if not options:
                 deadline = self.automaton.deadline(state)
                 if math.isinf(deadline):
+                    reason = "quiescent"
                     break  # quiescent: nothing to do, no obligation pending
                 expired = ", ".join(
                     cond.name
                     for cond, pred in zip(self.automaton.conditions, state.preds)
                     if pred.lt == deadline
                 )
+                if rec is not None:
+                    rec.event(
+                        "sim.deadlock",
+                        automaton=self.automaton.name,
+                        state=repr(state),
+                        condition=expired or None,
+                        deadline=deadline,
+                        steps=len(run.events),
+                    )
                 raise SchedulingDeadlockError(
                     "{}: no schedulable action in {!r} but deadline {!r} of "
                     "{} is pending".format(
@@ -87,8 +102,26 @@ class Simulator:
                     deadline=deadline,
                 )
             action, t = self.strategy.choose(state, options)
+            if rec is not None:
+                rec.incr("sim.steps")
+                for cond, pred in zip(self.automaton.conditions, state.preds):
+                    lt = pred.lt
+                    if not (isinstance(lt, float) and math.isinf(lt)):
+                        rec.gauge("sim.slack." + cond.name, lt - t)
+                rec.event("sim.step", action=action, time=t)
             posts = self.automaton.successors(state, action, t)
             if not posts:
+                if rec is not None:
+                    rec.event(
+                        "sim.deadlock",
+                        automaton=self.automaton.name,
+                        state=repr(state),
+                        condition=None,
+                        deadline=None,
+                        action=action,
+                        time=t,
+                        steps=len(run.events),
+                    )
                 raise SchedulingDeadlockError(
                     "{}: strategy chose infeasible step ({!r}, {!r}) in "
                     "{!r}".format(self.automaton.name, action, t, state),
@@ -96,6 +129,8 @@ class Simulator:
                 )
             state = self.strategy.pick_post(posts)
             run = run.extend(action, t, state)
+        if rec is not None:
+            rec.event("sim.end", reason=reason, steps=len(run.events), now=state.now)
         return run
 
     def _initial_state(

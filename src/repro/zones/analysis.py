@@ -13,6 +13,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Dict, Hashable, Iterable, Optional, Tuple
 
 from repro.errors import ZoneError
+from repro.obs import instrument as _telemetry
 from repro.timed.boundmap import TimedAutomaton
 from repro.timed.interval import Interval
 from repro.zones.zone_graph import Observer, ZoneGraphResult, explore_zone_graph
@@ -116,13 +117,15 @@ def event_separation_bounds(
     else:
         key = measure
         counted_kwargs = {"counted_actions": {measure: occurrence}}
-    result = explore_zone_graph(
-        timed,
-        observers=[observer],
-        max_nodes=max_nodes,
-        budget=budget,
-        **counted_kwargs,
-    )
+    _telemetry.incr("zones.queries")
+    with _telemetry.span("zones.query"):
+        result = explore_zone_graph(
+            timed,
+            observers=[observer],
+            max_nodes=max_nodes,
+            budget=budget,
+            **counted_kwargs,
+        )
     record = result.firings.get((key, occurrence))
     if result.truncated and not (result.exhausted_budget and record is not None):
         raise ZoneError(
@@ -187,13 +190,15 @@ def search_reachable_state(
     raises on truncation, returning a :class:`SafetySearchResult` whose
     ``conclusive`` property distinguishes "proved unreachable" from
     "ran out of budget"."""
-    result = explore_zone_graph(
-        timed,
-        watch=predicate,
-        stop_on_watch=True,
-        max_nodes=max_nodes,
-        budget=budget,
-    )
+    _telemetry.incr("zones.queries")
+    with _telemetry.span("zones.query"):
+        result = explore_zone_graph(
+            timed,
+            watch=predicate,
+            stop_on_watch=True,
+            max_nodes=max_nodes,
+            budget=budget,
+        )
     return SafetySearchResult(
         state=result.watched[0] if result.watched else None,
         nodes=result.nodes,

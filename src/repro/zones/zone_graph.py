@@ -28,6 +28,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, FrozenSet, Hashable, Iterable, List, Optional, Sequence, Tuple
 
 from repro.errors import ZoneError
+from repro.obs import instrument as _telemetry
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (faults uses zones)
     from repro.faults.budget import Budget
@@ -189,8 +190,11 @@ def explore_zone_graph(
             result.watched.append(astate)
         return stop_on_watch
 
+    rec = _telemetry._ACTIVE
     visited = set()
     frontier: deque = deque()
+    if rec is not None:
+        rec.incr("zones.canonicalize")
     start_key = (start_astate, zero_counts, initial_zone.key())
     if budget is not None and not budget.charge_state():
         result.truncated = True
@@ -199,6 +203,8 @@ def explore_zone_graph(
     visited.add(start_key)
     frontier.append((start_astate, zero_counts, initial_zone))
     result.nodes = 1
+    if rec is not None:
+        rec.incr("zones.nodes")
     if note_watch(start_astate):
         return result
 
@@ -207,6 +213,8 @@ def explore_zone_graph(
             result.truncated = True
             result.exhausted_budget = True
             return result
+        if rec is not None:
+            rec.gauge("zones.frontier", len(frontier))
         astate, counts, zone = frontier.popleft()
         pre_enabled = enabled_classes(astate)
         for action in automaton.enabled_actions(astate):
@@ -227,6 +235,8 @@ def explore_zone_graph(
                 result.exhausted_budget = True
                 return result
             result.transitions += 1
+            if rec is not None:
+                rec.incr("zones.transitions")
 
             # Occurrence bookkeeping and observer measurement at fire time.
             new_counts = counts
@@ -269,8 +279,12 @@ def explore_zone_graph(
                         post_zone.reset(observer_index[obs.name])
                 if not expand:
                     continue
+                if rec is not None:
+                    rec.incr("zones.canonicalize")
                 key = (post_astate, new_counts, post_zone.key())
                 if key in visited:
+                    if rec is not None:
+                        rec.incr("zones.cache_hits")
                     continue
                 if result.nodes >= max_nodes:
                     result.truncated = True
@@ -281,6 +295,8 @@ def explore_zone_graph(
                     return result
                 visited.add(key)
                 result.nodes += 1
+                if rec is not None:
+                    rec.incr("zones.nodes")
                 if note_watch(post_astate):
                     return result
                 frontier.append((post_astate, new_counts, post_zone))

@@ -1,0 +1,227 @@
+"""The perf-trajectory benchmark runner and its regression gates."""
+
+import json
+
+import pytest
+
+from repro.errors import ReproError
+from repro.obs.bench import (
+    BENCH_SCHEMA_VERSION,
+    BenchRecord,
+    BenchReport,
+    bench_names,
+    compare_reports,
+    latest_bench_path,
+    load_report,
+    load_suite_rows,
+    next_bench_path,
+    run_bench,
+    run_profile,
+    write_report,
+)
+from repro.serialize import SerializationError
+
+
+def _record(system="rm", wall=1.0, iterations=3, counters=None):
+    return BenchRecord(
+        system=system,
+        wall_time=wall,
+        iterations=iterations,
+        counters=dict(counters or {}),
+    )
+
+
+def _report(records):
+    return BenchReport(
+        schema=BENCH_SCHEMA_VERSION,
+        created="2026-01-01T00:00:00",
+        python="3.11",
+        platform="test",
+        records=records,
+    )
+
+
+class TestProfiles:
+    def test_all_seven_systems_registered(self):
+        assert set(bench_names()) == {
+            "rm", "relay", "chain", "fischer", "fischer-tight",
+            "peterson", "tournament",
+        }
+
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(ReproError):
+            run_profile("nope")
+
+    def test_rm_profile_collects_telemetry(self):
+        record = run_profile("rm", iterations=1)
+        assert record.system == "rm"
+        assert record.wall_time > 0
+        assert record.counters["explore.states"] > 0
+        assert record.counters["zones.nodes"] > 0
+        assert record.counters["mapping.evals"] > 0
+        assert record.meta["ok"] is True
+
+    def test_counters_deterministic_across_runs(self):
+        first = run_profile("fischer", iterations=2)
+        second = run_profile("fischer", iterations=2)
+        assert first.counters == second.counters
+
+    def test_fischer_tight_expects_violation(self):
+        record = run_profile("fischer-tight", iterations=1)
+        assert record.meta["ok"] is True
+        assert record.meta["verdict"] == "violable"
+
+
+class TestPersistence:
+    def test_report_round_trip(self, tmp_path):
+        report = run_bench(systems=["chain"], iterations=1)
+        path = write_report(report, str(tmp_path / "BENCH_0.json"))
+        restored = load_report(path)
+        assert restored.schema == BENCH_SCHEMA_VERSION
+        assert restored.record_for("chain").counters == (
+            report.record_for("chain").counters
+        )
+
+    def test_bench_paths_increment(self, tmp_path):
+        root = str(tmp_path)
+        assert latest_bench_path(root) is None
+        assert next_bench_path(root).endswith("BENCH_0.json")
+        (tmp_path / "BENCH_0.json").write_text("{}")
+        (tmp_path / "BENCH_2.json").write_text("{}")
+        assert latest_bench_path(root).endswith("BENCH_2.json")
+        assert next_bench_path(root).endswith("BENCH_3.json")
+
+    def test_missing_root_is_empty(self, tmp_path):
+        root = str(tmp_path / "nope")
+        assert latest_bench_path(root) is None
+        assert next_bench_path(root).endswith("BENCH_0.json")
+
+    def test_unknown_schema_rejected(self):
+        with pytest.raises(SerializationError):
+            BenchReport.from_dict({"schema": 999})
+
+    def test_missing_schema_rejected(self):
+        with pytest.raises(SerializationError):
+            BenchReport.from_dict({"records": []})
+
+    def test_suite_rows_parsed(self, tmp_path):
+        rows_path = tmp_path / "bench_rows.jsonl"
+        rows_path.write_text(
+            json.dumps({"kind": "line", "text": "hello"}) + "\n"
+            + json.dumps({"kind": "table", "title": "t", "columns": [], "rows": []})
+            + "\n"
+        )
+        rows = load_suite_rows(str(rows_path))
+        assert [r["kind"] for r in rows] == ["line", "table"]
+
+
+class TestComparison:
+    def test_identical_reports_ok(self):
+        old = _report([_record(counters={"explore.states": 100})])
+        new = _report([_record(counters={"explore.states": 100})])
+        comparison = compare_reports(old, new)
+        assert comparison.ok and not comparison.regressions
+
+    def test_counter_growth_regresses(self):
+        old = _report([_record(counters={"explore.states": 100})])
+        new = _report([_record(counters={"explore.states": 150})])
+        comparison = compare_reports(old, new)
+        assert not comparison.ok
+        assert [d.metric for d in comparison.regressions] == ["explore.states"]
+
+    def test_small_counter_growth_under_floor_ok(self):
+        old = _report([_record(counters={"explore.states": 20})])
+        new = _report([_record(counters={"explore.states": 25})])
+        assert compare_reports(old, new).ok
+
+    def test_counter_shrink_never_regresses(self):
+        old = _report([_record(counters={"explore.states": 200})])
+        new = _report([_record(counters={"explore.states": 50})])
+        assert compare_reports(old, new).ok
+
+    def test_wall_time_regression_needs_both_gates(self):
+        old = _report([_record(wall=1.0)])
+        slow = _report([_record(wall=2.0)])
+        assert not compare_reports(old, slow).ok
+        # Large relative growth under the absolute floor: noise, not a
+        # regression (a 0.001s profile doubling costs nothing).
+        tiny_old = _report([_record(wall=0.001)])
+        tiny_new = _report([_record(wall=0.002)])
+        assert compare_reports(tiny_old, tiny_new).ok
+
+    def test_fewer_iterations_gate_wall_only(self):
+        old = _report([_record(iterations=3, counters={"sim.steps": 300})])
+        smoke = _report([_record(iterations=1, wall=1.1,
+                                 counters={"sim.steps": 500})])
+        comparison = compare_reports(old, smoke)
+        assert comparison.ok  # counter growth ignored on a reduced smoke
+
+    def test_missing_system_is_a_regression(self):
+        old = _report([_record("rm"), _record("relay")])
+        new = _report([_record("rm")])
+        comparison = compare_reports(old, new)
+        assert not comparison.ok and comparison.missing == ["relay"]
+
+    def test_added_system_is_not(self):
+        old = _report([_record("rm")])
+        new = _report([_record("rm"), _record("relay")])
+        comparison = compare_reports(old, new)
+        assert comparison.ok and comparison.added == ["relay"]
+
+    def test_render_and_to_dict(self):
+        old = _report([_record(counters={"explore.states": 100})])
+        new = _report([_record(counters={"explore.states": 150})])
+        comparison = compare_reports(old, new)
+        text = comparison.render()
+        assert "REGRESSED" in text and "explore.states" in text
+        payload = comparison.to_dict()
+        assert payload["ok"] is False
+        assert payload["regressions"][0]["metric"] == "explore.states"
+        json.dumps(payload)
+
+
+class TestCli:
+    def test_bench_writes_and_compares(self, tmp_path, capsys):
+        from repro.cli import main
+
+        root = str(tmp_path)
+        assert main(["bench", "chain", "--root", root, "--iterations", "1"]) == 0
+        assert (tmp_path / "BENCH_0.json").exists()
+        capsys.readouterr()
+        assert main([
+            "bench", "chain", "--root", root, "--iterations", "1",
+            "--fail-on-regress",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "BENCH_1.json" in out and "verdict: ok" in out
+
+    def test_bench_json_payload(self, tmp_path, capsys):
+        from repro.cli import main
+
+        assert main([
+            "bench", "fischer-tight", "--root", str(tmp_path),
+            "--iterations", "1", "--json",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["report"]["schema"] == BENCH_SCHEMA_VERSION
+        assert payload["report"]["records"][0]["system"] == "fischer-tight"
+        assert payload["comparison"] is None
+
+    def test_bench_fail_on_regress_exit_code(self, tmp_path, capsys):
+        from repro.cli import main
+
+        root = str(tmp_path)
+        main(["bench", "chain", "--root", root, "--iterations", "1"])
+        # Drop a doctored "previous" report with impossible counters so
+        # the next run must regress against it.
+        doctored = load_report(str(tmp_path / "BENCH_0.json"))
+        for record in doctored.records:
+            record.counters = {k: 0 for k in record.counters}
+            record.wall_time = 1e-9
+        write_report(doctored, str(tmp_path / "BENCH_1.json"))
+        capsys.readouterr()
+        code = main([
+            "bench", "chain", "--root", root, "--iterations", "1",
+            "--fail-on-regress",
+        ])
+        assert code == 1

@@ -49,9 +49,27 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "START" in out and "TICK∈[" in out
 
+    def test_rm_seed_offsets_runs(self, capsys):
+        assert main(["rm", "--k", "1", "--seeds", "2", "--steps", "60",
+                     "--seed", "17"]) == 0
+        first = capsys.readouterr().out
+        assert main(["rm", "--k", "1", "--seeds", "2", "--steps", "60",
+                     "--seed", "17"]) == 0
+        assert capsys.readouterr().out == first
+
     def test_fischer_safe(self, capsys):
         assert main(["fischer", "--a", "1", "--b", "2"]) == 0
         assert "SAFE" in capsys.readouterr().out
+
+    def test_fischer_seeded_simulation(self, capsys):
+        assert main(["fischer", "--a", "1", "--b", "2", "--sim-runs", "2",
+                     "--sim-steps", "40", "--seed", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "seed base 5" in out and "0 violation(s)" in out
+
+    def test_peterson_seeded_simulation(self, capsys):
+        assert main(["peterson", "--sim-runs", "2", "--sim-steps", "40"]) == 0
+        assert "seeded runs" in capsys.readouterr().out
 
     def test_fischer_violable(self, capsys):
         assert main(["fischer", "--a", "2", "--b", "1"]) == 1

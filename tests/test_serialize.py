@@ -12,10 +12,14 @@ from repro.core.projection import project, validate_run
 from repro.core.time_automaton import time_of_boundmap
 from repro.core.time_state import Prediction, TimeState
 from repro.ioa.actions import Act
+from repro.obs.instrument import TraceEvent
 from repro.serialize import (
+    TRACE_SCHEMA_VERSION,
     SerializationError,
     decode_value,
     encode_value,
+    events_from_jsonl,
+    events_to_jsonl,
     run_from_json,
     run_to_json,
 )
@@ -45,6 +49,8 @@ class TestValueRoundTrips:
             Prediction(F(1, 2), math.inf),
             TimeState("s", F(3), (Prediction(0, math.inf),)),
             [1, "two", F(3)],
+            TraceEvent(seq=0, name="sim.step", wall=0.25,
+                       fields={"action": Act("GRANT", ()), "time": F(7, 3)}),
         ],
     )
     def test_round_trip(self, value):
@@ -61,6 +67,56 @@ class TestValueRoundTrips:
     def test_unknown_tag_rejected(self):
         with pytest.raises(SerializationError):
             decode_value({"__bogus__": 1})
+
+
+class TestTraceJsonl:
+    def _events(self, n=3):
+        return [
+            TraceEvent(seq=i, name="e{}".format(i), wall=float(i),
+                       fields={"time": F(i, 2)})
+            for i in range(n)
+        ]
+
+    def test_round_trip(self):
+        events = self._events()
+        assert events_from_jsonl(events_to_jsonl(events)) == events
+
+    def test_empty_trace_round_trips(self):
+        text = events_to_jsonl([])
+        assert events_from_jsonl(text) == []
+
+    def test_header_carries_schema_version(self):
+        import json
+
+        header = json.loads(events_to_jsonl([]).splitlines()[0])
+        assert header == {"__trace_jsonl__": TRACE_SCHEMA_VERSION}
+
+    def test_non_event_rejected_on_write(self):
+        with pytest.raises(SerializationError):
+            events_to_jsonl([{"not": "an event"}])
+
+    def test_missing_header_rejected(self):
+        body = events_to_jsonl(self._events()).splitlines()[1]
+        with pytest.raises(SerializationError):
+            events_from_jsonl(body)
+
+    def test_empty_text_rejected(self):
+        with pytest.raises(SerializationError):
+            events_from_jsonl("")
+
+    def test_unknown_version_rejected(self):
+        import json
+
+        text = json.dumps({"__trace_jsonl__": TRACE_SCHEMA_VERSION + 1}) + "\n"
+        with pytest.raises(SerializationError):
+            events_from_jsonl(text)
+
+    def test_non_event_line_rejected(self):
+        import json
+
+        text = events_to_jsonl([]) + json.dumps({"__frac__": "1/2"}) + "\n"
+        with pytest.raises(SerializationError):
+            events_from_jsonl(text)
 
 
 class TestRunRoundTrips:
