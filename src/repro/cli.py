@@ -15,7 +15,16 @@ writing code:
                boundmaps, timing conditions and mapping hierarchies;
 - ``perturb``  fault injection: how much drift do the proofs survive?;
 - ``bench``    perf-trajectory benchmark runner (``BENCH_<n>.json``);
-- ``trace``    replayable JSONL telemetry trace of a checked run.
+- ``trace``    replayable JSONL telemetry trace of a checked run;
+- ``run``      supervised verification campaign: crash-isolated
+               workers, watchdogs, retry/backoff, checkpoint/resume.
+
+Exit codes follow one convention (the full table is in docs/api.md):
+0 — everything requested passed; 1 — at least one requested system or
+job failed *unexpectedly* (deliberately-broken systems like
+``fischer-tight`` count as expected findings, except under an explicit
+``--epsilon`` probe whose exit code reports the raw verdict);
+2 — argparse usage errors.
 """
 
 from __future__ import annotations
@@ -406,6 +415,7 @@ def cmd_perturb(args) -> int:
                 ceiling=args.ceiling,
                 budget_factory=factory,
             )
+            failed = failed or (report.broken and not target.expected_broken)
             payload.append(report.to_dict())
             if not args.json:
                 print(report.render())
@@ -413,9 +423,12 @@ def cmd_perturb(args) -> int:
         import json as _json
 
         print(_json.dumps(payload if args.system == "all" else payload[0], indent=2))
-    # In search mode a BROKEN system is a *finding*, not a CLI failure;
-    # with an explicit --epsilon the exit code reports the verdict.
-    return 1 if (args.epsilon is not None and failed) else 0
+    # Exit nonzero when *any* probed system fails: with an explicit
+    # --epsilon the exit code reports the raw verdict; in search mode a
+    # BROKEN nominal system fails unless it is expected_broken
+    # (fischer-tight ships deliberately broken — that finding is the
+    # point, not a failure).
+    return 1 if failed else 0
 
 
 def cmd_bench(args) -> int:
@@ -468,6 +481,77 @@ def cmd_bench(args) -> int:
     if args.fail_on_regress and comparison is not None and not comparison.ok:
         return 1
     return 0
+
+
+def cmd_run(args) -> int:
+    import json as _json
+
+    from repro.errors import ReproError
+    from repro.runner import (
+        JOB_KINDS,
+        Ledger,
+        RetryPolicy,
+        Supervisor,
+        default_jobs,
+        load_ledger,
+    )
+
+    kinds = [k.strip() for k in args.kinds.split(",") if k.strip()]
+    unknown = [k for k in kinds if k not in JOB_KINDS]
+    if unknown:
+        print(
+            "unknown job kind(s) {}; choose from {}".format(
+                ", ".join(unknown), ", ".join(JOB_KINDS)
+            ),
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        if args.resume:
+            state = load_ledger(args.resume)
+            jobs = state.pending
+            campaign_id = state.campaign_id
+            prior = state.outcomes
+            ledger_path = args.resume
+            write_header = False
+        else:
+            jobs = default_jobs(
+                systems=args.system or None,
+                kinds=kinds,
+                seeds=args.seeds,
+                steps=args.steps,
+                seed=args.seed,
+                epsilon=args.epsilon,
+                max_states=args.max_states,
+                max_steps=args.max_steps,
+                wall_time=float(args.wall_time),
+            )
+            campaign_id = None
+            prior = None
+            ledger_path = args.ledger
+            write_header = True
+    except ReproError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    with Ledger(ledger_path) as ledger:
+        supervisor = Supervisor(
+            jobs,
+            workers=args.workers,
+            timeout=float(args.timeout),
+            retry=RetryPolicy(max_retries=args.max_retries, seed=args.seed),
+            ledger=ledger,
+            chaos=args.chaos,
+            campaign_id=campaign_id,
+            prior_outcomes=prior,
+            write_header=write_header,
+        )
+        report = supervisor.run()
+    if args.json:
+        print(_json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(report.render())
+        print("ledger: {}".format(ledger_path))
+    return 0 if report.ok else 1
 
 
 def cmd_trace(args) -> int:
@@ -674,6 +758,64 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true", help="machine-readable report + comparison"
     )
     bench.set_defaults(func=cmd_bench)
+
+    from repro.runner import JOB_KINDS
+
+    run = sub.add_parser(
+        "run",
+        help="supervised verification campaign with checkpoint/resume",
+    )
+    run.add_argument(
+        "system", nargs="*", metavar="SYSTEM",
+        help="systems to campaign over (default: all; 'all' accepted)",
+    )
+    run.add_argument(
+        "--kinds", default=",".join(JOB_KINDS),
+        help="comma-separated job kinds (default: {})".format(",".join(JOB_KINDS)),
+    )
+    run.add_argument(
+        "--workers", type=int, default=2,
+        help="concurrent isolated worker processes (0 = inline, no isolation)",
+    )
+    run.add_argument(
+        "--timeout", type=_fraction, default=Fraction(30),
+        help="per-job watchdog seconds before the worker is killed",
+    )
+    run.add_argument(
+        "--max-retries", type=int, default=2,
+        help="retries per job for transient failures (crash/timeout/malformed/budget)",
+    )
+    run.add_argument(
+        "--ledger", default="repro-ledger.jsonl", metavar="FILE.jsonl",
+        help="checkpoint ledger path (appended as jobs settle)",
+    )
+    run.add_argument(
+        "--resume", default=None, metavar="LEDGER",
+        help="resume an interrupted campaign from its ledger (re-runs only unfinished jobs)",
+    )
+    run.add_argument(
+        "--chaos", action="store_true",
+        help="self-test: inject a worker crash, hang, and malformed result",
+    )
+    run.add_argument(
+        "--epsilon", type=_fraction, default=Fraction(1, 32),
+        help="drift probed by 'perturb' jobs",
+    )
+    run.add_argument("--seeds", type=int, default=2, help="simulation seeds per check job")
+    run.add_argument("--steps", type=int, default=40, help="events per simulated run")
+    run.add_argument("--seed", type=int, default=0, help="base RNG seed (also jitters backoff)")
+    run.add_argument(
+        "--max-states", type=int, default=200_000, help="budget: states/nodes per job"
+    )
+    run.add_argument(
+        "--max-steps", type=int, default=2_000_000, help="budget: steps per job"
+    )
+    run.add_argument(
+        "--wall-time", type=_fraction, default=Fraction(60),
+        help="budget: in-job seconds before graceful degradation",
+    )
+    run.add_argument("--json", action="store_true", help="machine-readable report")
+    run.set_defaults(func=cmd_run)
 
     trace = sub.add_parser(
         "trace", help="replayable JSONL telemetry trace of a checked run"

@@ -30,6 +30,17 @@ __all__ = [
 class ReproError(Exception):
     """Base class for all errors raised by the repro library."""
 
+    def to_dict(self) -> dict:
+        """A machine-readable projection for ledgers and reports.
+
+        Values are JSON-native (strings, numbers, ``None``); rich
+        payloads (states, steps) are rendered via ``repr`` so failure
+        records never need string-parsing of the message to recover
+        the error *type*, yet stay serialisable without pulling in the
+        tagged :mod:`repro.serialize` encoding.
+        """
+        return {"type": type(self).__name__, "message": str(self)}
+
 
 class SignatureError(ReproError):
     """An action signature is malformed (e.g. overlapping action kinds)."""
@@ -87,6 +98,15 @@ class SchedulingDeadlockError(ReproError):
         #: The pending Lt deadline that no schedulable action can satisfy.
         self.deadline = deadline
 
+    def to_dict(self) -> dict:
+        body = super().to_dict()
+        body["state"] = None if self.state is None else repr(self.state)
+        body["condition"] = (
+            None if self.condition is None else str(self.condition)
+        )
+        body["deadline"] = None if self.deadline is None else str(self.deadline)
+        return body
+
 
 class MappingError(ReproError):
     """A strong possibilities mapping is malformed."""
@@ -101,6 +121,17 @@ class MappingCheckError(MappingError):
         self.step = step
         self.source_state = source_state
         self.target_state = target_state
+
+    def to_dict(self) -> dict:
+        body = super().to_dict()
+        body["step"] = None if self.step is None else repr(self.step)
+        body["source_state"] = (
+            None if self.source_state is None else repr(self.source_state)
+        )
+        body["target_state"] = (
+            None if self.target_state is None else repr(self.target_state)
+        )
+        return body
 
 
 class ZoneError(ReproError):

@@ -90,7 +90,13 @@ Evaluation = Callable[[Fraction, Optional[Budget]], CheckOutcome]
 
 @dataclass(frozen=True)
 class PerturbTarget:
-    """One system's perturbation harness."""
+    """One system's perturbation harness.
+
+    ``expected_broken`` marks systems shipped *deliberately* failing
+    their nominal checks (fischer-tight): a BROKEN search verdict on
+    one of these is the expected finding, so CLI exit codes and the
+    runner's campaign verdict do not count it as a failure.
+    """
 
     name: str
     description: str
@@ -98,6 +104,7 @@ class PerturbTarget:
     mode: str
     ceiling: Fraction
     evaluate: Evaluation
+    expected_broken: bool = False
 
     def search(
         self,
@@ -451,6 +458,10 @@ _BUILDERS: Dict[str, Tuple[Callable, str]] = {
 }
 
 
+#: Systems whose nominal (ε = 0) checks are *supposed* to fail.
+_EXPECTED_BROKEN = frozenset({"fischer-tight"})
+
+
 def perturb_names() -> Tuple[str, ...]:
     """Names accepted by :func:`build_perturb_target` (and the CLI)."""
     return tuple(_BUILDERS)
@@ -486,6 +497,7 @@ def build_perturb_target(
         mode=mode,
         ceiling=ceiling,
         evaluate=_guarded(evaluate),
+        expected_broken=name in _EXPECTED_BROKEN,
     )
 
 

@@ -35,11 +35,12 @@ so every engine can import it without cycles.
 from __future__ import annotations
 
 import math
+import threading
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from fractions import Fraction
-from typing import Any, Dict, Iterator, List, Optional
+from typing import Any, Dict, Iterator, List, Optional, Union
 
 __all__ = [
     "TraceEvent",
@@ -128,8 +129,32 @@ def jsonable(value) -> Any:
     return repr(value)
 
 
+def _gauge_value(value) -> Any:
+    """Undo :func:`jsonable`'s numeric projections well enough to keep
+    merged gauges comparable: ``"p/q"`` strings become fractions,
+    ``"inf"``/``"-inf"`` become floats, everything else passes through."""
+    if isinstance(value, str):
+        if value == "inf":
+            return math.inf
+        if value == "-inf":
+            return -math.inf
+        try:
+            return Fraction(value)
+        except (ValueError, ZeroDivisionError):
+            return value
+    return value
+
+
 class Recorder:
-    """Accumulates counters, gauges, timers and trace events."""
+    """Accumulates counters, gauges, timers and trace events.
+
+    Mutation is thread-safe: every update takes an internal
+    :class:`threading.RLock`, so one recorder may be shared by a
+    supervisor thread and its watchdogs (see :mod:`repro.runner`).
+    Cross-*process* aggregation goes through :meth:`snapshot` on the
+    worker side and :meth:`merge` on the parent side instead — the
+    lock makes a recorder unpicklable by design.
+    """
 
     def __init__(self, name: str = "recorder", max_events: int = DEFAULT_MAX_EVENTS):
         if max_events < 0:
@@ -143,20 +168,23 @@ class Recorder:
         self.dropped_events = 0
         self._seq = 0
         self._t0 = time.perf_counter()
+        self._lock = threading.RLock()
 
     # -- recording ----------------------------------------------------
 
     def incr(self, name: str, n: int = 1) -> None:
         """Add ``n`` to counter ``name`` (created at 0)."""
-        self.counters[name] = self.counters.get(name, 0) + n
+        with self._lock:
+            self.counters[name] = self.counters.get(name, 0) + n
 
     def gauge(self, name: str, value) -> None:
         """Sample gauge ``name``; last/min/max are tracked."""
-        stat = self.gauges.get(name)
-        if stat is None:
-            self.gauges[name] = GaugeStat(last=value, lo=value, hi=value)
-        else:
-            stat.update(value)
+        with self._lock:
+            stat = self.gauges.get(name)
+            if stat is None:
+                self.gauges[name] = GaugeStat(last=value, lo=value, hi=value)
+            else:
+                stat.update(value)
 
     @contextmanager
     def timer(self, name: str) -> Iterator[None]:
@@ -165,9 +193,11 @@ class Recorder:
         try:
             yield
         finally:
-            stat = self.timers.setdefault(name, TimerStat())
-            stat.total += time.perf_counter() - start
-            stat.calls += 1
+            elapsed = time.perf_counter() - start
+            with self._lock:
+                stat = self.timers.setdefault(name, TimerStat())
+                stat.total += elapsed
+                stat.calls += 1
 
     def event(self, name: str, **fields) -> Optional[TraceEvent]:
         """Append a :class:`TraceEvent` (None when the cap dropped it).
@@ -176,54 +206,107 @@ class Recorder:
         when the retention cap is hit, so aggregate telemetry stays
         exact while memory stays bounded.
         """
-        self.incr("events." + name)
-        if len(self.events) >= self.max_events:
-            self.dropped_events += 1
-            return None
-        ev = TraceEvent(
-            seq=self._seq,
-            name=name,
-            wall=time.perf_counter() - self._t0,
-            fields=dict(fields),
-        )
-        self._seq += 1
-        self.events.append(ev)
-        return ev
+        with self._lock:
+            self.counters["events." + name] = (
+                self.counters.get("events." + name, 0) + 1
+            )
+            if len(self.events) >= self.max_events:
+                self.dropped_events += 1
+                return None
+            ev = TraceEvent(
+                seq=self._seq,
+                name=name,
+                wall=time.perf_counter() - self._t0,
+                fields=dict(fields),
+            )
+            self._seq += 1
+            self.events.append(ev)
+            return ev
+
+    # -- aggregation --------------------------------------------------
+
+    def merge(self, other: Union["Recorder", Dict[str, Any]]) -> "Recorder":
+        """Fold another recorder — or a :meth:`snapshot` dict from a
+        worker process — into this one.
+
+        Counters and timers add; gauges fold last/min/max (``last``
+        takes the merged-in sample, updates add); dropped-event counts
+        add.  Trace events do **not** cross: snapshots deliberately
+        exclude them (export via :mod:`repro.serialize` instead), so a
+        merged-in recorder contributes only its aggregates.  Returns
+        ``self`` for chaining.
+        """
+        if isinstance(other, Recorder):
+            other = other.snapshot()
+        counters = other.get("counters", {})
+        gauges = other.get("gauges", {})
+        timers = other.get("timers", {})
+        with self._lock:
+            for name, value in counters.items():
+                self.counters[name] = self.counters.get(name, 0) + int(value)
+            for name, body in gauges.items():
+                last = _gauge_value(body.get("last"))
+                lo = _gauge_value(body.get("min"))
+                hi = _gauge_value(body.get("max"))
+                updates = int(body.get("updates", 1))
+                stat = self.gauges.get(name)
+                if stat is None:
+                    self.gauges[name] = GaugeStat(
+                        last=last, lo=lo, hi=hi, updates=updates
+                    )
+                    continue
+                stat.last = last
+                try:
+                    if lo < stat.lo:
+                        stat.lo = lo
+                    if hi > stat.hi:
+                        stat.hi = hi
+                except TypeError:
+                    pass  # incomparable jsonable projections: keep ours
+                stat.updates += updates
+            for name, body in timers.items():
+                stat = self.timers.setdefault(name, TimerStat())
+                stat.total += float(body.get("total_s", 0.0))
+                stat.calls += int(body.get("calls", 0))
+            self.dropped_events += int(other.get("events_dropped", 0))
+        return self
 
     # -- inspection ---------------------------------------------------
 
     def snapshot(self) -> Dict[str, Any]:
         """A plain JSON-able summary (events themselves excluded; use
         :mod:`repro.serialize` to export those)."""
-        return {
-            "name": self.name,
-            "counters": {k: self.counters[k] for k in sorted(self.counters)},
-            "gauges": {
-                k: {
-                    "last": jsonable(g.last),
-                    "min": jsonable(g.lo),
-                    "max": jsonable(g.hi),
-                    "updates": g.updates,
-                }
-                for k, g in sorted(self.gauges.items())
-            },
-            "timers": {
-                k: {"total_s": t.total, "calls": t.calls}
-                for k, t in sorted(self.timers.items())
-            },
-            "events_recorded": len(self.events),
-            "events_dropped": self.dropped_events,
-        }
+        with self._lock:
+            return {
+                "name": self.name,
+                "counters": {k: self.counters[k] for k in sorted(self.counters)},
+                "gauges": {
+                    k: {
+                        "last": jsonable(g.last),
+                        "min": jsonable(g.lo),
+                        "max": jsonable(g.hi),
+                        "updates": g.updates,
+                    }
+                    for k, g in sorted(self.gauges.items())
+                },
+                "timers": {
+                    k: {"total_s": t.total, "calls": t.calls}
+                    for k, t in sorted(self.timers.items())
+                },
+                "events_recorded": len(self.events),
+                "events_dropped": self.dropped_events,
+            }
 
     def clear(self) -> None:
         """Reset all accumulated telemetry (the clock restarts too)."""
-        self.counters.clear()
-        self.gauges.clear()
-        self.timers.clear()
-        self.events = []
-        self.dropped_events = 0
-        self._seq = 0
-        self._t0 = time.perf_counter()
+        with self._lock:
+            self.counters.clear()
+            self.gauges.clear()
+            self.timers.clear()
+            self.events = []
+            self.dropped_events = 0
+            self._seq = 0
+            self._t0 = time.perf_counter()
 
     def __repr__(self) -> str:
         return "<Recorder {} counters={} events={}>".format(

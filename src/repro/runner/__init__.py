@@ -1,0 +1,45 @@
+"""repro.runner — supervised, crash-isolated verification campaigns.
+
+The substrate for running the repo's whole verification surface —
+mapping checks, perturbation batteries, lints, benchmarks — as a fleet
+of isolated jobs that survives worker crashes, hangs, and garbled
+results (``python -m repro run``):
+
+- :mod:`repro.runner.jobs` — the serializable :class:`Job` catalog and
+  in-process execution;
+- :mod:`repro.runner.worker` — the spawned-subprocess entry point and
+  chaos self-test modes;
+- :mod:`repro.runner.supervisor` — watchdogs, failure classification,
+  retry/backoff, quarantine;
+- :mod:`repro.runner.ledger` — the JSONL checkpoint ledger behind
+  ``repro run --resume``;
+- :mod:`repro.runner.report` — per-job outcomes and the always-complete
+  :class:`CampaignReport`.
+"""
+
+from repro.runner.jobs import JOB_KINDS, Job, default_jobs, execute_job
+from repro.runner.ledger import Ledger, LedgerState, load_ledger
+from repro.runner.report import (
+    FAILURE_CLASSES,
+    TRANSIENT_CLASSES,
+    CampaignReport,
+    JobOutcome,
+)
+from repro.runner.supervisor import CHAOS_MODES, RetryPolicy, Supervisor
+
+__all__ = [
+    "JOB_KINDS",
+    "FAILURE_CLASSES",
+    "TRANSIENT_CLASSES",
+    "CHAOS_MODES",
+    "Job",
+    "default_jobs",
+    "execute_job",
+    "Ledger",
+    "LedgerState",
+    "load_ledger",
+    "JobOutcome",
+    "CampaignReport",
+    "RetryPolicy",
+    "Supervisor",
+]

@@ -1,0 +1,287 @@
+"""Serializable verification jobs over every shipped system.
+
+A :class:`Job` is the unit a supervised campaign schedules: one check
+kind applied to one system, with plain-JSON parameters so it can cross
+a process boundary (``multiprocessing`` spawn) and a checkpoint ledger
+unchanged.  Four kinds decompose the repo's whole verification surface:
+
+- ``check``   — the system's full nominal proof battery (mapping/chain
+  checks on adversarial runs, Lemma 2.1 acceptance, exact zone bounds)
+  via :func:`repro.faults.build_perturb_target` at ε = 0;
+- ``perturb`` — the same battery under one fixed drift ε;
+- ``lint``    — the static diagnostics pass of :mod:`repro.lint`;
+- ``bench``   — one :func:`repro.obs.bench.run_profile` iteration.
+
+:func:`execute_job` runs a job *in the current process* and reduces
+whatever happened to a plain result payload — the worker wrapper in
+:mod:`repro.runner.worker` adds process isolation and chaos injection
+on top.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field, replace
+from fractions import Fraction
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import ReproError
+from repro.obs.instrument import Recorder, recording
+
+__all__ = [
+    "JOB_KINDS",
+    "RESULT_SCHEMA_VERSION",
+    "Job",
+    "default_jobs",
+    "execute_job",
+]
+
+#: Job kinds in campaign-scheduling order (cheap static checks first).
+JOB_KINDS = ("lint", "check", "perturb", "bench")
+
+#: Version stamp on worker result payloads; a payload without it (or
+#: with a future one) is classified ``malformed`` by the supervisor.
+RESULT_SCHEMA_VERSION = 1
+
+#: Systems whose *verdict failure* is the expected finding (the repo
+#: deliberately ships a broken Fischer variant to prove the checkers
+#: catch it) — the supervisor inverts success for these jobs.
+_EXPECTED_FAILURES = {
+    ("check", "fischer-tight"),
+    ("perturb", "fischer-tight"),
+}
+
+
+@dataclass(frozen=True)
+class Job:
+    """One schedulable unit of verification work.
+
+    ``params`` must stay plain JSON (exact fractions ride as ``"p/q"``
+    strings); ``chaos`` is the self-test fault mode injected by the
+    supervisor's ``--chaos`` flag (``crash`` / ``hang`` / ``malformed``,
+    applied on the first attempt only so recovery is provable).
+    """
+
+    job_id: str
+    kind: str
+    system: str
+    params: Dict[str, Any] = field(default_factory=dict)
+    expect_failure: bool = False
+    chaos: Optional[str] = None
+
+    def __post_init__(self):
+        if self.kind not in JOB_KINDS:
+            raise ReproError(
+                "unknown job kind {!r}; expected one of {}".format(
+                    self.kind, ", ".join(JOB_KINDS)
+                )
+            )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "job_id": self.job_id,
+            "kind": self.kind,
+            "system": self.system,
+            "params": dict(self.params),
+            "expect_failure": self.expect_failure,
+            "chaos": self.chaos,
+        }
+
+    @classmethod
+    def from_dict(cls, body: Dict[str, Any]) -> "Job":
+        return cls(
+            job_id=body["job_id"],
+            kind=body["kind"],
+            system=body["system"],
+            params=dict(body.get("params", {})),
+            expect_failure=bool(body.get("expect_failure", False)),
+            chaos=body.get("chaos"),
+        )
+
+    def with_chaos(self, chaos: Optional[str]) -> "Job":
+        return replace(self, chaos=chaos)
+
+
+def _campaign_systems(requested: Optional[Sequence[str]]) -> Optional[List[str]]:
+    if requested is None:
+        return None
+    systems = list(dict.fromkeys(requested))
+    if "all" in systems:
+        return None
+    return systems
+
+
+def default_jobs(
+    systems: Optional[Sequence[str]] = None,
+    kinds: Iterable[str] = JOB_KINDS,
+    seeds: int = 2,
+    steps: int = 40,
+    seed: int = 0,
+    epsilon: Fraction = Fraction(1, 32),
+    iterations: int = 1,
+    max_states: int = 200_000,
+    max_steps: int = 2_000_000,
+    wall_time: float = 60.0,
+) -> List[Job]:
+    """Decompose the requested verification surface into jobs.
+
+    ``systems=None`` (or a list containing ``"all"``) means every
+    system each kind knows about; otherwise each kind keeps the
+    intersection of the request with its own registry, and a request
+    matching *no* kind at all raises.
+    """
+    from repro.faults.targets import perturb_names
+    from repro.lint.targets import system_names as lint_names
+    from repro.obs.bench import bench_names
+
+    chosen = _campaign_systems(systems)
+    kinds = [k for k in JOB_KINDS if k in set(kinds)]
+    if not kinds:
+        raise ReproError("no job kinds selected")
+    registry = {
+        "lint": list(lint_names()),
+        "check": list(perturb_names()),
+        "perturb": list(perturb_names()),
+        "bench": list(bench_names()),
+    }
+    known = set().union(*registry.values())
+    if chosen is not None:
+        unknown = [name for name in chosen if name not in known]
+        if unknown:
+            raise ReproError(
+                "unknown system(s) {}; known: {}".format(
+                    ", ".join(unknown), ", ".join(sorted(known))
+                )
+            )
+    budget = {
+        "max_states": max_states,
+        "max_steps": max_steps,
+        "wall_time": wall_time,
+    }
+    jobs: List[Job] = []
+    for kind in kinds:
+        for name in registry[kind]:
+            if chosen is not None and name not in chosen:
+                continue
+            if kind in ("check", "perturb"):
+                params: Dict[str, Any] = dict(budget)
+                params.update(seeds=seeds, steps=steps, seed=seed)
+                params["epsilon"] = str(epsilon if kind == "perturb" else Fraction(0))
+            elif kind == "bench":
+                params = {"iterations": iterations}
+            else:  # lint: the driver's own bounded-exploration cap applies
+                params = {"strict": False}
+            jobs.append(
+                Job(
+                    job_id="{}:{}".format(kind, name),
+                    kind=kind,
+                    system=name,
+                    params=params,
+                    expect_failure=(kind, name) in _EXPECTED_FAILURES,
+                )
+            )
+    if not jobs:
+        raise ReproError("the requested systems/kinds produced no jobs")
+    return jobs
+
+
+# ----------------------------------------------------------------------
+# In-process execution
+# ----------------------------------------------------------------------
+
+
+def _scaled_budget(params: Dict[str, Any]):
+    """A fresh :class:`~repro.faults.budget.Budget` from job params,
+    multiplied by the supervisor's escalation factor (set on retries
+    classified ``budget``: same job, more room)."""
+    from repro.faults.budget import Budget
+
+    scale = int(params.get("budget_scale", 1))
+    max_states = params.get("max_states")
+    max_steps = params.get("max_steps")
+    wall_time = params.get("wall_time")
+    return Budget(
+        max_states=None if max_states is None else int(max_states) * scale,
+        max_steps=None if max_steps is None else int(max_steps) * scale,
+        wall_time=None if wall_time is None else float(wall_time) * scale,
+    )
+
+
+def _run_lint(job: Job) -> Tuple[bool, bool, bool, str]:
+    from repro.lint import DEFAULT_MAX_STATES, build_target, lint_system
+
+    report = lint_system(
+        build_target(job.system),
+        max_states=int(job.params.get("max_states", DEFAULT_MAX_STATES)),
+    )
+    strict = bool(job.params.get("strict", False))
+    summary = report.summary()
+    detail = ", ".join("{}={}".format(k, v) for k, v in sorted(summary.items()))
+    return (not report.fails(strict=strict), True, False, detail)
+
+
+def _run_battery(job: Job) -> Tuple[bool, bool, bool, str]:
+    from repro.faults.targets import build_perturb_target
+
+    target = build_perturb_target(
+        job.system,
+        seeds=int(job.params.get("seeds", 2)),
+        steps=int(job.params.get("steps", 40)),
+        seed=int(job.params.get("seed", 0)),
+    )
+    outcome = target.evaluate(
+        Fraction(job.params.get("epsilon", "0")), _scaled_budget(job.params)
+    )
+    return (outcome.ok, outcome.conclusive, outcome.exhausted_budget, outcome.detail)
+
+
+def _run_bench(job: Job) -> Tuple[bool, bool, bool, str]:
+    from repro.obs.bench import run_profile
+
+    record = run_profile(
+        job.system, iterations=int(job.params.get("iterations", 1))
+    )
+    detail = "wall={:.3f}s iterations={}".format(record.wall_time, record.iterations)
+    return (bool(record.meta.get("ok", True)), True, False, detail)
+
+
+_EXECUTORS = {
+    "lint": _run_lint,
+    "check": _run_battery,
+    "perturb": _run_battery,
+    "bench": _run_bench,
+}
+
+
+def execute_job(job: Job) -> Dict[str, Any]:
+    """Run one job to a plain result payload — never raises.
+
+    The payload carries the verdict (``ok`` / ``conclusive`` /
+    ``exhausted_budget`` / ``detail``), a structured ``error`` dict when
+    a library error escaped the check, and the job's telemetry snapshot
+    for cross-process aggregation (``Recorder.merge`` on the parent).
+    """
+    recorder = Recorder(name="job." + job.job_id, max_events=0)
+    start = time.perf_counter()
+    error: Optional[Dict[str, Any]] = None
+    ok, conclusive, exhausted, detail = False, True, False, ""
+    try:
+        with recording(recorder):
+            ok, conclusive, exhausted, detail = _EXECUTORS[job.kind](job)
+    except ReproError as exc:
+        error = exc.to_dict()
+        detail = str(exc)
+    except Exception as exc:  # infra: anything non-library is still a record
+        error = {"type": type(exc).__name__, "message": str(exc)}
+        detail = "{}: {}".format(type(exc).__name__, exc)
+    return {
+        "schema": RESULT_SCHEMA_VERSION,
+        "job_id": job.job_id,
+        "ok": ok,
+        "conclusive": conclusive,
+        "exhausted_budget": exhausted,
+        "detail": detail,
+        "error": error,
+        "wall": time.perf_counter() - start,
+        "telemetry": recorder.snapshot(),
+    }

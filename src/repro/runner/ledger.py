@@ -1,0 +1,169 @@
+"""The JSONL checkpoint ledger behind ``repro run --resume``.
+
+Every supervised campaign streams its progress to an append-only JSONL
+file, one self-describing entry per line (schema-stamped via
+:mod:`repro.serialize`), flushed as written so a SIGKILL loses at most
+the line in flight:
+
+- ``campaign`` — the first line: campaign id, options, and the full
+  job list (the resume contract: the job set is fixed at campaign
+  start);
+- ``attempt``  — one per classified attempt, with retry/backoff data;
+- ``done``     — one per job reaching a terminal outcome;
+- ``resume``   — appended each time a campaign is picked back up;
+- ``end``      — the campaign summary (absent after a mid-run kill).
+
+Resuming loads the ledger, keeps every ``done`` outcome, and re-runs
+exactly the jobs without one — an interrupted campaign continues where
+it stopped instead of starting over.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.errors import ReproError
+from repro.runner.jobs import Job
+from repro.runner.report import JobOutcome
+from repro.serialize import ledger_entries_from_jsonl, ledger_entry_to_line
+
+__all__ = ["Ledger", "LedgerState", "load_ledger"]
+
+
+class Ledger:
+    """Append-only JSONL writer for one campaign's progress."""
+
+    def __init__(self, path: str):
+        self.path = path
+        self._fh = None
+
+    def _write(self, entry: Dict[str, Any]) -> None:
+        line = ledger_entry_to_line(entry)
+        if self._fh is None:
+            self._fh = open(self.path, "a")
+        self._fh.write(line + "\n")
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+
+    def begin(self, campaign_id: str, jobs: List[Job], options: Dict[str, Any]) -> None:
+        self._write(
+            {
+                "kind": "campaign",
+                "campaign_id": campaign_id,
+                "options": dict(options),
+                "jobs": [job.to_dict() for job in jobs],
+            }
+        )
+
+    def resume(self, campaign_id: str, pending: List[str]) -> None:
+        self._write(
+            {"kind": "resume", "campaign_id": campaign_id, "pending": list(pending)}
+        )
+
+    def attempt(
+        self,
+        job_id: str,
+        attempt: int,
+        classification: str,
+        detail: str,
+        backoff: Optional[float] = None,
+        budget_scale: int = 1,
+    ) -> None:
+        self._write(
+            {
+                "kind": "attempt",
+                "job_id": job_id,
+                "attempt": attempt,
+                "classification": classification,
+                "detail": detail,
+                "backoff": backoff,
+                "budget_scale": budget_scale,
+            }
+        )
+
+    def done(self, outcome: JobOutcome) -> None:
+        self._write(
+            {"kind": "done", "job_id": outcome.job_id, "outcome": outcome.to_dict()}
+        )
+
+    def end(self, summary: Dict[str, Any]) -> None:
+        self._write({"kind": "end", "summary": dict(summary)})
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "Ledger":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+@dataclass
+class LedgerState:
+    """A parsed ledger: what a resume needs to continue the campaign."""
+
+    campaign_id: str
+    options: Dict[str, Any]
+    jobs: List[Job]
+    outcomes: Dict[str, JobOutcome] = field(default_factory=dict)
+    attempts: Dict[str, int] = field(default_factory=dict)
+    ended: bool = False
+
+    @property
+    def pending(self) -> List[Job]:
+        """Jobs without a terminal outcome, in campaign order."""
+        return [job for job in self.jobs if job.job_id not in self.outcomes]
+
+    @property
+    def complete(self) -> bool:
+        return not self.pending
+
+
+def load_ledger(path: str) -> LedgerState:
+    """Parse a campaign ledger back into resumable state.
+
+    Torn final lines (mid-write kill) are tolerated; a ledger without
+    its ``campaign`` header — or with several, which would mean two
+    campaigns interleaved one file — is rejected.
+    """
+    if not os.path.exists(path):
+        raise ReproError("no ledger at {!r}".format(path))
+    with open(path) as fh:
+        entries = ledger_entries_from_jsonl(fh.read())
+    header = None
+    outcomes: Dict[str, JobOutcome] = {}
+    attempts: Dict[str, int] = {}
+    ended = False
+    for entry in entries:
+        kind = entry["kind"]
+        if kind == "campaign":
+            if header is not None:
+                raise ReproError(
+                    "ledger {!r} holds more than one campaign".format(path)
+                )
+            header = entry
+        elif kind == "attempt":
+            job_id = entry["job_id"]
+            attempts[job_id] = attempts.get(job_id, 0) + 1
+        elif kind == "done":
+            outcomes[entry["job_id"]] = JobOutcome.from_dict(entry["outcome"])
+        elif kind == "end":
+            ended = True
+        # "resume" markers (and future informational kinds) are skipped.
+    if header is None:
+        raise ReproError(
+            "ledger {!r} has no campaign header (nothing to resume)".format(path)
+        )
+    return LedgerState(
+        campaign_id=header["campaign_id"],
+        options=dict(header.get("options", {})),
+        jobs=[Job.from_dict(body) for body in header.get("jobs", [])],
+        outcomes=outcomes,
+        attempts=attempts,
+        ended=ended,
+    )

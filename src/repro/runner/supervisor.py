@@ -1,0 +1,472 @@
+"""The campaign supervisor: isolated workers, watchdogs, retry/backoff.
+
+Long verification campaigns die in boring ways — one worker segfaults,
+one zone build hangs, one result gets garbled — and a campaign that
+dies with them wastes everything already proved.  The
+:class:`Supervisor` makes the fleet survive its members:
+
+- every job runs in a **spawned subprocess** (fresh interpreter; a
+  worker can die arbitrarily without touching the supervisor);
+- every attempt has a **wall-clock watchdog**; an overdue worker is
+  killed and the attempt classified ``timeout``;
+- every failure is **classified** (see
+  :data:`repro.runner.report.FAILURE_CLASSES`): transient classes are
+  retried with capped exponential backoff + deterministic jitter,
+  ``budget`` retries escalate the job's
+  :class:`~repro.faults.budget.Budget`, and deterministic classes
+  (``verdict``, ``error``) are quarantined — retrying would re-prove
+  the same failure;
+- progress streams to a :class:`~repro.runner.ledger.Ledger`, so a
+  killed campaign resumes from its checkpoint instead of restarting;
+- worker telemetry snapshots are folded into the supervisor's
+  :class:`~repro.obs.instrument.Recorder` (``runner.*`` counters,
+  per-job timers) — cross-process aggregation via ``Recorder.merge``.
+
+``run()`` always returns a complete :class:`CampaignReport`; it never
+raises for anything a worker did.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import random
+import time
+import uuid
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.errors import ReproError
+from repro.obs import instrument as _telemetry
+from repro.obs.instrument import Recorder
+from repro.runner.jobs import RESULT_SCHEMA_VERSION, Job, execute_job
+from repro.runner.ledger import Ledger
+from repro.runner.report import TRANSIENT_CLASSES, CampaignReport, JobOutcome
+
+__all__ = ["RetryPolicy", "Supervisor", "CHAOS_MODES"]
+
+#: The chaos self-test battery: with ``chaos=True`` the supervisor
+#: assigns one mode per job, cycling, to the first three jobs — one
+#: guaranteed crash, hang, and malformed result per campaign.
+CHAOS_MODES = ("crash", "hang", "malformed")
+
+
+class RetryPolicy:
+    """Capped exponential backoff with deterministic jitter.
+
+    ``delay(attempt)`` for attempt ``n`` (0-based, the attempt that just
+    failed) is ``min(cap, base · 2ⁿ)`` stretched by up to ``jitter``
+    fraction — jitter is drawn from a seeded RNG so campaigns are
+    reproducible and retry storms still decorrelate.
+    """
+
+    def __init__(
+        self,
+        max_retries: int = 2,
+        base: float = 0.1,
+        cap: float = 2.0,
+        jitter: float = 0.25,
+        seed: int = 0,
+    ):
+        if max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if base < 0 or cap < 0 or jitter < 0:
+            raise ValueError("base, cap and jitter must be >= 0")
+        self.max_retries = max_retries
+        self.base = base
+        self.cap = cap
+        self.jitter = jitter
+        self._rng = random.Random(seed)
+
+    def delay(self, attempt: int) -> float:
+        return min(self.cap, self.base * (2 ** attempt)) * (
+            1.0 + self.jitter * self._rng.random()
+        )
+
+
+@dataclass
+class _JobState:
+    """Supervisor-side bookkeeping for one job across its attempts."""
+
+    job: Job
+    attempt: int = 0
+    eligible_at: float = 0.0
+    budget_scale: int = 1
+    retries: int = 0
+    classifications: List[str] = field(default_factory=list)
+    wall: float = 0.0
+
+
+@dataclass
+class _Running:
+    state: _JobState
+    process: Any
+    queue: Any
+    deadline: float
+    started: float
+
+
+class Supervisor:
+    """Runs a job list to a complete :class:`CampaignReport`.
+
+    ``workers >= 1`` is the supervised mode (subprocess isolation +
+    watchdogs).  ``workers == 0`` executes jobs inline in this process —
+    no isolation, no hang protection, chaos refused — which exists for
+    debugging and fast tests of the classification logic only.
+    """
+
+    def __init__(
+        self,
+        jobs: List[Job],
+        workers: int = 2,
+        timeout: float = 30.0,
+        retry: Optional[RetryPolicy] = None,
+        ledger: Optional[Ledger] = None,
+        chaos: bool = False,
+        campaign_id: Optional[str] = None,
+        prior_outcomes: Optional[Dict[str, JobOutcome]] = None,
+        write_header: bool = True,
+        stop_after: Optional[int] = None,
+        poll_interval: float = 0.02,
+        recorder: Optional[Recorder] = None,
+    ):
+        if workers < 0:
+            raise ValueError("workers must be >= 0")
+        if timeout <= 0:
+            raise ValueError("timeout must be positive")
+        if chaos and workers == 0:
+            raise ReproError("chaos needs isolated workers (workers >= 1)")
+        self.jobs = list(jobs)
+        self.workers = workers
+        self.timeout = float(timeout)
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.ledger = ledger
+        self.chaos = chaos
+        self.campaign_id = campaign_id or uuid.uuid4().hex[:12]
+        self.prior_outcomes = dict(prior_outcomes or {})
+        self.write_header = write_header
+        self.stop_after = stop_after
+        self.poll_interval = poll_interval
+        self.recorder = recorder if recorder is not None else Recorder(
+            name="runner." + self.campaign_id, max_events=0
+        )
+        if chaos:
+            self.jobs = [
+                job.with_chaos(CHAOS_MODES[i % len(CHAOS_MODES)]) if i < len(CHAOS_MODES) else job
+                for i, job in enumerate(self.jobs)
+            ]
+        self._ctx = multiprocessing.get_context("spawn")
+
+    # -- classification ------------------------------------------------
+
+    def _classify_payload(self, state: _JobState, payload) -> str:
+        """Map a worker's (possibly absent or garbled) result to a
+        failure class; see :data:`FAILURE_CLASSES`."""
+        if (
+            not isinstance(payload, dict)
+            or payload.get("schema") != RESULT_SCHEMA_VERSION
+            or payload.get("job_id") != state.job.job_id
+        ):
+            return "malformed"
+        if payload.get("error"):
+            return "error"
+        if not payload.get("ok"):
+            return "verdict"
+        if payload.get("exhausted_budget") and not payload.get("conclusive", True):
+            return "budget"
+        return "ok"
+
+    def _payload_detail(self, payload) -> str:
+        if isinstance(payload, dict):
+            return str(payload.get("detail", ""))
+        return "unintelligible worker result: {!r}".format(payload)[:200]
+
+    # -- attempt lifecycle ---------------------------------------------
+
+    def _job_body(self, state: _JobState) -> Dict[str, Any]:
+        body = state.job.to_dict()
+        params = dict(body["params"])
+        params["budget_scale"] = state.budget_scale
+        params["timeout"] = self.timeout
+        body["params"] = params
+        return body
+
+    def _settle(
+        self, state: _JobState, classification: str, detail: str, payload
+    ) -> Optional[JobOutcome]:
+        """Record one classified attempt; returns the terminal outcome
+        or ``None`` when the job was rescheduled for retry."""
+        state.classifications.append(classification)
+        retryable = (
+            classification in TRANSIENT_CLASSES
+            and state.attempt < self.retry.max_retries
+        )
+        backoff = self.retry.delay(state.attempt) if retryable else None
+        if self.ledger is not None:
+            self.ledger.attempt(
+                state.job.job_id,
+                state.attempt,
+                classification,
+                detail,
+                backoff=backoff,
+                budget_scale=state.budget_scale,
+            )
+        counter = {
+            "crash": "runner.crashes",
+            "timeout": "runner.timeouts",
+            "malformed": "runner.malformed",
+            "budget": "runner.budget_cuts",
+        }.get(classification)
+        if counter is not None:
+            self.recorder.incr(counter)
+        if isinstance(payload, dict) and isinstance(payload.get("telemetry"), dict):
+            self.recorder.merge(payload["telemetry"])
+        if retryable:
+            if classification == "budget":
+                state.budget_scale *= 4
+                self.recorder.incr("runner.budget_escalations")
+            state.retries += 1
+            state.attempt += 1
+            state.eligible_at = time.monotonic() + backoff
+            self.recorder.incr("runner.retries")
+            return None
+        return self._terminal(state, classification, detail, payload)
+
+    def _terminal(
+        self, state: _JobState, classification: str, detail: str, payload
+    ) -> JobOutcome:
+        job = state.job
+        conclusive = True
+        error = payload.get("error") if isinstance(payload, dict) else None
+        if classification == "ok":
+            if job.expect_failure:
+                status, ok = "unexpected-pass", False
+                detail = detail or "expected this system to fail; it passed"
+            else:
+                status, ok = "ok", True
+        elif classification == "verdict":
+            if job.expect_failure:
+                status, ok = "expected-failure", True
+            else:
+                status, ok = "verdict", False
+        elif classification == "budget":
+            # Retries (with escalated budgets) ran out: keep the partial
+            # verdict, flagged inconclusive, rather than losing the job.
+            status = "budget"
+            ok = bool(isinstance(payload, dict) and payload.get("ok"))
+            conclusive = False
+        else:
+            status, ok = classification, False
+        if not ok or classification in ("verdict", "error"):
+            if not ok:
+                self.recorder.incr("runner.failed")
+            if classification in ("verdict", "error") and not job.expect_failure:
+                self.recorder.incr("runner.quarantined")
+        outcome = JobOutcome(
+            job_id=job.job_id,
+            kind=job.kind,
+            system=job.system,
+            status=status,
+            ok=ok,
+            attempts=state.attempt + 1,
+            retries=state.retries,
+            detail=detail,
+            wall=state.wall,
+            conclusive=conclusive,
+            expect_failure=job.expect_failure,
+            classifications=list(state.classifications),
+            error=error,
+        )
+        if self.ledger is not None:
+            self.ledger.done(outcome)
+        return outcome
+
+    # -- execution -----------------------------------------------------
+
+    def _launch(self, state: _JobState) -> _Running:
+        from repro.runner.worker import worker_main
+
+        queue = self._ctx.SimpleQueue()
+        process = self._ctx.Process(
+            target=worker_main,
+            args=(self._job_body(state), state.attempt, queue),
+            daemon=True,
+        )
+        process.start()
+        self.recorder.incr("runner.launched")
+        now = time.monotonic()
+        return _Running(
+            state=state,
+            process=process,
+            queue=queue,
+            deadline=now + self.timeout,
+            started=now,
+        )
+
+    def _reap(self, running: _Running, timed_out: bool):
+        """Collect a finished (or overdue) worker into a classification."""
+        state = running.state
+        state.wall += time.monotonic() - running.started
+        payload = None
+        if timed_out:
+            running.process.terminate()
+            running.process.join(0.5)
+            if running.process.is_alive():
+                running.process.kill()
+                running.process.join(1.0)
+            classification, detail = "timeout", (
+                "watchdog: no result within {:.1f}s".format(self.timeout)
+            )
+        else:
+            running.process.join()
+            try:
+                payload = None if running.queue.empty() else running.queue.get()
+            except Exception as exc:  # torn pipe write from a dying worker
+                payload, detail = None, "result unreadable: {}".format(exc)
+            if payload is None:
+                classification = "crash"
+                detail = "worker exited (code {}) without a result".format(
+                    running.process.exitcode
+                )
+            else:
+                classification = self._classify_payload(state, payload)
+                detail = self._payload_detail(payload)
+        if hasattr(running.queue, "close"):
+            running.queue.close()
+        return self._settle(state, classification, detail, payload)
+
+    def _run_inline(self, state: _JobState) -> Optional[JobOutcome]:
+        start = time.monotonic()
+        payload = execute_job(Job.from_dict(self._job_body(state)))
+        state.wall += time.monotonic() - start
+        classification = self._classify_payload(state, payload)
+        return self._settle(state, classification, self._payload_detail(payload), payload)
+
+    def run(self) -> CampaignReport:
+        """Drive every job to a terminal outcome; never raises for
+        worker behaviour.  ``stop_after=N`` (and Ctrl-C) interrupt the
+        campaign after ``N`` terminal outcomes — the ledger then holds
+        a resumable checkpoint and the report says ``interrupted``."""
+        started = time.monotonic()
+        self.recorder.incr("runner.jobs", len(self.jobs))
+        if self.ledger is not None:
+            if self.write_header:
+                self.ledger.begin(
+                    self.campaign_id,
+                    self.jobs,
+                    {
+                        "workers": self.workers,
+                        "timeout": self.timeout,
+                        "max_retries": self.retry.max_retries,
+                        "chaos": self.chaos,
+                    },
+                )
+            else:
+                self.ledger.resume(
+                    self.campaign_id, [job.job_id for job in self.jobs]
+                )
+        pending: List[_JobState] = [_JobState(job=job) for job in self.jobs]
+        running: List[_Running] = []
+        outcomes: List[JobOutcome] = list(self.prior_outcomes.values())
+        settled = 0
+        interrupted = False
+        try:
+            while pending or running:
+                if (
+                    self.stop_after is not None
+                    and settled >= self.stop_after
+                    and not running
+                ):
+                    interrupted = bool(pending)
+                    break
+                now = time.monotonic()
+                stop_launching = (
+                    self.stop_after is not None and settled >= self.stop_after
+                )
+                while (
+                    not stop_launching
+                    and self.workers > 0
+                    and len(running) < self.workers
+                ):
+                    index = next(
+                        (
+                            i
+                            for i, state in enumerate(pending)
+                            if state.eligible_at <= now
+                        ),
+                        None,
+                    )
+                    if index is None:
+                        break
+                    running.append(self._launch(pending.pop(index)))
+                if self.workers == 0 and pending and not stop_launching:
+                    index = next(
+                        (
+                            i
+                            for i, state in enumerate(pending)
+                            if state.eligible_at <= now
+                        ),
+                        None,
+                    )
+                    if index is not None:
+                        state = pending.pop(index)
+                        settled_outcome = self._run_inline(state)
+                        if settled_outcome is None:
+                            pending.append(state)
+                        else:
+                            outcomes.append(settled_outcome)
+                            settled += 1
+                        continue
+                reaped = False
+                for entry in list(running):
+                    now = time.monotonic()
+                    finished = not entry.process.is_alive()
+                    overdue = not finished and now >= entry.deadline
+                    if not finished and not overdue:
+                        continue
+                    running.remove(entry)
+                    reaped = True
+                    outcome = self._reap(entry, timed_out=overdue)
+                    if outcome is None:
+                        pending.append(entry.state)
+                    else:
+                        outcomes.append(outcome)
+                        settled += 1
+                if not reaped and (running or pending):
+                    time.sleep(self.poll_interval)
+        except KeyboardInterrupt:
+            interrupted = True
+            for entry in running:
+                entry.process.terminate()
+                entry.process.join(0.5)
+        report = CampaignReport(
+            campaign_id=self.campaign_id,
+            outcomes=outcomes,
+            interrupted=interrupted,
+            wall=time.monotonic() - started,
+        )
+        for outcome in outcomes:
+            self.recorder.merge(
+                {
+                    "timers": {
+                        "runner.job." + outcome.job_id: {
+                            "total_s": outcome.wall,
+                            "calls": 1,
+                        }
+                    }
+                }
+            )
+        report.telemetry = self.recorder.snapshot()
+        parent = _telemetry.active()
+        if parent is not None and parent is not self.recorder:
+            parent.merge(self.recorder)
+        if self.ledger is not None:
+            self.ledger.end(
+                {
+                    "ok": report.ok,
+                    "interrupted": interrupted,
+                    "jobs": len(outcomes),
+                    "retries": report.total_retries(),
+                    "counts": report.counts(),
+                }
+            )
+        return report

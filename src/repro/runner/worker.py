@@ -1,0 +1,59 @@
+"""The crash-isolated side of a supervised campaign.
+
+:func:`worker_main` is the sole entry point a worker subprocess runs
+(``multiprocessing`` *spawn* context: a fresh interpreter, no inherited
+engine state, so one worker's segfault or runaway recursion cannot
+corrupt its siblings or the supervisor).  It executes one job via
+:func:`repro.runner.jobs.execute_job` and ships the result payload back
+over a queue.
+
+Chaos self-test modes (``--chaos``) are injected *here*, below the
+supervisor's recovery machinery, so the recovery paths are proven
+against real process misbehaviour rather than mocks:
+
+- ``crash``     — hard ``os._exit`` before producing a result;
+- ``hang``      — sleep far past the job's watchdog timeout;
+- ``malformed`` — ship a payload the supervisor cannot interpret.
+
+Each mode fires on the first attempt only (``attempt == 0``), so a
+retried chaos job demonstrates the full classify → backoff → retry →
+success loop.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Any, Dict
+
+from repro.runner.jobs import Job, execute_job
+
+__all__ = ["worker_main", "CRASH_EXIT_CODE"]
+
+#: Deliberate exit code for chaos crashes (distinguishable from a
+#: Python traceback's exit 1 in the supervisor's logs, classified the
+#: same way).
+CRASH_EXIT_CODE = 23
+
+
+def worker_main(job_body: Dict[str, Any], attempt: int, queue) -> None:
+    """Run one job and put the result payload on ``queue``.
+
+    ``job_body`` is ``Job.to_dict()`` output (plain JSON — spawn
+    pickles only builtins this way).  Exceptions never propagate:
+    :func:`execute_job` converts them into failing payloads, so a
+    worker that *exits* without a payload really did die abnormally.
+    """
+    job = Job.from_dict(job_body)
+    if job.chaos and attempt == 0:
+        if job.chaos == "crash":
+            os._exit(CRASH_EXIT_CODE)
+        if job.chaos == "hang":
+            # Sleep far past any sane watchdog; the supervisor kills us.
+            timeout = float(job.params.get("timeout", 5.0))
+            time.sleep(max(60.0, timeout * 20))
+            os._exit(CRASH_EXIT_CODE)
+        if job.chaos == "malformed":
+            queue.put(["not", "a", "result", "payload"])
+            return
+    queue.put(execute_job(job))

@@ -31,17 +31,24 @@ from repro.timed.timed_sequence import TimedEvent, TimedSequence
 __all__ = [
     "SerializationError",
     "TRACE_SCHEMA_VERSION",
+    "LEDGER_SCHEMA_VERSION",
     "encode_value",
     "decode_value",
     "run_to_json",
     "run_from_json",
     "events_to_jsonl",
     "events_from_jsonl",
+    "ledger_entry_to_line",
+    "ledger_entries_from_jsonl",
 ]
 
 #: Version of the JSONL trace container written by
 #: :func:`events_to_jsonl`; bumped whenever the event shape changes.
 TRACE_SCHEMA_VERSION = 1
+
+#: Version of the JSONL campaign-ledger entries written by
+#: :mod:`repro.runner.ledger`; bumped whenever the entry shape changes.
+LEDGER_SCHEMA_VERSION = 1
 
 
 class SerializationError(ReproError):
@@ -195,3 +202,56 @@ def events_from_jsonl(text: str) -> List[TraceEvent]:
             )
         events.append(value)
     return events
+
+
+def ledger_entry_to_line(entry: dict) -> str:
+    """Serialise one campaign-ledger entry to a self-describing JSONL
+    line: every line carries the schema version and a ``kind``, so a
+    ledger survives truncation anywhere (each line is independently
+    meaningful) and future shapes are rejected rather than misread."""
+    if not isinstance(entry, dict) or "kind" not in entry:
+        raise SerializationError(
+            "a ledger entry must be a dict with a 'kind', got {!r}".format(entry)
+        )
+    body = dict(entry)
+    body["schema"] = LEDGER_SCHEMA_VERSION
+    try:
+        return json.dumps(body, sort_keys=True)
+    except (TypeError, ValueError) as exc:
+        raise SerializationError(
+            "ledger entry is not JSON-serialisable: {}".format(exc)
+        )
+
+
+def ledger_entries_from_jsonl(text: str, tolerate_torn_tail: bool = True) -> List[dict]:
+    """Parse ledger JSONL back into entry dicts.
+
+    A campaign killed mid-write (SIGKILL, power loss) may leave a torn
+    final line; with ``tolerate_torn_tail`` that one line is dropped —
+    the per-line schema makes every *complete* line usable.  Torn or
+    unknown-schema lines anywhere else raise
+    :class:`SerializationError`.
+    """
+    raw_lines = [line for line in text.splitlines() if line.strip()]
+    entries: List[dict] = []
+    for index, line in enumerate(raw_lines):
+        try:
+            body = json.loads(line)
+        except ValueError:
+            if tolerate_torn_tail and index == len(raw_lines) - 1:
+                break
+            raise SerializationError(
+                "ledger line {} is not valid JSON: {!r}".format(index + 1, line[:80])
+            )
+        if not isinstance(body, dict) or "kind" not in body:
+            raise SerializationError(
+                "ledger line {} is not an entry dict: {!r}".format(index + 1, line[:80])
+            )
+        if body.get("schema") != LEDGER_SCHEMA_VERSION:
+            raise SerializationError(
+                "unsupported ledger schema {!r} on line {} (supported: {})".format(
+                    body.get("schema"), index + 1, LEDGER_SCHEMA_VERSION
+                )
+            )
+        entries.append(body)
+    return entries

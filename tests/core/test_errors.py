@@ -1,0 +1,65 @@
+"""Machine-readable error projections (``to_dict``)."""
+
+import json
+from fractions import Fraction as F
+
+from repro.errors import (
+    MappingCheckError,
+    ReproError,
+    SchedulingDeadlockError,
+)
+
+
+class TestBaseProjection:
+    def test_base_error_carries_type_and_message(self):
+        body = ReproError("it broke").to_dict()
+        assert body == {"type": "ReproError", "message": "it broke"}
+
+    def test_subclass_name_is_the_type(self):
+        class CustomError(ReproError):
+            pass
+
+        assert CustomError("x").to_dict()["type"] == "CustomError"
+
+
+class TestSchedulingDeadlock:
+    def test_fields_are_projected_to_strings(self):
+        exc = SchedulingDeadlockError(
+            "stuck",
+            state=("s", F(1, 2)),
+            condition="c2",
+            deadline=F(7, 3),
+        )
+        body = exc.to_dict()
+        assert body["type"] == "SchedulingDeadlockError"
+        assert body["message"] == "stuck"
+        assert body["state"] == repr(("s", F(1, 2)))
+        assert body["condition"] == "c2"
+        assert body["deadline"] == "7/3"
+        json.dumps(body)  # JSON-native throughout
+
+    def test_missing_fields_stay_none(self):
+        body = SchedulingDeadlockError("stuck").to_dict()
+        assert body["state"] is None
+        assert body["condition"] is None
+        assert body["deadline"] is None
+
+
+class TestMappingCheck:
+    def test_fields_are_projected(self):
+        exc = MappingCheckError(
+            "no cover",
+            step=3,
+            source_state={"x": F(1)},
+            target_state={"y": F(2)},
+        )
+        body = exc.to_dict()
+        assert body["type"] == "MappingCheckError"
+        assert body["step"] == "3"
+        assert body["source_state"] == repr({"x": F(1)})
+        assert body["target_state"] == repr({"y": F(2)})
+        json.dumps(body)
+
+    def test_round_trips_through_json(self):
+        body = MappingCheckError("m", step=1).to_dict()
+        assert json.loads(json.dumps(body)) == body

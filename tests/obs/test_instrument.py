@@ -248,3 +248,95 @@ def test_trace_event_is_frozen():
     ev = TraceEvent(seq=0, name="x", wall=0.0, fields={})
     with pytest.raises(AttributeError):
         ev.name = "y"
+
+
+class TestThreadSafety:
+    def test_concurrent_increments_never_lose_updates(self):
+        import threading
+
+        rec = Recorder(max_events=0)
+        per_thread = 2_000
+
+        def hammer():
+            for _ in range(per_thread):
+                rec.incr("hits")
+                rec.gauge("depth", 1)
+                rec.event("tick")
+
+        threads = [threading.Thread(target=hammer) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert rec.counters["hits"] == 8 * per_thread
+        assert rec.counters["events.tick"] == 8 * per_thread
+        assert rec.gauges["depth"].updates == 8 * per_thread
+        assert rec.dropped_events == 8 * per_thread  # max_events=0
+
+    def test_lock_makes_recorder_unpicklable_by_design(self):
+        import pickle
+
+        with pytest.raises(TypeError):
+            pickle.dumps(Recorder())
+
+
+class TestMerge:
+    def test_merge_folds_a_worker_snapshot(self):
+        worker = Recorder(name="worker", max_events=0)
+        worker.incr("sim.steps", 7)
+        worker.gauge("frontier", 3)
+        worker.gauge("frontier", 9)
+        with worker.timer("zone.query"):
+            pass
+        worker.event("dropped")  # max_events=0 -> counted + dropped
+
+        parent = Recorder(name="parent")
+        parent.incr("sim.steps", 5)
+        parent.gauge("frontier", 6)
+        parent.merge(worker.snapshot())
+
+        assert parent.counters["sim.steps"] == 12
+        assert parent.counters["events.dropped"] == 1
+        assert parent.dropped_events == 1
+        stat = parent.gauges["frontier"]
+        assert (stat.lo, stat.hi, stat.last) == (3, 9, 9)
+        assert stat.updates == 3
+        assert parent.timers["zone.query"].calls == 1
+
+    def test_merge_accepts_a_recorder_directly_and_chains(self):
+        a = Recorder()
+        a.incr("x")
+        b = Recorder()
+        b.incr("x", 2)
+        c = Recorder()
+        c.incr("x", 4)
+        assert a.merge(b).merge(c).counters["x"] == 7
+
+    def test_merge_restores_exact_fraction_gauges(self):
+        worker = Recorder()
+        worker.gauge("slack", F(1, 3))
+        worker.gauge("slack", F(5, 2))
+        parent = Recorder()
+        parent.gauge("slack", F(1, 2))
+        parent.merge(worker.snapshot())  # rides as "1/3" / "5/2" strings
+        stat = parent.gauges["slack"]
+        assert stat.lo == F(1, 3)
+        assert stat.hi == F(5, 2)
+
+    def test_merge_tolerates_incomparable_gauges(self):
+        worker = Recorder()
+        worker.gauge("phase", "late")
+        parent = Recorder()
+        parent.gauge("phase", 2)
+        parent.merge(worker.snapshot())  # no TypeError escape
+        stat = parent.gauges["phase"]
+        assert stat.last == "late"
+        assert stat.lo == 2 and stat.hi == 2  # incomparable: ours kept
+
+    def test_merge_adds_timers(self):
+        snap = {"timers": {"t": {"total_s": 1.5, "calls": 3}}}
+        rec = Recorder()
+        rec.merge(snap)
+        rec.merge(snap)
+        assert rec.timers["t"].total == pytest.approx(3.0)
+        assert rec.timers["t"].calls == 6

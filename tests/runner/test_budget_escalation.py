@@ -1,0 +1,116 @@
+"""Budget exhaustion mid-check: partial verdicts, not exceptions, and
+a supervisor that retries them with escalated budgets."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.faults.budget import Budget
+from repro.faults.targets import build_perturb_target
+from repro.runner import Job, Ledger, RetryPolicy, Supervisor, load_ledger
+from repro.runner.jobs import _scaled_budget
+
+
+TINY = {"max_states": 20, "max_steps": 10, "wall_time": 60.0}
+
+
+class TestPartialOutcome:
+    def test_exhaustion_mid_battery_returns_partial_outcome(self):
+        # A 10-step budget dies inside the first adversarial run of the
+        # battery (which includes the zone-graph builds): the result
+        # must be a partial CheckOutcome, never an exception.
+        target = build_perturb_target("rm", seeds=1, steps=40)
+        outcome = target.evaluate(Fraction(0), Budget(max_steps=10))
+        assert outcome.ok  # no violation in the portion checked
+        assert outcome.exhausted_budget
+        assert not outcome.conclusive
+
+    def test_exhaustion_before_zone_build_is_still_partial(self):
+        target = build_perturb_target("fischer", seeds=1, steps=10)
+        outcome = target.evaluate(
+            Fraction(0), Budget(max_states=1, max_steps=1)
+        )
+        assert outcome.ok and outcome.exhausted_budget
+        assert not outcome.conclusive
+
+    def test_failures_stay_conclusive_regardless_of_budget(self):
+        # A found violation is a standing counterexample: exhaustion
+        # afterwards must not soften it into "retry with more budget".
+        target = build_perturb_target("fischer-tight", seeds=1, steps=10)
+        outcome = target.evaluate(Fraction(0), Budget(max_steps=10**9))
+        assert not outcome.ok
+        assert outcome.conclusive
+
+
+class TestScaledBudget:
+    def test_scale_multiplies_every_axis(self):
+        params = dict(TINY, budget_scale=4)
+        budget = _scaled_budget(params)
+        assert budget.max_states == 80
+        assert budget.max_steps == 40
+        assert budget.wall_time == pytest.approx(240.0)
+
+    def test_missing_axes_stay_unlimited(self):
+        budget = _scaled_budget({"budget_scale": 16})
+        assert budget.max_states is None
+        assert budget.max_steps is None
+        assert budget.wall_time is None
+
+
+class TestSupervisorEscalation:
+    def _job(self):
+        params = dict(TINY)
+        params.update(seeds=1, steps=40, seed=0, epsilon="0")
+        return Job(job_id="check:rm", kind="check", system="rm", params=params)
+
+    def test_budget_class_is_retried_with_escalated_budget(self, tmp_path):
+        path = str(tmp_path / "budget.jsonl")
+        with Ledger(path) as ledger:
+            report = Supervisor(
+                [self._job()],
+                workers=0,
+                retry=RetryPolicy(max_retries=2, base=0.0, jitter=0.0),
+                ledger=ledger,
+            ).run()
+        outcome = report.outcomes[0]
+
+        # Classified retryable-with-larger-budget: every attempt was cut
+        # short, each retry quadrupled the budget, and the terminal
+        # outcome keeps the partial verdict instead of raising.
+        assert outcome.classifications == ["budget", "budget", "budget"]
+        assert outcome.retries == 2
+        assert outcome.status == "budget"
+        assert outcome.ok            # partial pass is kept
+        assert not outcome.conclusive
+
+        counters = report.telemetry["counters"]
+        assert counters["runner.budget_cuts"] == 3
+        assert counters["runner.budget_escalations"] == 2
+
+        scales = [
+            e["budget_scale"]
+            for e in _ledger_entries(path)
+            if e["kind"] == "attempt"
+        ]
+        assert scales == [1, 4, 16]
+
+    def test_generous_budget_settles_ok_first_try(self):
+        job = self._job()
+        params = dict(job.params)
+        params.update(max_states=200_000, max_steps=2_000_000)
+        generous = Job(
+            job_id=job.job_id, kind=job.kind, system=job.system, params=params
+        )
+        report = Supervisor([generous], workers=0).run()
+        outcome = report.outcomes[0]
+        assert outcome.status == "ok" and outcome.conclusive
+        assert outcome.retries == 0
+
+
+def _ledger_entries(path):
+    state = load_ledger(path)  # proves the file parses as a ledger too
+    assert state.complete
+    from repro.serialize import ledger_entries_from_jsonl
+
+    with open(path) as fh:
+        return ledger_entries_from_jsonl(fh.read())

@@ -131,3 +131,86 @@ class TestPerturbCommand:
             build_parser().parse_args(
                 ["perturb", "rm", "--epsilon", "1/8", "--search"]
             )
+
+
+class TestPerturbExitCodeConvention:
+    def test_unexpected_broken_system_fails_search_mode(self, capsys, monkeypatch):
+        # Strip fischer-tight of its "deliberately broken" registration:
+        # an *unexpected* BROKEN verdict must flip the exit code.
+        import repro.faults.targets as targets
+
+        monkeypatch.setattr(targets, "_EXPECTED_BROKEN", frozenset())
+        assert main(["perturb", "fischer-tight", "--search", "--json"]) == 1
+
+    def test_epsilon_mode_reports_the_raw_verdict(self, capsys):
+        # Documented asymmetry: --epsilon is a raw probe, so the
+        # expected-broken twist does not apply (see docs/api.md).
+        assert main(["perturb", "fischer-tight", "--epsilon", "0"]) == 1
+        assert "FAIL" in capsys.readouterr().out
+
+
+class TestRunCommand:
+    def _run(self, tmp_path, *extra):
+        ledger = str(tmp_path / "ledger.jsonl")
+        return (
+            main(
+                ["run", "chain", "--kinds", "lint,bench", "--workers", "0",
+                 "--ledger", ledger] + list(extra)
+            ),
+            ledger,
+        )
+
+    def test_green_campaign_exits_zero(self, capsys, tmp_path):
+        code, ledger = self._run(tmp_path)
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "ledger: {}".format(ledger) in out
+        assert "lint:chain" in out and "bench:chain" in out
+
+    def test_json_report_shape(self, capsys, tmp_path):
+        import json
+
+        code, _ = self._run(tmp_path, "--json")
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is True and payload["interrupted"] is False
+        assert sorted(j["job_id"] for j in payload["jobs"]) == [
+            "bench:chain", "lint:chain",
+        ]
+        assert all(j["status"] == "ok" for j in payload["jobs"])
+
+    def test_expected_failure_keeps_campaign_green(self, capsys, tmp_path):
+        import json
+
+        ledger = str(tmp_path / "ft.jsonl")
+        assert main(
+            ["run", "fischer-tight", "--kinds", "check", "--workers", "0",
+             "--seeds", "1", "--steps", "10", "--ledger", ledger, "--json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["jobs"][0]["status"] == "expected-failure"
+
+    def test_unexpected_verdict_failure_exits_one(self, capsys, tmp_path, monkeypatch):
+        import repro.runner.jobs as jobs_mod
+
+        monkeypatch.setattr(jobs_mod, "_EXPECTED_FAILURES", set())
+        ledger = str(tmp_path / "fail.jsonl")
+        assert main(
+            ["run", "fischer-tight", "--kinds", "check", "--workers", "0",
+             "--seeds", "1", "--steps", "10", "--ledger", ledger, "--json"]
+        ) == 1
+
+    def test_unknown_kind_is_a_usage_error(self, capsys, tmp_path):
+        code, _ = self._run(tmp_path, "--kinds", "frobnicate")
+        assert code == 2
+        assert "unknown job kind" in capsys.readouterr().err
+
+    def test_unknown_system_is_a_usage_error(self, capsys, tmp_path):
+        ledger = str(tmp_path / "x.jsonl")
+        assert main(["run", "no-such-system", "--workers", "0",
+                     "--ledger", ledger]) == 2
+        assert "unknown system" in capsys.readouterr().err
+
+    def test_resume_of_missing_ledger_is_a_usage_error(self, capsys, tmp_path):
+        assert main(["run", "--resume", str(tmp_path / "absent.jsonl")]) == 2
+        assert "no ledger" in capsys.readouterr().err
