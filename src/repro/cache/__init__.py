@@ -1,0 +1,28 @@
+"""``repro.cache`` — the content-addressed on-disk verdict cache.
+
+Warm re-runs of lint, check, perturb and bench skip settled work: a
+verdict is stored under a key derived from the *whole package source*
+(:func:`~repro.cache.fingerprint.source_fingerprint`), the engine
+version, and the parameters of the check itself — so any code change
+invalidates everything, while an unchanged tree answers from disk in
+microseconds.  See :mod:`repro.cache.store` for layout and atomicity,
+and ``docs/performance.md`` for the CI wiring.
+"""
+
+from repro.cache.fingerprint import ENGINE_VERSION, source_fingerprint, verdict_key
+from repro.cache.store import (
+    DEFAULT_CACHE_DIR,
+    VerdictCache,
+    cache_enabled,
+    default_cache,
+)
+
+__all__ = [
+    "ENGINE_VERSION",
+    "source_fingerprint",
+    "verdict_key",
+    "DEFAULT_CACHE_DIR",
+    "VerdictCache",
+    "cache_enabled",
+    "default_cache",
+]

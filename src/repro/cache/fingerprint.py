@@ -1,0 +1,93 @@
+"""Content-addressing for the verdict cache.
+
+A cached verdict is only reusable while *nothing that produced it*
+changed.  The fingerprint therefore hashes the entire ``repro`` package
+source (every ``.py`` under the installed package root, sorted by
+relative path, path and bytes both fed to SHA-256) together with
+:data:`ENGINE_VERSION` — a manual escape hatch for when semantics
+change without a source diff (e.g. a data-file format).  Any edit to
+any module invalidates every entry at once: coarse, but sound, and
+exactly the key CI uses for its ``actions/cache`` restore.
+
+:func:`verdict_key` then derives one entry's address from the
+fingerprint plus the job's own identity: kind, system, and canonical
+JSON of the parameters that feed the check (budget caps, seeds, grid…).
+The *engine* (serial/parallel) is deliberately **not** part of the key:
+the engines are byte-identical by construction (and tested to be), so
+either may consume a verdict the other produced.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from fractions import Fraction
+from typing import Any, Dict, Optional
+
+__all__ = ["ENGINE_VERSION", "source_fingerprint", "verdict_key"]
+
+#: Bump to invalidate every cached verdict without touching source.
+ENGINE_VERSION = 1
+
+#: ``source root -> hex digest`` memo; the package source cannot change
+#: under a running process, so one walk per process suffices.
+_FINGERPRINTS: Dict[str, str] = {}
+
+
+def source_fingerprint(root: Optional[str] = None) -> str:
+    """SHA-256 over the ``repro`` package source + engine version."""
+    if root is None:
+        import repro
+
+        root = os.path.dirname(os.path.abspath(repro.__file__))
+    cached = _FINGERPRINTS.get(root)
+    if cached is not None:
+        return cached
+    digest = hashlib.sha256()
+    digest.update("engine:{}".format(ENGINE_VERSION).encode("ascii"))
+    sources = []
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = sorted(d for d in dirnames if d != "__pycache__")
+        for filename in filenames:
+            if filename.endswith(".py"):
+                sources.append(os.path.join(dirpath, filename))
+    sources.sort(key=lambda path: os.path.relpath(path, root))
+    for path in sources:
+        digest.update(b"\x00")
+        digest.update(os.path.relpath(path, root).encode("utf-8"))
+        digest.update(b"\x00")
+        with open(path, "rb") as fh:
+            digest.update(fh.read())
+    _FINGERPRINTS[root] = digest.hexdigest()
+    return _FINGERPRINTS[root]
+
+
+def _canonical(value: Any) -> Any:
+    """Project key parts to canonical plain JSON: exact fractions as
+    ``"p/q"`` strings, dicts sorted by :func:`json.dumps` later, any
+    other non-primitive stringified via ``str``."""
+    if value is None or isinstance(value, (bool, int, str)):
+        return value
+    if isinstance(value, float):
+        return repr(value)
+    if isinstance(value, Fraction):
+        return "{}/{}".format(value.numerator, value.denominator)
+    if isinstance(value, (list, tuple)):
+        return [_canonical(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _canonical(v) for k, v in value.items()}
+    return str(value)
+
+
+def verdict_key(kind: str, system: str, parts: Dict[str, Any]) -> str:
+    """The content address of one verdict: SHA-256 of the source
+    fingerprint + kind + system + canonical parameter JSON."""
+    body = {
+        "fingerprint": source_fingerprint(),
+        "kind": kind,
+        "system": system,
+        "parts": _canonical(parts),
+    }
+    canonical = json.dumps(body, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()

@@ -1,0 +1,167 @@
+"""The content-addressed on-disk verdict cache.
+
+Layout: ``<root>/v1/<first two hex chars>/<full key>.json``, one entry
+per settled verdict, written atomically (temp file + ``os.replace``) so
+concurrent writers — campaign workers share the directory — can only
+ever race to write *identical* content.  Entries are self-describing
+(:func:`repro.serialize.cache_entry_to_json`); anything torn, stale or
+misfiled reads as a miss and is recomputed, never trusted.
+
+What gets cached is a policy of the callers, with two hard rules
+enforced here: only plain-JSON payloads, and only under a real key from
+:func:`repro.cache.fingerprint.verdict_key` (so every entry is
+invalidated by any source change).  Callers additionally skip storing
+inconclusive outcomes (budget cuts) and chaos-mode jobs.
+
+Telemetry: ``cache.hits`` / ``cache.misses`` / ``cache.stores`` /
+``cache.errors`` counters on the active recorder, mirrored as instance
+counts for CLI summaries.
+
+Environment: ``REPRO_CACHE=0`` disables the cache process-wide;
+``REPRO_CACHE_DIR`` moves the root (default ``.repro-cache``).
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from typing import Any, Dict, Optional
+
+from repro.cache.fingerprint import verdict_key
+from repro.obs import instrument as _telemetry
+from repro.serialize import (
+    SerializationError,
+    cache_entry_from_json,
+    cache_entry_to_json,
+)
+
+__all__ = ["DEFAULT_CACHE_DIR", "VerdictCache", "cache_enabled", "default_cache"]
+
+#: Default on-disk root, relative to the working directory (CI persists
+#: exactly this path via ``actions/cache``).
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+#: Subdirectory per entry-schema version: a future format bump reads
+#: from a fresh namespace instead of tripping over old entries.
+_VERSION_DIR = "v1"
+
+_FALSE_WORDS = ("0", "false", "no", "off")
+
+
+def cache_enabled() -> bool:
+    """False when ``REPRO_CACHE`` is set to 0/false/no/off."""
+    return os.environ.get("REPRO_CACHE", "1").strip().lower() not in _FALSE_WORDS
+
+
+def default_cache(enabled: Optional[bool] = None) -> Optional["VerdictCache"]:
+    """The environment-configured cache, or ``None`` when disabled.
+
+    ``enabled`` overrides the environment gate (the CLI's ``--no-cache``
+    passes ``False``); the root honours ``REPRO_CACHE_DIR``.
+    """
+    on = cache_enabled() if enabled is None else enabled
+    if not on:
+        return None
+    return VerdictCache(os.environ.get("REPRO_CACHE_DIR", DEFAULT_CACHE_DIR))
+
+
+class VerdictCache:
+    """One cache root: lookup and store by ``(kind, system, parts)``."""
+
+    def __init__(self, root: str = DEFAULT_CACHE_DIR):
+        self.root = root
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+        self.errors = 0
+
+    # -- addressing ----------------------------------------------------
+
+    def _path(self, key: str) -> str:
+        return os.path.join(self.root, _VERSION_DIR, key[:2], key + ".json")
+
+    # -- operations ----------------------------------------------------
+
+    def lookup(
+        self, kind: str, system: str, parts: Dict[str, Any]
+    ) -> Optional[Dict[str, Any]]:
+        """The cached payload for this work item, or ``None`` (a miss —
+        also on any unreadable/torn/mismatched entry)."""
+        key = verdict_key(kind, system, parts)
+        path = self._path(key)
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                payload = cache_entry_from_json(fh.read(), expected_key=key)
+        except (OSError, ValueError):
+            self.misses += 1
+            _telemetry.incr("cache.misses")
+            return None
+        except SerializationError:
+            self.errors += 1
+            self.misses += 1
+            _telemetry.incr("cache.errors")
+            _telemetry.incr("cache.misses")
+            return None
+        self.hits += 1
+        _telemetry.incr("cache.hits")
+        return payload
+
+    def store(
+        self,
+        kind: str,
+        system: str,
+        parts: Dict[str, Any],
+        payload: Dict[str, Any],
+    ) -> bool:
+        """Persist ``payload`` under this work item's key; atomic, and
+        failure (read-only disk, full disk) degrades to a no-op with a
+        ``cache.errors`` count — a cache must never fail the check."""
+        key = verdict_key(kind, system, parts)
+        path = self._path(key)
+        meta = {"kind": kind, "system": system}
+        try:
+            text = cache_entry_to_json(key, payload, meta)
+        except SerializationError:
+            self.errors += 1
+            _telemetry.incr("cache.errors")
+            return False
+        try:
+            os.makedirs(os.path.dirname(path), exist_ok=True)
+            fd, tmp_path = tempfile.mkstemp(
+                dir=os.path.dirname(path), suffix=".tmp"
+            )
+            try:
+                with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                    fh.write(text)
+                os.replace(tmp_path, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp_path)
+                except OSError:
+                    pass
+                raise
+        except OSError:
+            self.errors += 1
+            _telemetry.incr("cache.errors")
+            return False
+        self.stores += 1
+        _telemetry.incr("cache.stores")
+        return True
+
+    # -- reporting -----------------------------------------------------
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "errors": self.errors,
+        }
+
+    def stats_line(self) -> str:
+        return "cache: hits={hits} misses={misses} stores={stores} errors={errors}".format(
+            **self.stats()
+        )
+
+    def __repr__(self) -> str:
+        return "<VerdictCache {} {}>".format(self.root, self.stats())

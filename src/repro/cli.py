@@ -13,6 +13,10 @@ writing code:
 - ``fischer``  exact mutual-exclusion verdict for Fischer's protocol;
 - ``lint``     static pre-flight diagnostics for a shipped system's
                boundmaps, timing conditions and mapping hierarchies;
+- ``check``    full nominal verification of a shipped system —
+               exploration, exhaustive Definition 3.2 mapping checks and
+               the proof battery, engine-selectable
+               (``--engine parallel``) and verdict-cached;
 - ``perturb``  fault injection: how much drift do the proofs survive?;
 - ``bench``    perf-trajectory benchmark runner (``BENCH_<n>.json``);
 - ``trace``    replayable JSONL telemetry trace of a checked run;
@@ -101,6 +105,50 @@ def _add_sim_arguments(parser) -> None:
     parser.add_argument(
         "--sim-steps", type=int, default=120, help="events per simulated run"
     )
+
+
+def _add_engine_arguments(parser) -> None:
+    from repro.par.engine import ENGINE_KINDS
+
+    parser.add_argument(
+        "--engine", choices=list(ENGINE_KINDS), default=None,
+        help="verification engine (default: serial; parallel is "
+             "byte-identical, just faster on multi-core machines)",
+    )
+    parser.add_argument(
+        "--engine-workers", type=int, default=None, metavar="N",
+        help="worker processes for --engine parallel (default: cores - 1)",
+    )
+
+
+def _add_cache_argument(parser) -> None:
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="bypass the on-disk verdict cache (.repro-cache; also "
+             "disabled by REPRO_CACHE=0)",
+    )
+
+
+def _cli_cache(args):
+    """The verdict cache this invocation should use, or ``None``."""
+    from repro.cache import default_cache
+
+    return default_cache(enabled=False if args.no_cache else None)
+
+
+def _engine_scope(args):
+    """Scope the process-wide engine to this command's ``--engine``."""
+    from repro.par.engine import engine_scope
+
+    return engine_scope(
+        getattr(args, "engine", None),
+        workers=getattr(args, "engine_workers", None),
+    )
+
+
+def _print_cache_stats(cache) -> None:
+    if cache is not None:
+        print(cache.stats_line(), file=sys.stderr)
 
 
 def cmd_rm(args) -> int:
@@ -322,31 +370,47 @@ def cmd_lint(args) -> int:
     from repro.lint import build_target, lint_system, system_names
 
     names = list(system_names()) if args.system == "all" else [args.system]
-    reports = []
+    cache = _cli_cache(args)
+    entries = []
     failed = False
-    for name in names:
-        report = lint_system(build_target(name), max_states=args.max_states)
-        reports.append((name, report))
-        failed = failed or report.fails(strict=args.strict)
-    if args.json:
-        import json as _json
-
-        payload = []
-        for name, report in reports:
-            payload.append(
-                {
+    with _engine_scope(args):
+        for name in names:
+            parts = {"max_states": args.max_states}
+            entry = None if cache is None else cache.lookup("lint", name, parts)
+            cached = entry is not None
+            if entry is None:
+                report = lint_system(build_target(name), max_states=args.max_states)
+                entry = {
                     "system": name,
                     "diagnostics": report.to_dicts(),
                     "summary": report.summary(),
+                    "fails": {
+                        "default": report.fails(strict=False),
+                        "strict": report.fails(strict=True),
+                    },
+                    "rendered": report.render(),
                 }
-            )
-        print(_json.dumps(payload if args.system == "all" else payload[0], indent=2))
+                if cache is not None:
+                    cache.store("lint", name, parts, entry)
+            entry = dict(entry)
+            entry["cached"] = cached
+            failed = failed or entry["fails"]["strict" if args.strict else "default"]
+            entries.append(entry)
+    if args.json:
+        import json as _json
+
+        print(_json.dumps(entries if args.system == "all" else entries[0], indent=2))
     else:
-        for name, report in reports:
-            print("lint {}:".format(name))
-            print(report.render())
+        for entry in entries:
+            print(
+                "lint {}{}:".format(
+                    entry["system"], " (cached)" if entry["cached"] else ""
+                )
+            )
+            print(entry["rendered"])
             print()
         print("verdict: {}".format("FAIL" if failed else "ok"))
+    _print_cache_stats(cache)
     return 1 if failed else 0
 
 
@@ -368,6 +432,7 @@ def cmd_perturb(args) -> int:
 
     names = list(perturb_names()) if args.system == "all" else [args.system]
     factory = _perturb_budget_factory(args)
+    cache = _cli_cache(args)
     payload = []
     failed = False
     for name in names:
@@ -380,10 +445,19 @@ def cmd_perturb(args) -> int:
             seed=args.seed,
         )
         if args.epsilon is not None:
-            outcome = target.evaluate(args.epsilon, factory())
-            failed = failed or not outcome.ok
-            payload.append(
-                {
+            parts = target.cache_parts()
+            parts.update(
+                epsilon=str(args.epsilon),
+                max_states=args.max_states,
+                max_steps=args.max_steps,
+                wall_time=str(args.wall_time),
+            )
+            entry = None if cache is None else cache.lookup("perturb", name, parts)
+            cached = entry is not None
+            if entry is None:
+                with _engine_scope(args):
+                    outcome = target.evaluate(args.epsilon, factory())
+                entry = {
                     "system": name,
                     "direction": target.direction,
                     "mode": target.mode,
@@ -394,11 +468,18 @@ def cmd_perturb(args) -> int:
                     "exhausted_budget": outcome.exhausted_budget,
                     "detail": outcome.detail,
                 }
-            )
+                if cache is not None and entry["conclusive"]:
+                    cache.store("perturb", name, parts, entry)
+            entry = dict(entry)
+            entry["cached"] = cached
+            failed = failed or not entry["ok"]
+            payload.append(entry)
             if not args.json:
-                verdict = "ok" if outcome.ok else "FAIL"
-                if outcome.exhausted_budget:
+                verdict = "ok" if entry["ok"] else "FAIL"
+                if entry["exhausted_budget"]:
                     verdict += " (budget exhausted: partial)"
+                if cached:
+                    verdict += " (cached)"
                 print(
                     "{} [{} {} eps={}]: {} {}".format(
                         name,
@@ -406,19 +487,21 @@ def cmd_perturb(args) -> int:
                         target.mode,
                         args.epsilon,
                         verdict,
-                        outcome.detail,
+                        entry["detail"],
                     ).rstrip()
                 )
         else:
-            report = target.search(
-                resolution=args.resolution,
-                ceiling=args.ceiling,
-                budget_factory=factory,
-            )
+            with _engine_scope(args):
+                report = target.search(
+                    resolution=args.resolution,
+                    ceiling=args.ceiling,
+                    budget_factory=factory,
+                )
             failed = failed or (report.broken and not target.expected_broken)
             payload.append(report.to_dict())
             if not args.json:
                 print(report.render())
+    _print_cache_stats(cache)
     if args.json:
         import json as _json
 
@@ -439,11 +522,14 @@ def cmd_bench(args) -> int:
 
     systems = args.system or None
     suite_rows = os.path.join(args.root, "benchmarks", "bench_rows.jsonl")
-    report = _bench.run_bench(
-        systems=systems,
-        iterations=args.iterations,
-        suite_rows_path=suite_rows,
-    )
+    cache = _cli_cache(args)
+    with _engine_scope(args):
+        report = _bench.run_bench(
+            systems=systems,
+            iterations=args.iterations,
+            suite_rows_path=suite_rows,
+            cache=cache,
+        )
     previous_path = args.compare or _bench.latest_bench_path(args.root)
     out_path = args.out or _bench.next_bench_path(args.root)
     comparison = None
@@ -478,6 +564,7 @@ def cmd_bench(args) -> int:
             print(comparison.render())
         else:
             print("no previous report to compare against")
+    _print_cache_stats(cache)
     if args.fail_on_regress and comparison is not None and not comparison.ok:
         return 1
     return 0
@@ -544,6 +631,9 @@ def cmd_run(args) -> int:
             campaign_id=campaign_id,
             prior_outcomes=prior,
             write_header=write_header,
+            engine=args.engine,
+            engine_workers=args.engine_workers,
+            cache=False if args.no_cache else None,
         )
         report = supervisor.run()
     if args.json:
@@ -552,6 +642,117 @@ def cmd_run(args) -> int:
         print(report.render())
         print("ledger: {}".format(ledger_path))
     return 0 if report.ok else 1
+
+
+def cmd_check(args) -> int:
+    import json as _json
+    import time as _time
+
+    from repro.core.checker import check_mapping_exhaustive
+    from repro.faults import build_perturb_target
+    from repro.ioa.explorer import explore
+    from repro.par.surface import explore_automaton, mapping_specs, surface_names
+
+    names = list(surface_names()) if args.system == "all" else [args.system]
+    cache = _cli_cache(args)
+    factory = _perturb_budget_factory(args)
+    entries = []
+    failed = False
+    with _engine_scope(args):
+        for name in names:
+            parts = {
+                "seeds": args.seeds,
+                "steps": args.steps,
+                "seed": args.seed,
+                "max_states": args.max_states,
+                "max_steps": args.max_steps,
+                "wall_time": str(args.wall_time),
+            }
+            entry = None if cache is None else cache.lookup("check", name, parts)
+            cached = entry is not None
+            if entry is None:
+                start = _time.perf_counter()
+                automaton, cap = explore_automaton(name)
+                result = explore(automaton, max_states=cap, budget=factory())
+                mappings = []
+                mappings_ok = True
+                exhausted = result.exhausted_budget
+                for label, mapping, grid, horizon in mapping_specs(name):
+                    outcome = check_mapping_exhaustive(
+                        mapping, grid=grid, horizon=horizon, budget=factory()
+                    )
+                    mappings_ok = mappings_ok and outcome.ok
+                    exhausted = exhausted or outcome.exhausted_budget
+                    mappings.append(
+                        {
+                            "mapping": label,
+                            "ok": outcome.ok,
+                            "steps_checked": outcome.steps_checked,
+                            "exhausted_budget": outcome.exhausted_budget,
+                            "detail": outcome.detail,
+                        }
+                    )
+                target = build_perturb_target(
+                    name, seeds=args.seeds, steps=args.steps, seed=args.seed
+                )
+                battery = target.evaluate(Fraction(0), factory())
+                exhausted = exhausted or battery.exhausted_budget
+                entry = {
+                    "system": name,
+                    "states": len(result.reachable),
+                    "transitions": result.transitions_explored,
+                    "truncated": result.truncated,
+                    "mappings": mappings,
+                    "battery": {
+                        "ok": battery.ok,
+                        "conclusive": battery.conclusive,
+                        "steps_checked": battery.steps_checked,
+                        "exhausted_budget": battery.exhausted_budget,
+                        "detail": battery.detail,
+                    },
+                    "expected_broken": target.expected_broken,
+                    "ok": (not result.truncated) and mappings_ok and battery.ok,
+                    "conclusive": battery.conclusive and not exhausted,
+                    "wall": _time.perf_counter() - start,
+                }
+                if cache is not None and entry["conclusive"]:
+                    cache.store("check", name, parts, entry)
+            entry = dict(entry)
+            entry["cached"] = cached
+            # A deliberately-broken system (fischer-tight) is *expected*
+            # to fail: only a mismatch between verdict and expectation
+            # counts against the exit code.
+            unexpected = entry["ok"] == entry["expected_broken"]
+            failed = failed or unexpected
+            entries.append(entry)
+    if args.json:
+        print(_json.dumps(entries if args.system == "all" else entries[0], indent=2))
+    else:
+        table = Table("check — full nominal verification", [
+            "system", "states", "mappings", "battery", "cached", "verdict",
+        ])
+        for entry in entries:
+            if entry["ok"]:
+                verdict = "unexpected-pass" if entry["expected_broken"] else "ok"
+            else:
+                verdict = (
+                    "expected-broken" if entry["expected_broken"] else "FAIL"
+                )
+            table.add_row(
+                entry["system"],
+                entry["states"],
+                "{}/{}".format(
+                    sum(1 for m in entry["mappings"] if m["ok"]),
+                    len(entry["mappings"]),
+                ),
+                "ok" if entry["battery"]["ok"] else "FAIL",
+                "yes" if entry["cached"] else "no",
+                verdict,
+            )
+        table.print()
+        print("\nverdict: {}".format("FAIL" if failed else "ok"))
+    _print_cache_stats(cache)
+    return 1 if failed else 0
 
 
 def cmd_trace(args) -> int:
@@ -660,7 +861,39 @@ def build_parser() -> argparse.ArgumentParser:
         default=DEFAULT_MAX_STATES,
         help="cap on bounded exploration per automaton",
     )
+    _add_engine_arguments(lint)
+    _add_cache_argument(lint)
     lint.set_defaults(func=cmd_lint)
+
+    from repro.par.surface import surface_names
+
+    check = sub.add_parser(
+        "check",
+        help="full nominal verification of a shipped system "
+             "(exploration + exhaustive mapping checks + proof battery)",
+    )
+    check.add_argument("system", choices=list(surface_names()) + ["all"])
+    check.add_argument("--seeds", type=int, default=3, help="uniform-strategy seeds")
+    check.add_argument("--seed", type=int, default=0, help="base RNG seed")
+    check.add_argument("--steps", type=int, default=80, help="events per run")
+    check.add_argument(
+        "--max-states", type=int, default=200_000,
+        help="budget: states/nodes per phase",
+    )
+    check.add_argument(
+        "--max-steps", type=int, default=2_000_000,
+        help="budget: steps per phase",
+    )
+    check.add_argument(
+        "--wall-time", type=_fraction, default=Fraction(60),
+        help="budget: seconds of wall time per phase",
+    )
+    check.add_argument(
+        "--json", action="store_true", help="machine-readable report"
+    )
+    _add_engine_arguments(check)
+    _add_cache_argument(check)
+    check.set_defaults(func=cmd_check)
 
     from repro.faults.perturb import DIRECTIONS, MODES
     from repro.faults.targets import perturb_names
@@ -721,6 +954,8 @@ def build_parser() -> argparse.ArgumentParser:
         "--wall-time", type=_fraction, default=Fraction(60),
         help="budget: seconds of wall time per probe",
     )
+    _add_engine_arguments(perturb)
+    _add_cache_argument(perturb)
     perturb.set_defaults(func=cmd_perturb)
 
     from repro.obs.bench import DEFAULT_ITERATIONS, bench_names
@@ -757,6 +992,8 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "--json", action="store_true", help="machine-readable report + comparison"
     )
+    _add_engine_arguments(bench)
+    _add_cache_argument(bench)
     bench.set_defaults(func=cmd_bench)
 
     from repro.runner import JOB_KINDS
@@ -815,6 +1052,8 @@ def build_parser() -> argparse.ArgumentParser:
         help="budget: in-job seconds before graceful degradation",
     )
     run.add_argument("--json", action="store_true", help="machine-readable report")
+    _add_engine_arguments(run)
+    _add_cache_argument(run)
     run.set_defaults(func=cmd_run)
 
     trace = sub.add_parser(

@@ -105,6 +105,27 @@ class PerturbTarget:
     ceiling: Fraction
     evaluate: Evaluation
     expected_broken: bool = False
+    #: The adversarial-battery parameters the harness was built with —
+    #: part of the verdict-cache identity (see :meth:`cache_parts`).
+    seeds: int = 3
+    steps: int = 80
+    seed: int = 0
+
+    def cache_parts(self) -> Dict[str, object]:
+        """The canonical verdict-cache key parts of this harness.
+
+        Everything that changes what :attr:`evaluate` computes — stress
+        direction, drift mode, battery size, RNG seed — goes in; callers
+        merge in their own per-call parameters (ε, budget caps,
+        resolution) before handing the dict to the cache.
+        """
+        return {
+            "direction": self.direction,
+            "mode": self.mode,
+            "seeds": self.seeds,
+            "steps": self.steps,
+            "seed": self.seed,
+        }
 
     def search(
         self,
@@ -498,6 +519,9 @@ def build_perturb_target(
         ceiling=ceiling,
         evaluate=_guarded(evaluate),
         expected_broken=name in _EXPECTED_BROKEN,
+        seeds=seeds,
+        steps=steps,
+        seed=seed,
     )
 
 

@@ -354,6 +354,57 @@ def _profile_tournament(iterations: int) -> Dict[str, Any]:
     }
 
 
+def _profile_par_speedup(iterations: int) -> Dict[str, Any]:
+    """Serial vs parallel wall time on the heaviest shipped workload:
+    the Section 4.3 resource-manager mapping checked exhaustively at a
+    fine grid and long horizon.
+
+    The serial leg runs once; the parallel leg takes the best of two
+    (the first pays the fork warm-up).  The record's ``meta`` carries
+    the ratio CI gates on (``speedup``) plus a ``verdicts_match`` bit
+    re-asserting engine equivalence on this very workload.
+    """
+    from repro.core.checker import check_mapping_exhaustive
+    from repro.par.engine import EngineConfig
+    from repro.par.surface import mapping_specs
+
+    _label, mapping, _grid, _horizon = mapping_specs("rm")[0]
+    grid, horizon = Fraction(1, 4), Fraction(14)
+    workers = int(
+        os.environ.get("REPRO_BENCH_WORKERS", min(4, os.cpu_count() or 1))
+    )
+    workers = max(2, workers)
+    start = time.perf_counter()
+    serial = check_mapping_exhaustive(
+        mapping, grid=grid, horizon=horizon, engine=EngineConfig()
+    )
+    serial_wall = time.perf_counter() - start
+    config = EngineConfig(kind="parallel", workers=workers)
+    parallel = None
+    parallel_wall = None
+    for _attempt in range(2):
+        start = time.perf_counter()
+        parallel = check_mapping_exhaustive(
+            mapping, grid=grid, horizon=horizon, engine=config
+        )
+        wall = time.perf_counter() - start
+        parallel_wall = wall if parallel_wall is None else min(parallel_wall, wall)
+    verdicts_match = (serial.ok, serial.steps_checked, serial.detail) == (
+        parallel.ok,
+        parallel.steps_checked,
+        parallel.detail,
+    )
+    return {
+        "ok": serial.ok and verdicts_match,
+        "verdicts_match": verdicts_match,
+        "steps": serial.steps_checked,
+        "workers": workers,
+        "serial_wall": serial_wall,
+        "parallel_wall": parallel_wall,
+        "speedup": serial_wall / parallel_wall if parallel_wall else 0.0,
+    }
+
+
 #: name -> profile callable; ordered like ``repro perturb``'s registry.
 PROFILES: Dict[str, Callable[[int], Dict[str, Any]]] = {
     "rm": _profile_rm,
@@ -365,24 +416,33 @@ PROFILES: Dict[str, Callable[[int], Dict[str, Any]]] = {
     "tournament": _profile_tournament,
 }
 
+#: Opt-in profiles outside the default battery: their wall times are
+#: machine-shaped by design (what matters is a ratio in ``meta``), so
+#: they never enter the BENCH trajectory unless explicitly requested.
+EXTRA_PROFILES: Dict[str, Callable[[int], Dict[str, Any]]] = {
+    "par-speedup": _profile_par_speedup,
+}
+
 
 def bench_names() -> Tuple[str, ...]:
-    """Names accepted by :func:`run_profile` (and the CLI)."""
+    """Names in the default battery (``repro bench`` with no
+    ``--systems``); :data:`EXTRA_PROFILES` are accepted by name only."""
     return tuple(PROFILES)
 
 
 def run_profile(name: str, iterations: int = DEFAULT_ITERATIONS) -> BenchRecord:
     """Run one system's micro-profile under a fresh recorder."""
-    if name not in PROFILES:
+    profile = PROFILES.get(name) or EXTRA_PROFILES.get(name)
+    if profile is None:
         raise ReproError(
             "unknown bench profile {!r}; expected one of {}".format(
-                name, ", ".join(PROFILES)
+                name, ", ".join(list(PROFILES) + list(EXTRA_PROFILES))
             )
         )
     recorder = Recorder(name="bench." + name, max_events=256)
     with recording(recorder):
         start = time.perf_counter()
-        meta = PROFILES[name](iterations)
+        meta = profile(iterations)
         wall = time.perf_counter() - start
     snap = recorder.snapshot()
     return BenchRecord(
@@ -400,8 +460,17 @@ def run_bench(
     systems: Optional[Sequence[str]] = None,
     iterations: int = DEFAULT_ITERATIONS,
     suite_rows_path: Optional[str] = None,
+    cache=None,
 ) -> BenchReport:
-    """Profile the requested systems (default: all seven) into a report."""
+    """Profile the requested systems (default: all seven) into a report.
+
+    With a :class:`~repro.cache.store.VerdictCache`, default-battery
+    records round-trip through it: an unchanged source tree reuses the
+    record (wall time included — it was measured on this exact code),
+    which is what lets a cache-warm CI skip re-benching settled
+    revisions.  :data:`EXTRA_PROFILES` (``par-speedup``) are never
+    cached — their whole product is a fresh measurement.
+    """
     names = list(systems) if systems else list(PROFILES)
     report = BenchReport(
         schema=BENCH_SCHEMA_VERSION,
@@ -410,7 +479,19 @@ def run_bench(
         platform=platform.platform(),
     )
     for name in names:
-        report.records.append(run_profile(name, iterations=iterations))
+        cacheable = cache is not None and name in PROFILES
+        parts = {"iterations": iterations}
+        if cacheable:
+            hit = cache.lookup("bench", name, parts)
+            if hit is not None:
+                record = BenchRecord.from_dict(hit["record"])
+                record.meta["cached"] = True
+                report.records.append(record)
+                continue
+        record = run_profile(name, iterations=iterations)
+        if cacheable:
+            cache.store("bench", name, parts, {"record": record.to_dict()})
+        report.records.append(record)
     if suite_rows_path and os.path.exists(suite_rows_path):
         report.suite = load_suite_rows(suite_rows_path)
     return report

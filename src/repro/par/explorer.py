@@ -1,0 +1,279 @@
+"""Frontier-sharded parallel reachability, byte-identical to serial.
+
+The breadth-first loops of :mod:`repro.ioa.explorer` interleave three
+concerns: *expansion* (``enabled_actions`` / ``transitions`` — pure and
+expensive), *bookkeeping* (dedup, parent pointers, telemetry) and
+*policy* (budget charges, ``max_states`` / ``max_depth`` cuts, verdict
+returns).  Only expansion parallelises safely: the other two are
+order-sensitive — a Budget cut one transition earlier changes the
+verdict payload.
+
+So the engine here is **expand-then-replay**: each BFS level is hash-
+sharded (:func:`repro.par.engine.shard_items`) across a fork pool that
+returns every state's expansion, and the parent then *replays* those
+expansions in exactly the order the serial loop would have produced
+them, performing every charge, dedup, parent assignment, counter and
+gauge update itself.  The replayed gauge uses the identity that when
+the serial loop pops the ``i``-th state (0-based) of a level of ``L``
+states having discovered ``g`` next-level states so far, its frontier
+deque holds ``(L - i) + g`` entries.  The result — state set,
+transition count, parent map, truncation flags, and telemetry — is
+byte-identical to the serial engine, including mid-stream Budget cuts.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, Hashable, List, Optional, Sequence
+
+from repro.ioa.automaton import IOAutomaton
+from repro.ioa.explorer import ExplorationResult, InvariantReport, explore, check_invariant
+from repro.obs import instrument as _telemetry
+from repro.par.engine import (
+    EngineConfig,
+    EngineUnavailable,
+    ForkPool,
+    default_workers,
+    shard_items,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.faults.budget import Budget
+
+__all__ = ["explore_parallel", "check_invariant_parallel"]
+
+
+def _expand_states(automaton: IOAutomaton, batch: List[Any]) -> List[Any]:
+    """Worker task: fully expand each ``(index, state)`` of ``batch``.
+
+    Pure computation only — every policy decision happens in the
+    parent's replay.  ``enabled_actions`` and ``transitions`` iterate
+    deterministically (forked children share the parent's hash seed),
+    so the expansion list per state is exactly what the serial loop
+    would have enumerated.
+    """
+    # Interning repeated actions/posts to one representative object lets
+    # pickle's memo ship each distinct value once per batch — expansion
+    # lists repeat successors heavily, and raw shipping would otherwise
+    # dominate the wall time the pool is meant to save.
+    intern: dict = {}
+    out = []
+    for index, state in batch:
+        expansion = []
+        for action in automaton.enabled_actions(state):
+            action = intern.setdefault(action, action)
+            for post in automaton.transitions(state, action):
+                expansion.append((action, intern.setdefault(post, post)))
+        out.append((index, expansion))
+    return out
+
+
+def _open_pool(automaton: IOAutomaton, config: EngineConfig) -> ForkPool:
+    workers = config.workers if config.workers is not None else default_workers()
+    return ForkPool(_expand_states, automaton, workers)
+
+
+def _expand_level(
+    level: Sequence[Hashable],
+    pool: ForkPool,
+    automaton: IOAutomaton,
+    config: EngineConfig,
+    rec,
+) -> List[List[Any]]:
+    """Expansions of ``level`` in level order, pooled when it pays."""
+    if len(level) < config.min_batch:
+        return [
+            expansion
+            for _, expansion in _expand_states(automaton, list(enumerate(level)))
+        ]
+    batches = shard_items(level, pool.workers)
+    expansions: List[Optional[List[Any]]] = [None] * len(level)
+    for result in pool.map(batches):
+        for index, expansion in result:
+            expansions[index] = expansion
+    if rec is not None:
+        rec.incr("par.levels")
+        rec.incr("par.tasks", len(batches))
+        rec.incr("par.states", len(level))
+    return expansions  # type: ignore[return-value]
+
+
+def explore_parallel(
+    automaton: IOAutomaton,
+    max_states: int = 100_000,
+    max_depth: Optional[int] = None,
+    budget: Optional["Budget"] = None,
+    config: Optional[EngineConfig] = None,
+) -> ExplorationResult:
+    """Parallel :func:`repro.ioa.explorer.explore` — same contract,
+    same result, bit for bit.  Falls back to the serial engine (and
+    counts ``par.fallbacks``) where a fork pool cannot exist."""
+    config = config if config is not None else EngineConfig(kind="parallel")
+    rec = _telemetry._ACTIVE
+    try:
+        pool = _open_pool(automaton, config)
+    except EngineUnavailable:
+        if rec is not None:
+            rec.incr("par.fallbacks")
+        return explore(
+            automaton,
+            max_states=max_states,
+            max_depth=max_depth,
+            budget=budget,
+            engine="serial",
+        )
+    with pool:
+        return _explore_replay(
+            automaton, max_states, max_depth, budget, pool, config, rec
+        )
+
+
+def _explore_replay(
+    automaton, max_states, max_depth, budget, pool, config, rec
+) -> ExplorationResult:
+    result = ExplorationResult(reachable=set(), transitions_explored=0, truncated=False)
+    level: List[Hashable] = []
+    for s0 in automaton.start_states():
+        if s0 not in result.reachable:
+            if budget is not None and not budget.charge_state():
+                result.truncated = True
+                result.exhausted_budget = True
+                return result
+            result.reachable.add(s0)
+            result.parents[s0] = (None, None)
+            level.append(s0)
+    if rec is not None:
+        rec.incr("explore.states", len(result.reachable))
+    depth = 0
+    while level:
+        expand = not (max_depth is not None and depth >= max_depth)
+        expansions = (
+            _expand_level(level, pool, automaton, config, rec) if expand else None
+        )
+        width = len(level)
+        next_level: List[Hashable] = []
+        for i, state in enumerate(level):
+            if rec is not None:
+                rec.gauge("explore.frontier", (width - i) + len(next_level))
+            if not expand:
+                result.truncated = True
+                continue
+            for action, post in expansions[i]:
+                if budget is not None and not budget.charge_step():
+                    result.truncated = True
+                    result.exhausted_budget = True
+                    return result
+                result.transitions_explored += 1
+                if rec is not None:
+                    rec.incr("explore.transitions")
+                if post in result.reachable:
+                    continue
+                if len(result.reachable) >= max_states:
+                    result.truncated = True
+                    return result
+                if budget is not None and not budget.charge_state():
+                    result.truncated = True
+                    result.exhausted_budget = True
+                    return result
+                result.reachable.add(post)
+                result.parents[post] = (state, action)
+                if rec is not None:
+                    rec.incr("explore.states")
+                next_level.append(post)
+        level = next_level
+        depth += 1
+    return result
+
+
+def check_invariant_parallel(
+    automaton: IOAutomaton,
+    predicate: Callable[[Hashable], bool],
+    max_states: int = 100_000,
+    max_depth: Optional[int] = None,
+    budget: Optional["Budget"] = None,
+    config: Optional[EngineConfig] = None,
+) -> InvariantReport:
+    """Parallel :func:`repro.ioa.explorer.check_invariant` — identical
+    verdicts, counterexamples, and telemetry.  The predicate runs in
+    the parent only (once per newly reached state, like serial), so it
+    may close over anything."""
+    config = config if config is not None else EngineConfig(kind="parallel")
+    rec = _telemetry._ACTIVE
+    try:
+        pool = _open_pool(automaton, config)
+    except EngineUnavailable:
+        if rec is not None:
+            rec.incr("par.fallbacks")
+        return check_invariant(
+            automaton,
+            predicate,
+            max_states=max_states,
+            max_depth=max_depth,
+            budget=budget,
+            engine="serial",
+        )
+    with pool:
+        return _invariant_replay(
+            automaton, predicate, max_states, max_depth, budget, pool, config, rec
+        )
+
+
+def _invariant_replay(
+    automaton, predicate, max_states, max_depth, budget, pool, config, rec
+) -> InvariantReport:
+    result = ExplorationResult(reachable=set(), transitions_explored=0, truncated=False)
+    level: List[Hashable] = []
+    checked = 0
+    for s0 in automaton.start_states():
+        if s0 in result.reachable:
+            continue
+        if budget is not None and not budget.charge_state():
+            return InvariantReport(True, checked, True, None, exhausted_budget=True)
+        result.reachable.add(s0)
+        result.parents[s0] = (None, None)
+        checked += 1
+        if rec is not None:
+            rec.incr("explore.states")
+        if not predicate(s0):
+            return InvariantReport(False, checked, False, result.path_to(s0))
+        level.append(s0)
+    truncated = False
+    depth = 0
+    while level:
+        expand = not (max_depth is not None and depth >= max_depth)
+        expansions = (
+            _expand_level(level, pool, automaton, config, rec) if expand else None
+        )
+        width = len(level)
+        next_level: List[Hashable] = []
+        for i, state in enumerate(level):
+            if rec is not None:
+                rec.gauge("explore.frontier", (width - i) + len(next_level))
+            if not expand:
+                truncated = True
+                continue
+            for action, post in expansions[i]:
+                if budget is not None and not budget.charge_step():
+                    return InvariantReport(
+                        True, checked, True, None, exhausted_budget=True
+                    )
+                if rec is not None:
+                    rec.incr("explore.transitions")
+                if post in result.reachable:
+                    continue
+                if len(result.reachable) >= max_states:
+                    return InvariantReport(True, checked, True, None)
+                if budget is not None and not budget.charge_state():
+                    return InvariantReport(
+                        True, checked, True, None, exhausted_budget=True
+                    )
+                result.reachable.add(post)
+                result.parents[post] = (state, action)
+                checked += 1
+                if rec is not None:
+                    rec.incr("explore.states")
+                if not predicate(post):
+                    return InvariantReport(False, checked, truncated, result.path_to(post))
+                next_level.append(post)
+        level = next_level
+        depth += 1
+    return InvariantReport(True, checked, truncated, None)

@@ -1,0 +1,210 @@
+"""Parallel obligation scheduler for the mapping checkers.
+
+:func:`repro.core.checker.check_mapping_exhaustive` walks the product
+of source states and deterministic witnesses breadth-first, and at each
+``(state, witness)`` pair discharges the two Definition 3.2 obligations
+(enabledness + containment) for every discrete option — independent,
+Fraction-heavy work that dominates the check.  This module fans those
+obligations out per reachable time-state batch and replays the results
+in serial order, the same expand-then-replay discipline as
+:mod:`repro.par.explorer`.
+
+Workers evaluate :func:`~repro.core.checker._witness_step` under a
+private recorder and ship back, per obligation, the *counter delta* it
+produced (``check.steps``, ``mapping.evals``) together with the witness
+successor or failure outcome.  The parent replays deltas as it charges
+the budget, so a run cut after *k* obligations carries exactly the
+telemetry of the serial run cut at the same point — verdicts, details,
+steps and counters are byte-identical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import TYPE_CHECKING, Any, List, Optional, Tuple
+
+from repro.core import checker as _checker
+from repro.core.discretize import discrete_options
+from repro.core.mappings import StrongPossibilitiesMapping
+from repro.obs import instrument as _telemetry
+from repro.obs.instrument import Recorder, recording
+from repro.par.engine import (
+    EngineConfig,
+    EngineUnavailable,
+    ForkPool,
+    default_workers,
+    shard_items,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.checker import CheckOutcome
+    from repro.faults.budget import Budget
+
+__all__ = ["check_mapping_exhaustive_parallel"]
+
+
+def _expand_pairs(payload: Tuple[Any, Any, Any], batch: List[Any]) -> List[Any]:
+    """Worker task: discharge every obligation of each ``(index, pair)``.
+
+    Returns, per pair, the serial-ordered list of
+    ``(counter_delta, source_post, next_witness, failure)`` tuples —
+    everything the parent's replay needs to reproduce the serial loop
+    without re-evaluating a single inequality.
+    """
+    mapping, grid, horizon = payload
+    # Equal time-states and equal counter deltas are interned to one
+    # representative object so pickle's memo ships each distinct value
+    # once per batch — witnesses repeat heavily across obligations and
+    # raw shipping would eat the speedup.
+    intern: dict = {}
+    deltas: dict = {}
+    out = []
+    for index, (source_state, witness) in batch:
+        obligations = []
+        rec = Recorder(name="par.obligations", max_events=0)
+        with recording(rec):
+            for action, time in discrete_options(
+                mapping.source, source_state, grid, horizon
+            ):
+                for source_post in mapping.source.successors(
+                    source_state, action, time
+                ):
+                    before = dict(rec.counters)
+                    next_witness, failure = _checker._witness_step(
+                        mapping, witness, action, time, source_post, 0
+                    )
+                    delta = {
+                        name: count - before.get(name, 0)
+                        for name, count in rec.counters.items()
+                        if count != before.get(name, 0)
+                    }
+                    delta = deltas.setdefault(
+                        tuple(sorted(delta.items())), delta
+                    )
+                    if next_witness is not None:
+                        next_witness = intern.setdefault(next_witness, next_witness)
+                    obligations.append(
+                        (
+                            delta,
+                            intern.setdefault(source_post, source_post),
+                            next_witness,
+                            failure,
+                        )
+                    )
+        out.append((index, obligations))
+    return out
+
+
+def check_mapping_exhaustive_parallel(
+    mapping: StrongPossibilitiesMapping,
+    grid,
+    horizon,
+    max_pairs: int = 200_000,
+    budget: Optional["Budget"] = None,
+    config: Optional[EngineConfig] = None,
+) -> "CheckOutcome":
+    """Parallel :func:`repro.core.checker.check_mapping_exhaustive` —
+    same verdict, detail, step count and telemetry.  Falls back to the
+    serial checker (counting ``par.fallbacks``) where no fork pool can
+    exist."""
+    config = config if config is not None else EngineConfig(kind="parallel")
+    rec = _telemetry._ACTIVE
+    workers = config.workers if config.workers is not None else default_workers()
+    try:
+        pool = ForkPool(_expand_pairs, (mapping, grid, horizon), workers)
+    except EngineUnavailable:
+        if rec is not None:
+            rec.incr("par.fallbacks")
+        return _checker.check_mapping_exhaustive(
+            mapping,
+            grid,
+            horizon,
+            max_pairs=max_pairs,
+            budget=budget,
+            engine="serial",
+        )
+    with pool:
+        return _obligation_replay(
+            mapping, grid, horizon, max_pairs, budget, pool, config, rec
+        )
+
+
+def _expand_pair_level(
+    level: List[Any], pool: ForkPool, payload, config: EngineConfig, rec
+) -> List[List[Any]]:
+    if len(level) < config.min_batch:
+        return [
+            obligations
+            for _, obligations in _expand_pairs(payload, list(enumerate(level)))
+        ]
+    batches = shard_items(level, pool.workers)
+    expansions: List[Optional[List[Any]]] = [None] * len(level)
+    for result in pool.map(batches):
+        for index, obligations in result:
+            expansions[index] = obligations
+    if rec is not None:
+        rec.incr("par.levels")
+        rec.incr("par.tasks", len(batches))
+        rec.incr("par.obligations", sum(len(e) for e in expansions if e))
+    return expansions  # type: ignore[return-value]
+
+
+def _obligation_replay(
+    mapping, grid, horizon, max_pairs, budget, pool, config, rec
+) -> "CheckOutcome":
+    emit = _checker._emit_outcome
+    cut = _checker._budget_cut
+    seen = set()
+    level: List[Any] = []
+    for source_start in mapping.source.start_states():
+        witness, failure = _checker._initial_witness(mapping, source_start)
+        if failure is not None:
+            return emit("mapping_exhaustive", failure)
+        pair = (source_start, witness)
+        if pair not in seen:
+            if budget is not None and not budget.charge_state():
+                return emit("mapping_exhaustive", cut(0))
+            seen.add(pair)
+            level.append(pair)
+    steps = 0
+    payload = (mapping, grid, horizon)
+    while level:
+        expansions = _expand_pair_level(level, pool, payload, config, rec)
+        next_level: List[Any] = []
+        for i in range(len(level)):
+            for delta, source_post, next_witness, failure in expansions[i]:
+                if budget is not None and not budget.charge_step():
+                    return emit("mapping_exhaustive", cut(steps))
+                if rec is not None:
+                    for name, count in delta.items():
+                        rec.incr(name, count)
+                if failure is not None:
+                    return emit(
+                        "mapping_exhaustive", replace(failure, steps_checked=steps)
+                    )
+                steps += 1
+                pair = (source_post, next_witness)
+                if pair in seen:
+                    if rec is not None:
+                        rec.incr("check.cache_hits")
+                    continue
+                if len(seen) >= max_pairs:
+                    return emit(
+                        "mapping_exhaustive",
+                        _checker.CheckOutcome(
+                            True,
+                            steps,
+                            "truncated at {} state pairs".format(max_pairs),
+                        ),
+                    )
+                if budget is not None and not budget.charge_state():
+                    return emit("mapping_exhaustive", cut(steps))
+                seen.add(pair)
+                next_level.append(pair)
+        level = next_level
+    return emit(
+        "mapping_exhaustive",
+        _checker.CheckOutcome(
+            True, steps, "exhaustive over grid={!r} horizon={!r}".format(grid, horizon)
+        ),
+    )

@@ -1,0 +1,197 @@
+"""The per-system verification surface the engines are raced on.
+
+One registry, three consumers: ``python -m repro check`` (engine-aware
+reachability sweep + mapping obligations per system), the
+serial/parallel equivalence tests, and the ``par-speedup`` bench
+profile.  Parameters mirror the canonical builds used by
+:mod:`repro.faults.targets` and :mod:`repro.obs.bench`, so a cache key
+derived from this surface describes the same work those paths do.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Any, Dict, List, Tuple
+
+from repro.errors import ReproError
+
+__all__ = [
+    "surface_names",
+    "explore_automaton",
+    "mapping_specs",
+]
+
+
+def _rm_system():
+    from repro.systems import ResourceManagerParams, ResourceManagerSystem
+
+    return ResourceManagerSystem(
+        ResourceManagerParams(k=3, c1=Fraction(2), c2=Fraction(3), l=Fraction(1))
+    )
+
+
+def _relay_system():
+    from repro.systems import RelayParams, RelaySystem
+
+    return RelaySystem(RelayParams(n=3, d1=Fraction(1), d2=Fraction(2)))
+
+
+def _chain_system():
+    from repro.systems.extensions import ChainSystem
+    from repro.timed.interval import Interval
+
+    return ChainSystem([Interval(1, 2), Interval(2, 3)])
+
+
+def _automaton_rm():
+    return _rm_system().timed.automaton
+
+
+def _automaton_relay():
+    return _relay_system().timed.automaton
+
+
+def _automaton_chain():
+    return _chain_system().timed.automaton
+
+
+def _automaton_fischer():
+    from repro.systems.extensions import FischerParams, fischer_system
+
+    return fischer_system(
+        FischerParams(n=2, a=Fraction(1), b=Fraction(2))
+    ).automaton
+
+
+def _automaton_fischer_tight():
+    from repro.systems.extensions import FischerParams, fischer_system
+
+    return fischer_system(
+        FischerParams(n=2, a=Fraction(1), b=Fraction(1))
+    ).automaton
+
+
+def _automaton_peterson():
+    from repro.systems.extensions import PetersonParams, peterson_system
+
+    return peterson_system(PetersonParams(s1=Fraction(1), s2=Fraction(2))).automaton
+
+
+def _automaton_tournament():
+    from repro.systems.extensions import TournamentParams, tournament_system
+
+    return tournament_system(
+        TournamentParams(n=2, s1=Fraction(1), s2=Fraction(2))
+    ).automaton
+
+
+def _mappings_rm() -> List[Tuple[str, Any]]:
+    from repro.systems import resource_manager_mapping
+
+    return [("rm", resource_manager_mapping(_rm_system()))]
+
+
+def _mappings_relay() -> List[Tuple[str, Any]]:
+    from repro.systems import relay_hierarchy
+
+    chain = relay_hierarchy(_relay_system())
+    return [
+        ("relay[{}]".format(level), mapping) for level, mapping in enumerate(chain)
+    ]
+
+
+def _mappings_chain() -> List[Tuple[str, Any]]:
+    chain = _chain_system().hierarchy()
+    return [
+        ("chain[{}]".format(level), mapping) for level, mapping in enumerate(chain)
+    ]
+
+
+#: name -> (automaton builder, mapping-spec builder, explore cap,
+#: exhaustive grid, exhaustive horizon).  Zone-only systems have no
+#: mappings; their surface is the reachability sweep alone.
+_SURFACE: Dict[str, Dict[str, Any]] = {
+    "rm": {
+        "automaton": _automaton_rm,
+        "mappings": _mappings_rm,
+        "max_states": 4_000,
+        "grid": Fraction(1, 2),
+        "horizon": Fraction(8),
+    },
+    "relay": {
+        "automaton": _automaton_relay,
+        "mappings": _mappings_relay,
+        "max_states": 4_000,
+        "grid": Fraction(1, 2),
+        "horizon": Fraction(5),
+    },
+    "chain": {
+        "automaton": _automaton_chain,
+        "mappings": _mappings_chain,
+        "max_states": 4_000,
+        "grid": Fraction(1, 2),
+        "horizon": Fraction(6),
+    },
+    "fischer": {
+        "automaton": _automaton_fischer,
+        "mappings": None,
+        "max_states": 4_000,
+        "grid": None,
+        "horizon": None,
+    },
+    "fischer-tight": {
+        "automaton": _automaton_fischer_tight,
+        "mappings": None,
+        "max_states": 4_000,
+        "grid": None,
+        "horizon": None,
+    },
+    "peterson": {
+        "automaton": _automaton_peterson,
+        "mappings": None,
+        "max_states": 4_000,
+        "grid": None,
+        "horizon": None,
+    },
+    "tournament": {
+        "automaton": _automaton_tournament,
+        "mappings": None,
+        "max_states": 4_000,
+        "grid": None,
+        "horizon": None,
+    },
+}
+
+
+def surface_names() -> Tuple[str, ...]:
+    """The seven shipped systems, in registry order."""
+    return tuple(_SURFACE)
+
+
+def _entry(name: str) -> Dict[str, Any]:
+    if name not in _SURFACE:
+        raise ReproError(
+            "unknown system {!r}; expected one of {}".format(
+                name, ", ".join(_SURFACE)
+            )
+        )
+    return _SURFACE[name]
+
+
+def explore_automaton(name: str) -> Tuple[Any, int]:
+    """The system's base automaton and its canonical exploration cap."""
+    entry = _entry(name)
+    return entry["automaton"](), entry["max_states"]
+
+
+def mapping_specs(name: str) -> List[Tuple[str, Any, Fraction, Fraction]]:
+    """The system's exhaustive mapping obligations as
+    ``(label, mapping, grid, horizon)`` tuples (empty for zone-only
+    systems)."""
+    entry = _entry(name)
+    if entry["mappings"] is None:
+        return []
+    return [
+        (label, mapping, entry["grid"], entry["horizon"])
+        for label, mapping in entry["mappings"]()
+    ]

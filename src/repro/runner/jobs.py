@@ -252,6 +252,35 @@ _EXECUTORS = {
     "bench": _run_bench,
 }
 
+#: Job params that change *how* a verdict is computed, never *what* it
+#: is — excluded from the verdict-cache key.  ``engine`` and ``workers``
+#: stay out by design (the engines are byte-identical); ``timeout`` is
+#: the supervisor's watchdog, not part of the check; ``cache`` is the
+#: gate itself.
+_UNCACHED_PARAMS = frozenset({"engine", "workers", "timeout", "cache"})
+
+
+def _job_cache(job: Job):
+    """The verdict cache and canonical key parts for this job, or
+    ``(None, None)`` when the job must not touch the cache: bench jobs
+    (their product *is* a wall time), chaos-injected attempts (the
+    self-test must actually run), or an explicit ``cache: False``."""
+    if job.kind == "bench" or job.chaos is not None:
+        return None, None
+    if job.params.get("cache") is False:
+        return None, None
+    from repro.cache import default_cache
+
+    cache = default_cache()
+    if cache is None:
+        return None, None
+    parts = {
+        key: value
+        for key, value in job.params.items()
+        if key not in _UNCACHED_PARAMS
+    }
+    return cache, parts
+
 
 def execute_job(job: Job) -> Dict[str, Any]:
     """Run one job to a plain result payload — never raises.
@@ -260,21 +289,51 @@ def execute_job(job: Job) -> Dict[str, Any]:
     ``exhausted_budget`` / ``detail``), a structured ``error`` dict when
     a library error escaped the check, and the job's telemetry snapshot
     for cross-process aggregation (``Recorder.merge`` on the parent).
+
+    Settled verdicts (conclusive, no error, no budget cut) round-trip
+    through the content-addressed verdict cache: a warm hit returns the
+    stored payload with ``cached: True`` and a telemetry snapshot
+    reduced to ``cache.hits`` — replaying the original work counters
+    would double-count work that did not happen.  ``params["engine"]``
+    (with optional ``params["workers"]``) scopes the parallel engine
+    for the duration of the job.
     """
-    recorder = Recorder(name="job." + job.job_id, max_events=0)
     start = time.perf_counter()
+    cache, cache_parts = _job_cache(job)
+    if cache is not None:
+        hit = cache.lookup(job.kind, job.system, cache_parts)
+        if hit is not None and hit.get("job_id") == job.job_id:
+            hit_recorder = Recorder(name="job." + job.job_id, max_events=0)
+            hit_recorder.incr("cache.hits")
+            payload = dict(hit)
+            payload["cached"] = True
+            payload["wall"] = time.perf_counter() - start
+            payload["telemetry"] = hit_recorder.snapshot()
+            return payload
+    recorder = Recorder(name="job." + job.job_id, max_events=0)
     error: Optional[Dict[str, Any]] = None
     ok, conclusive, exhausted, detail = False, True, False, ""
     try:
+        engine = job.params.get("engine")
+        workers = job.params.get("workers")
         with recording(recorder):
-            ok, conclusive, exhausted, detail = _EXECUTORS[job.kind](job)
+            if engine is None:
+                # No opinion: leave whatever engine the process has.
+                ok, conclusive, exhausted, detail = _EXECUTORS[job.kind](job)
+            else:
+                from repro.par.engine import engine_scope
+
+                with engine_scope(
+                    engine, workers=None if workers is None else int(workers)
+                ):
+                    ok, conclusive, exhausted, detail = _EXECUTORS[job.kind](job)
     except ReproError as exc:
         error = exc.to_dict()
         detail = str(exc)
     except Exception as exc:  # infra: anything non-library is still a record
         error = {"type": type(exc).__name__, "message": str(exc)}
         detail = "{}: {}".format(type(exc).__name__, exc)
-    return {
+    payload = {
         "schema": RESULT_SCHEMA_VERSION,
         "job_id": job.job_id,
         "ok": ok,
@@ -285,3 +344,7 @@ def execute_job(job: Job) -> Dict[str, Any]:
         "wall": time.perf_counter() - start,
         "telemetry": recorder.snapshot(),
     }
+    if cache is not None and error is None and conclusive and not exhausted:
+        stored = {key: value for key, value in payload.items() if key != "wall"}
+        cache.store(job.kind, job.system, cache_parts, stored)
+    return payload

@@ -128,6 +128,9 @@ class Supervisor:
         stop_after: Optional[int] = None,
         poll_interval: float = 0.02,
         recorder: Optional[Recorder] = None,
+        engine: Optional[str] = None,
+        engine_workers: Optional[int] = None,
+        cache: Optional[bool] = None,
     ):
         if workers < 0:
             raise ValueError("workers must be >= 0")
@@ -146,6 +149,9 @@ class Supervisor:
         self.write_header = write_header
         self.stop_after = stop_after
         self.poll_interval = poll_interval
+        self.engine = engine
+        self.engine_workers = engine_workers
+        self.cache = cache
         self.recorder = recorder if recorder is not None else Recorder(
             name="runner." + self.campaign_id, max_events=0
         )
@@ -187,6 +193,15 @@ class Supervisor:
         params = dict(body["params"])
         params["budget_scale"] = state.budget_scale
         params["timeout"] = self.timeout
+        # Campaign-wide engine/cache choices travel as job params so
+        # they survive the spawn boundary (workers reuse the cache and
+        # rebuild the engine from scratch in their fresh interpreters).
+        if self.engine is not None:
+            params["engine"] = self.engine
+            if self.engine_workers is not None:
+                params["workers"] = self.engine_workers
+        if self.cache is not None:
+            params["cache"] = self.cache
         body["params"] = params
         return body
 

@@ -40,6 +40,9 @@ __all__ = [
     "events_from_jsonl",
     "ledger_entry_to_line",
     "ledger_entries_from_jsonl",
+    "CACHE_SCHEMA_VERSION",
+    "cache_entry_to_json",
+    "cache_entry_from_json",
 ]
 
 #: Version of the JSONL trace container written by
@@ -49,6 +52,10 @@ TRACE_SCHEMA_VERSION = 1
 #: Version of the JSONL campaign-ledger entries written by
 #: :mod:`repro.runner.ledger`; bumped whenever the entry shape changes.
 LEDGER_SCHEMA_VERSION = 1
+
+#: Version of on-disk verdict-cache entries written by
+#: :mod:`repro.cache.store`; bumped whenever the entry shape changes.
+CACHE_SCHEMA_VERSION = 1
 
 
 class SerializationError(ReproError):
@@ -255,3 +262,56 @@ def ledger_entries_from_jsonl(text: str, tolerate_torn_tail: bool = True) -> Lis
             )
         entries.append(body)
     return entries
+
+
+def cache_entry_to_json(key: str, payload: dict, meta: dict) -> str:
+    """Serialise one verdict-cache entry.
+
+    The entry is self-describing: it carries the schema version, its own
+    content-address ``key`` (so a file moved or copied to the wrong slot
+    is detected on read), free-form plain-JSON ``payload`` (the cached
+    verdict) and ``meta`` (fingerprint/engine provenance for humans and
+    invalidation audits).
+    """
+    body = {
+        "schema": CACHE_SCHEMA_VERSION,
+        "key": key,
+        "payload": payload,
+        "meta": meta,
+    }
+    try:
+        return json.dumps(body, sort_keys=True, indent=2) + "\n"
+    except (TypeError, ValueError) as exc:
+        raise SerializationError(
+            "cache entry is not JSON-serialisable: {}".format(exc)
+        )
+
+
+def cache_entry_from_json(text: str, expected_key: str) -> dict:
+    """Parse a verdict-cache entry back to its ``payload`` dict.
+
+    Raises :class:`SerializationError` on torn/invalid JSON, an
+    unsupported schema version, or a key mismatch — callers treat all
+    three as a cache miss and recompute.
+    """
+    try:
+        body = json.loads(text)
+    except ValueError as exc:
+        raise SerializationError("torn cache entry: {}".format(exc))
+    if not isinstance(body, dict) or body.get("schema") != CACHE_SCHEMA_VERSION:
+        raise SerializationError(
+            "unsupported cache entry schema {!r} (supported: {})".format(
+                body.get("schema") if isinstance(body, dict) else None,
+                CACHE_SCHEMA_VERSION,
+            )
+        )
+    if body.get("key") != expected_key:
+        raise SerializationError(
+            "cache entry key mismatch: stored {!r}, expected {!r}".format(
+                body.get("key"), expected_key
+            )
+        )
+    payload = body.get("payload")
+    if not isinstance(payload, dict):
+        raise SerializationError("cache entry payload is not a dict")
+    return payload

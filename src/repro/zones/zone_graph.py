@@ -162,17 +162,36 @@ def explore_zone_graph(
         raise ZoneError("zone analysis expects a unique start state")
     start_astate = starts[0]
 
+    # Hot-path precomputation: class intervals are fixed for the whole
+    # exploration, and A-states recur across many zone nodes — memoising
+    # per-A-state enabledness avoids re-deriving it for every
+    # (node, action, successor) triple.
+    upper_bounds: List[Optional[Bound]] = []
+    lower_bounds: Dict[str, object] = {}
+    for cls in classes:
+        interval = timed.class_interval(cls)
+        upper = interval.hi
+        upper_bounds.append(
+            None if isinstance(upper, float) and math.isinf(upper) else le_bound(upper)
+        )
+        lower_bounds[cls.name] = interval.lo
+    enabled_memo: Dict[Hashable, Tuple[bool, ...]] = {}
+
     def enabled_classes(astate) -> Tuple[bool, ...]:
-        return tuple(automaton.class_enabled(astate, cls) for cls in classes)
+        cached = enabled_memo.get(astate)
+        if cached is None:
+            cached = tuple(automaton.class_enabled(astate, cls) for cls in classes)
+            enabled_memo[astate] = cached
+        return cached
 
     def apply_invariant(zone: DBM, enabled: Tuple[bool, ...]) -> DBM:
         for i, cls in enumerate(classes):
             if not enabled[i]:
                 continue
-            upper = timed.class_interval(cls).hi
-            if isinstance(upper, float) and math.isinf(upper):
+            upper = upper_bounds[i]
+            if upper is None:
                 continue
-            zone.constrain(class_index[cls.name], 0, le_bound(upper))
+            zone.constrain(class_index[cls.name], 0, upper)
         return zone
 
     result = ZoneGraphResult(nodes=0, transitions=0, truncated=False, firings={})
@@ -224,7 +243,7 @@ def explore_zone_graph(
                     "action {!r} has no partition class (open system?)".format(action)
                 )
             fire_zone = apply_invariant(zone.copy().up(), pre_enabled)
-            lower = timed.class_interval(cls).lo
+            lower = lower_bounds[cls.name]
             if lower > 0:
                 # x_0 − x_C ≤ −b_l(C)  ⇔  x_C ≥ b_l(C)
                 fire_zone.constrain(0, class_index[cls.name], le_bound(-lower))

@@ -1,0 +1,70 @@
+"""Content-addressing tests (:mod:`repro.cache.fingerprint`)."""
+
+from fractions import Fraction
+
+from repro.cache.fingerprint import source_fingerprint, verdict_key
+
+
+class TestSourceFingerprint:
+    def test_stable_across_calls(self):
+        assert source_fingerprint() == source_fingerprint()
+
+    def test_is_hex_sha256(self):
+        digest = source_fingerprint()
+        assert len(digest) == 64
+        int(digest, 16)
+
+    def test_tracks_source_edits(self, tmp_path):
+        pkg = tmp_path / "pkg"
+        pkg.mkdir()
+        (pkg / "a.py").write_text("x = 1\n")
+        (pkg / "b.py").write_text("y = 2\n")
+        before = source_fingerprint(str(pkg))
+        # Memoised per root: a second probe of the same tree is free
+        # and identical.
+        assert source_fingerprint(str(pkg)) == before
+        edited = tmp_path / "edited"
+        edited.mkdir()
+        (edited / "a.py").write_text("x = 1  # changed\n")
+        (edited / "b.py").write_text("y = 2\n")
+        assert source_fingerprint(str(edited)) != before
+
+    def test_ignores_non_python_files(self, tmp_path):
+        plain = tmp_path / "plain"
+        plain.mkdir()
+        (plain / "a.py").write_text("x = 1\n")
+        noisy = tmp_path / "noisy"
+        noisy.mkdir()
+        (noisy / "a.py").write_text("x = 1\n")
+        (noisy / "notes.txt").write_text("scratch\n")
+        assert source_fingerprint(str(plain)) == source_fingerprint(str(noisy))
+
+
+class TestVerdictKey:
+    def test_deterministic(self):
+        parts = {"seeds": 3, "epsilon": Fraction(1, 32)}
+        assert verdict_key("check", "rm", parts) == verdict_key("check", "rm", parts)
+
+    def test_distinguishes_kind_system_and_parts(self):
+        base = verdict_key("check", "rm", {"seeds": 3})
+        assert verdict_key("lint", "rm", {"seeds": 3}) != base
+        assert verdict_key("check", "relay", {"seeds": 3}) != base
+        assert verdict_key("check", "rm", {"seeds": 4}) != base
+
+    def test_fraction_canonicalisation(self):
+        # Exact fractions and their "p/q" string spelling address the
+        # same entry — job params ride as strings across process
+        # boundaries.
+        assert verdict_key("check", "rm", {"epsilon": Fraction(1, 32)}) == verdict_key(
+            "check", "rm", {"epsilon": "1/32"}
+        )
+
+    def test_dict_order_irrelevant(self):
+        assert verdict_key("check", "rm", {"a": 1, "b": 2}) == verdict_key(
+            "check", "rm", {"b": 2, "a": 1}
+        )
+
+    def test_nested_structures(self):
+        parts = {"grid": [Fraction(1, 2), Fraction(3)], "opts": {"deep": Fraction(7, 5)}}
+        spelled = {"grid": ["1/2", "3/1"], "opts": {"deep": "7/5"}}
+        assert verdict_key("check", "rm", parts) == verdict_key("check", "rm", spelled)

@@ -1,0 +1,59 @@
+"""Cache-entry wire format (:func:`repro.serialize.cache_entry_to_json`)."""
+
+import json
+
+import pytest
+
+from repro.serialize import (
+    CACHE_SCHEMA_VERSION,
+    SerializationError,
+    cache_entry_from_json,
+    cache_entry_to_json,
+)
+
+KEY = "ab" * 32
+PAYLOAD = {"ok": True, "steps": 7}
+META = {"kind": "check", "system": "rm"}
+
+
+def test_round_trip():
+    text = cache_entry_to_json(KEY, PAYLOAD, META)
+    assert cache_entry_from_json(text, expected_key=KEY) == PAYLOAD
+
+
+def test_entry_is_self_describing():
+    body = json.loads(cache_entry_to_json(KEY, PAYLOAD, META))
+    assert body["schema"] == CACHE_SCHEMA_VERSION
+    assert body["key"] == KEY
+    assert body["meta"] == META
+
+
+def test_torn_entry_raises():
+    text = cache_entry_to_json(KEY, PAYLOAD, META)
+    with pytest.raises(SerializationError):
+        cache_entry_from_json(text[: len(text) // 2], expected_key=KEY)
+
+
+def test_key_mismatch_raises():
+    text = cache_entry_to_json(KEY, PAYLOAD, META)
+    with pytest.raises(SerializationError):
+        cache_entry_from_json(text, expected_key="cd" * 32)
+
+
+def test_future_schema_refused():
+    body = json.loads(cache_entry_to_json(KEY, PAYLOAD, META))
+    body["schema"] = CACHE_SCHEMA_VERSION + 1
+    with pytest.raises(SerializationError):
+        cache_entry_from_json(json.dumps(body), expected_key=KEY)
+
+
+def test_non_dict_payload_refused():
+    body = json.loads(cache_entry_to_json(KEY, PAYLOAD, META))
+    body["payload"] = [1, 2, 3]
+    with pytest.raises(SerializationError):
+        cache_entry_from_json(json.dumps(body), expected_key=KEY)
+
+
+def test_unserialisable_payload_raises_on_write():
+    with pytest.raises(SerializationError):
+        cache_entry_to_json(KEY, {"bad": object()}, META)

@@ -1,0 +1,120 @@
+"""On-disk verdict-cache behaviour (:mod:`repro.cache.store`)."""
+
+import glob
+import os
+import shutil
+
+from repro.cache.fingerprint import verdict_key
+from repro.cache.store import VerdictCache, cache_enabled, default_cache
+from repro.obs.instrument import Recorder, recording
+
+PAYLOAD = {"ok": True, "detail": "states=12", "schema": 1}
+
+
+def _entry_files(root):
+    return glob.glob(os.path.join(root, "v1", "*", "*.json"))
+
+
+class TestRoundTrip:
+    def test_store_then_lookup(self, tmp_path):
+        cache = VerdictCache(str(tmp_path))
+        parts = {"seeds": 3, "epsilon": "1/32"}
+        assert cache.lookup("check", "rm", parts) is None
+        assert cache.store("check", "rm", parts, PAYLOAD)
+        assert cache.lookup("check", "rm", parts) == PAYLOAD
+        assert cache.stats() == {"hits": 1, "misses": 1, "stores": 1, "errors": 0}
+
+    def test_layout_is_key_addressed(self, tmp_path):
+        cache = VerdictCache(str(tmp_path))
+        cache.store("check", "rm", {}, PAYLOAD)
+        key = verdict_key("check", "rm", {})
+        expected = os.path.join(str(tmp_path), "v1", key[:2], key + ".json")
+        assert _entry_files(str(tmp_path)) == [expected]
+
+    def test_distinct_parts_do_not_collide(self, tmp_path):
+        cache = VerdictCache(str(tmp_path))
+        cache.store("check", "rm", {"seeds": 3}, PAYLOAD)
+        assert cache.lookup("check", "rm", {"seeds": 4}) is None
+
+    def test_telemetry_counters(self, tmp_path):
+        cache = VerdictCache(str(tmp_path))
+        recorder = Recorder(name="cache-test", max_events=0)
+        with recording(recorder):
+            cache.lookup("check", "rm", {})
+            cache.store("check", "rm", {}, PAYLOAD)
+            cache.lookup("check", "rm", {})
+        counters = recorder.snapshot()["counters"]
+        assert counters["cache.misses"] == 1
+        assert counters["cache.stores"] == 1
+        assert counters["cache.hits"] == 1
+
+    def test_stats_line(self, tmp_path):
+        cache = VerdictCache(str(tmp_path))
+        cache.store("check", "rm", {}, PAYLOAD)
+        cache.lookup("check", "rm", {})
+        assert cache.stats_line() == "cache: hits=1 misses=0 stores=1 errors=0"
+
+
+class TestCorruption:
+    def test_torn_entry_is_a_miss_and_counted(self, tmp_path):
+        cache = VerdictCache(str(tmp_path))
+        cache.store("check", "rm", {}, PAYLOAD)
+        (path,) = _entry_files(str(tmp_path))
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write('{"torn":')
+        assert cache.lookup("check", "rm", {}) is None
+        assert cache.errors == 1
+
+    def test_misfiled_entry_is_a_miss(self, tmp_path):
+        # An entry copied to another key's address (corrupt sync, bad
+        # restore) must not answer for that key.
+        cache = VerdictCache(str(tmp_path))
+        cache.store("check", "rm", {}, PAYLOAD)
+        (path,) = _entry_files(str(tmp_path))
+        other = verdict_key("check", "relay", {})
+        other_path = os.path.join(str(tmp_path), "v1", other[:2], other + ".json")
+        os.makedirs(os.path.dirname(other_path), exist_ok=True)
+        shutil.copyfile(path, other_path)
+        assert cache.lookup("check", "relay", {}) is None
+        assert cache.errors == 1
+
+    def test_non_json_payload_refused(self, tmp_path):
+        cache = VerdictCache(str(tmp_path))
+        assert not cache.store("check", "rm", {}, {"bad": object()})
+        assert cache.errors == 1
+        assert _entry_files(str(tmp_path)) == []
+
+    def test_unwritable_root_degrades_to_noop(self, tmp_path):
+        blocker = tmp_path / "blocker"
+        blocker.write_text("not a directory")
+        cache = VerdictCache(str(blocker))
+        assert not cache.store("check", "rm", {}, PAYLOAD)
+        assert cache.errors == 1
+        assert cache.lookup("check", "rm", {}) is None
+
+
+class TestEnvironmentGate:
+    def test_disabled_by_conftest_default(self):
+        # tests/conftest.py pins REPRO_CACHE=0 for the whole suite.
+        assert not cache_enabled()
+        assert default_cache() is None
+
+    def test_enabled_when_env_allows(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE", "1")
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        cache = default_cache()
+        assert cache is not None
+        assert cache.root == str(tmp_path)
+
+    def test_explicit_override_beats_env(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        assert default_cache(enabled=True) is not None
+        monkeypatch.setenv("REPRO_CACHE", "1")
+        assert default_cache(enabled=False) is None
+
+    def test_false_words(self, monkeypatch):
+        for word in ("0", "false", "NO", " off "):
+            monkeypatch.setenv("REPRO_CACHE", word)
+            assert not cache_enabled()
+        monkeypatch.setenv("REPRO_CACHE", "yes")
+        assert cache_enabled()

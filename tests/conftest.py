@@ -4,6 +4,16 @@ from fractions import Fraction as F
 
 import pytest
 
+
+@pytest.fixture(autouse=True)
+def _no_verdict_cache(monkeypatch):
+    """Keep the on-disk verdict cache out of every test by default.
+
+    Tests that exercise the cache itself opt back in by pointing
+    ``REPRO_CACHE_DIR`` at a tmp_path and re-enabling ``REPRO_CACHE``.
+    """
+    monkeypatch.setenv("REPRO_CACHE", "0")
+
 from repro.systems.resource_manager import ResourceManagerParams, ResourceManagerSystem
 from repro.systems.signal_relay import RelayParams, RelaySystem
 from repro.timed.interval import Interval

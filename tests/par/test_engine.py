@@ -1,0 +1,116 @@
+"""Unit tests for the parallel-engine substrate (:mod:`repro.par.engine`)."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.par.engine import (
+    ENGINE_KINDS,
+    MAX_WORKERS,
+    EngineConfig,
+    current_engine,
+    default_workers,
+    engine_scope,
+    resolve_engine,
+    set_engine,
+    shard_items,
+)
+
+
+@pytest.fixture(autouse=True)
+def _reset_engine():
+    yield
+    set_engine(None)
+
+
+class TestEngineConfig:
+    def test_default_is_serial(self):
+        config = EngineConfig()
+        assert config.kind == "serial"
+        assert not config.parallel
+
+    def test_parallel_flag(self):
+        assert EngineConfig(kind="parallel").parallel
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ReproError):
+            EngineConfig(kind="turbo")
+
+    def test_bad_workers_rejected(self):
+        with pytest.raises(ReproError):
+            EngineConfig(kind="parallel", workers=0)
+
+    def test_bad_min_batch_rejected(self):
+        with pytest.raises(ReproError):
+            EngineConfig(min_batch=0)
+
+    def test_kinds_registry(self):
+        assert ENGINE_KINDS == ("serial", "parallel")
+
+
+class TestEngineSelection:
+    def test_process_default_is_serial(self):
+        assert current_engine() == EngineConfig()
+
+    def test_resolve_prefers_explicit_argument(self):
+        set_engine("parallel")
+        assert resolve_engine("serial") == EngineConfig()
+        assert resolve_engine(None).parallel
+
+    def test_resolve_coerces_strings(self):
+        assert resolve_engine("parallel") == EngineConfig(kind="parallel")
+
+    def test_set_engine_none_restores_serial(self):
+        set_engine("parallel")
+        set_engine(None)
+        assert not current_engine().parallel
+
+    def test_engine_scope_nests_and_restores(self):
+        assert not current_engine().parallel
+        with engine_scope("parallel", workers=2):
+            assert current_engine() == EngineConfig(kind="parallel", workers=2)
+            with engine_scope("serial"):
+                assert not current_engine().parallel
+            assert current_engine().parallel
+        assert not current_engine().parallel
+
+    def test_engine_scope_restores_on_error(self):
+        with pytest.raises(RuntimeError):
+            with engine_scope("parallel"):
+                raise RuntimeError("boom")
+        assert not current_engine().parallel
+
+    def test_engine_scope_none_scopes_serial(self):
+        # Like set_engine(None), a None scope means "the default engine",
+        # not "no opinion" — it pins serial for the block.
+        set_engine("parallel")
+        with engine_scope(None):
+            assert not current_engine().parallel
+        assert current_engine().parallel
+
+    def test_default_workers_bounds(self):
+        workers = default_workers()
+        assert 2 <= workers <= MAX_WORKERS
+
+
+class TestShardItems:
+    def test_partition_is_deterministic_and_complete(self):
+        items = ["s{}".format(i) for i in range(37)]
+        shards = shard_items(items, 4)
+        again = shard_items(items, 4)
+        assert shards == again
+        flat = sorted(
+            entry for bucket in shards for entry in bucket
+        )
+        assert flat == list(enumerate(items))
+
+    def test_buckets_are_non_empty(self):
+        shards = shard_items(list(range(100)), 5)
+        assert all(shards)
+        assert 1 <= len(shards) <= 5
+
+    def test_single_shard(self):
+        items = ["a", "b", "c"]
+        assert shard_items(items, 1) == [list(enumerate(items))]
+
+    def test_empty_input(self):
+        assert shard_items([], 4) == []

@@ -1,0 +1,161 @@
+"""Serial/parallel equivalence over the whole verification surface.
+
+The parallel engine's contract is *byte-identical results*: for every
+shipped system, the state set, transition count, truncation flags,
+verdicts and seeded telemetry must match the serial engine exactly —
+including when a Budget cuts the run mid-stream.  Only the engine's own
+``par.*`` bookkeeping counters may differ.
+"""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.checker import check_mapping_exhaustive
+from repro.faults.budget import Budget
+from repro.ioa.explorer import check_invariant, explore
+from repro.obs.instrument import Recorder, recording
+from repro.par import EngineConfig, explore_automaton, mapping_specs, surface_names
+
+# min_batch=1 forces even tiny frontiers through the fork pool, so the
+# parallel path is genuinely exercised on every system, not just the
+# large ones.
+PARALLEL = EngineConfig(kind="parallel", workers=2, min_batch=1)
+
+SYSTEMS = surface_names()
+
+MAPPED = [name for name in SYSTEMS if mapping_specs(name)]
+
+
+def _strip_par(snapshot):
+    return {
+        section: {
+            key: value
+            for key, value in snapshot.get(section, {}).items()
+            if not key.startswith("par.")
+        }
+        for section in ("counters", "gauges")
+    }
+
+
+def _run(fn, engine):
+    recorder = Recorder(name="equiv", max_events=0)
+    with recording(recorder):
+        result = fn(engine)
+    return result, _strip_par(recorder.snapshot())
+
+
+def test_surface_has_seven_systems():
+    assert len(SYSTEMS) == 7
+
+
+@pytest.mark.parametrize("name", SYSTEMS)
+def test_explore_equivalent(name):
+    automaton, max_states = explore_automaton(name)
+
+    def run(engine):
+        return explore(automaton, max_states=max_states, engine=engine)
+
+    serial, serial_tel = _run(run, EngineConfig())
+    parallel, parallel_tel = _run(run, PARALLEL)
+    assert parallel.reachable == serial.reachable
+    assert parallel.transitions_explored == serial.transitions_explored
+    assert parallel.truncated == serial.truncated
+    assert parallel.exhausted_budget == serial.exhausted_budget
+    assert parallel.parents == serial.parents
+    assert parallel_tel == serial_tel
+
+
+@pytest.mark.parametrize("name", SYSTEMS)
+def test_explore_equivalent_under_budget_cut(name):
+    automaton, max_states = explore_automaton(name)
+    # Cut mid-stream wherever this system's full sweep actually is.
+    full = explore(automaton, max_states=max_states)
+    cut = max(1, full.transitions_explored // 2)
+
+    def run(engine):
+        return explore(
+            automaton,
+            max_states=max_states,
+            budget=Budget(max_steps=cut),
+            engine=engine,
+        )
+
+    serial, serial_tel = _run(run, EngineConfig())
+    parallel, parallel_tel = _run(run, PARALLEL)
+    assert serial.exhausted_budget  # the cut actually bit
+    assert parallel.reachable == serial.reachable
+    assert parallel.transitions_explored == serial.transitions_explored
+    assert parallel.truncated == serial.truncated
+    assert parallel.exhausted_budget == serial.exhausted_budget
+    assert parallel_tel == serial_tel
+
+
+@pytest.mark.parametrize("name", SYSTEMS)
+def test_check_invariant_equivalent(name):
+    automaton, max_states = explore_automaton(name)
+    # Deterministic, fork-safe predicate that fails on *some* systems:
+    # both engines must agree on the verdict and the counterexample.
+    predicate = lambda state: len(repr(state)) % 5 != 0  # noqa: E731
+
+    def run(engine):
+        return check_invariant(
+            automaton, predicate, max_states=max_states, engine=engine
+        )
+
+    serial, serial_tel = _run(run, EngineConfig())
+    parallel, parallel_tel = _run(run, PARALLEL)
+    assert parallel.holds == serial.holds
+    assert parallel.states_checked == serial.states_checked
+    assert parallel.truncated == serial.truncated
+    assert parallel.counterexample == serial.counterexample
+    assert parallel_tel == serial_tel
+
+
+@pytest.mark.parametrize("name", MAPPED)
+def test_mapping_obligations_equivalent(name):
+    for label, mapping, grid, horizon in mapping_specs(name):
+
+        def run(engine):
+            return check_mapping_exhaustive(
+                mapping, grid=grid, horizon=horizon, engine=engine
+            )
+
+        serial, serial_tel = _run(run, EngineConfig())
+        parallel, parallel_tel = _run(run, PARALLEL)
+        assert parallel == serial, label
+        assert parallel_tel == serial_tel, label
+
+
+@pytest.mark.parametrize("name", MAPPED)
+def test_mapping_obligations_equivalent_under_budget_cut(name):
+    label, mapping, grid, horizon = mapping_specs(name)[0]
+
+    def run(engine):
+        return check_mapping_exhaustive(
+            mapping,
+            grid=grid,
+            horizon=horizon,
+            budget=Budget(max_steps=41),
+            engine=engine,
+        )
+
+    serial, serial_tel = _run(run, EngineConfig())
+    parallel, parallel_tel = _run(run, PARALLEL)
+    assert serial.exhausted_budget, label
+    assert parallel == serial, label
+    assert parallel_tel == serial_tel, label
+
+
+def test_explore_respects_ambient_engine_scope():
+    from repro.par import engine_scope
+
+    automaton, max_states = explore_automaton("rm")
+    serial = explore(automaton, max_states=max_states)
+    with engine_scope(PARALLEL):
+        recorder = Recorder(name="ambient", max_events=0)
+        with recording(recorder):
+            ambient = explore(automaton, max_states=max_states)
+    counters = recorder.snapshot()["counters"]
+    assert ambient.reachable == serial.reachable
+    assert any(key.startswith("par.") for key in counters)
