@@ -1,0 +1,223 @@
+"""Exact-rational linear constraints over named variables.
+
+The static analyzer (paper Section 4.3) reduces mapping obligations to
+systems of linear inequalities over the predictive variables ``Ct``,
+``Ft(U)`` and ``Lt(U)``.  This module is the vocabulary: a
+:class:`LinExpr` is an affine expression ``Σ cᵢ·xᵢ + c`` with
+:class:`~fractions.Fraction` coefficients; a :class:`Constraint`
+relates such an expression to zero with one of ``≤``, ``<`` or ``=``.
+
+No infinities appear here.  The ``Lt = ∞`` (inactive) predictions of
+the timed semantics are handled upstream by discrete case splits: an
+inactive condition simply contributes no constraint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, Mapping, Tuple, Union
+
+from repro.errors import AnalyzeError
+
+__all__ = [
+    "LinExpr",
+    "Constraint",
+    "var",
+    "const",
+    "le",
+    "lt",
+    "ge",
+    "gt",
+    "eq",
+    "LE",
+    "LT",
+    "EQ",
+]
+
+Numberish = Union[int, Fraction]
+
+#: Relation tags: the constraint reads ``expr REL 0``.
+LE = "<="
+LT = "<"
+EQ = "=="
+
+
+def _frac(value) -> Fraction:
+    if isinstance(value, Fraction):
+        return value
+    if isinstance(value, int):
+        return Fraction(value)
+    if isinstance(value, float):
+        # Finite floats convert exactly (binary expansion); infinities
+        # and NaN have no rational value and must never get here —
+        # unbounded constraints should simply be omitted.
+        if value != value or value in (float("inf"), float("-inf")):
+            raise AnalyzeError(
+                "non-finite bound {!r} cannot enter a linear constraint; "
+                "drop the constraint instead".format(value)
+            )
+        return Fraction(value)
+    raise AnalyzeError(
+        "expected an exact number, got {!r} ({})".format(value, type(value).__name__)
+    )
+
+
+@dataclass(frozen=True)
+class LinExpr:
+    """An affine expression ``Σ coeffs[v]·v + constant``."""
+
+    coeffs: Tuple[Tuple[str, Fraction], ...]
+    constant: Fraction
+
+    @classmethod
+    def build(cls, coeffs: Mapping[str, Numberish], constant: Numberish = 0) -> "LinExpr":
+        cleaned: Dict[str, Fraction] = {}
+        for name, coeff in coeffs.items():
+            exact = _frac(coeff)
+            if exact != 0:
+                cleaned[name] = exact
+        return cls(tuple(sorted(cleaned.items())), _frac(constant))
+
+    def as_dict(self) -> Dict[str, Fraction]:
+        return dict(self.coeffs)
+
+    @property
+    def is_constant(self) -> bool:
+        return not self.coeffs
+
+    def __add__(self, other: Union["LinExpr", Numberish]) -> "LinExpr":
+        if not isinstance(other, LinExpr):
+            other = const(other)
+        merged = self.as_dict()
+        for name, coeff in other.coeffs:
+            merged[name] = merged.get(name, Fraction(0)) + coeff
+        return LinExpr.build(merged, self.constant + other.constant)
+
+    def __radd__(self, other: Numberish) -> "LinExpr":
+        return self.__add__(other)
+
+    def __neg__(self) -> "LinExpr":
+        return LinExpr.build({n: -c for n, c in self.coeffs}, -self.constant)
+
+    def __sub__(self, other: Union["LinExpr", Numberish]) -> "LinExpr":
+        if not isinstance(other, LinExpr):
+            other = const(other)
+        return self + (-other)
+
+    def __rsub__(self, other: Numberish) -> "LinExpr":
+        return const(other) + (-self)
+
+    def __mul__(self, factor: Numberish) -> "LinExpr":
+        exact = _frac(factor)
+        return LinExpr.build(
+            {n: c * exact for n, c in self.coeffs}, self.constant * exact
+        )
+
+    def __rmul__(self, factor: Numberish) -> "LinExpr":
+        return self.__mul__(factor)
+
+    def evaluate(self, assignment: Mapping[str, Numberish]) -> Fraction:
+        total = self.constant
+        for name, coeff in self.coeffs:
+            if name not in assignment:
+                raise AnalyzeError("assignment is missing variable {!r}".format(name))
+            total += coeff * _frac(assignment[name])
+        return total
+
+    def variables(self) -> Tuple[str, ...]:
+        return tuple(name for name, _ in self.coeffs)
+
+    def __repr__(self) -> str:
+        parts = []
+        for name, coeff in self.coeffs:
+            if coeff == 1:
+                parts.append(name)
+            elif coeff == -1:
+                parts.append("-" + name)
+            else:
+                parts.append("{}*{}".format(coeff, name))
+        if self.constant != 0 or not parts:
+            parts.append(str(self.constant))
+        return " + ".join(parts)
+
+
+def var(name: str) -> LinExpr:
+    """The expression consisting of a single variable."""
+    return LinExpr.build({name: 1})
+
+
+def const(value: Numberish) -> LinExpr:
+    """A constant expression."""
+    return LinExpr.build({}, value)
+
+
+def _coerce(value: Union[LinExpr, Numberish]) -> LinExpr:
+    return value if isinstance(value, LinExpr) else const(value)
+
+
+@dataclass(frozen=True)
+class Constraint:
+    """``expr REL 0`` with ``REL`` one of ``<=``, ``<``, ``==``."""
+
+    expr: LinExpr
+    rel: str
+
+    def __post_init__(self) -> None:
+        if self.rel not in (LE, LT, EQ):
+            raise AnalyzeError("unknown relation {!r}".format(self.rel))
+
+    def satisfied_by(self, assignment: Mapping[str, Numberish]) -> bool:
+        value = self.expr.evaluate(assignment)
+        if self.rel == LE:
+            return value <= 0
+        if self.rel == LT:
+            return value < 0
+        return value == 0
+
+    def variables(self) -> Tuple[str, ...]:
+        return self.expr.variables()
+
+    def __repr__(self) -> str:
+        return "{!r} {} 0".format(self.expr, self.rel)
+
+
+def le(a: Union[LinExpr, Numberish], b: Union[LinExpr, Numberish]) -> Constraint:
+    """``a ≤ b``."""
+    return Constraint(_coerce(a) - _coerce(b), LE)
+
+
+def lt(a: Union[LinExpr, Numberish], b: Union[LinExpr, Numberish]) -> Constraint:
+    """``a < b``."""
+    return Constraint(_coerce(a) - _coerce(b), LT)
+
+
+def ge(a: Union[LinExpr, Numberish], b: Union[LinExpr, Numberish]) -> Constraint:
+    """``a ≥ b``."""
+    return le(b, a)
+
+
+def gt(a: Union[LinExpr, Numberish], b: Union[LinExpr, Numberish]) -> Constraint:
+    """``a > b``."""
+    return lt(b, a)
+
+
+def eq(a: Union[LinExpr, Numberish], b: Union[LinExpr, Numberish]) -> Constraint:
+    """``a = b``."""
+    return Constraint(_coerce(a) - _coerce(b), EQ)
+
+
+def negate(constraint: Constraint) -> Tuple[Constraint, ...]:
+    """The negation of a constraint, as a *disjunction* of constraints.
+
+    ``¬(e ≤ 0)`` is ``e > 0`` (one disjunct); ``¬(e < 0)`` is ``e ≥ 0``;
+    ``¬(e = 0)`` is ``e < 0 ∨ e > 0`` (two disjuncts).
+    """
+    if constraint.rel == LE:
+        return (Constraint(-constraint.expr, LT),)
+    if constraint.rel == LT:
+        return (Constraint(-constraint.expr, LE),)
+    return (
+        Constraint(constraint.expr, LT),
+        Constraint(-constraint.expr, LT),
+    )

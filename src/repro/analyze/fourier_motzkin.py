@@ -1,0 +1,279 @@
+"""A small Fourier–Motzkin elimination engine over exact rationals.
+
+Decides feasibility of conjunctions of linear constraints
+(:class:`~repro.analyze.constraints.Constraint`) and, when feasible,
+produces a concrete witness assignment by back-substitution.  This is
+the decision procedure behind symbolic obligation discharge: a mapping
+obligation ``H ⇒ g`` holds exactly when ``H ∧ ¬g`` is infeasible, and a
+*feasible* negation of a self-contained attack encoding (the Fischer
+race) yields a concrete counterexample schedule.
+
+Everything is :class:`~fractions.Fraction` arithmetic — no floats, no
+external solvers, no state enumeration.  Worst-case Fourier–Motzkin is
+doubly exponential, so a row budget guards against pathological inputs
+(:class:`~repro.errors.AnalyzeError` — surfaced as an ``UNKNOWN``
+verdict, never a wrong one).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import AnalyzeError
+from repro.obs import instrument as _telemetry
+from repro.analyze.constraints import Constraint, EQ, LE, LT, negate
+
+__all__ = ["FMResult", "EntailmentResult", "decide", "entails", "DEFAULT_MAX_ROWS"]
+
+#: Row budget: systems produced by the obligation compilers are tiny
+#: (tens of rows); anything past this is a misuse, not a proof.
+DEFAULT_MAX_ROWS = 20_000
+
+
+class _Row:
+    """``Σ coeffs·x + const ≤ 0`` (``< 0`` when strict)."""
+
+    __slots__ = ("coeffs", "const", "strict")
+
+    def __init__(self, coeffs: Dict[str, Fraction], const: Fraction, strict: bool):
+        self.coeffs = coeffs
+        self.const = const
+        self.strict = strict
+
+
+@dataclass
+class FMResult:
+    """Outcome of a feasibility decision."""
+
+    feasible: bool
+    witness: Optional[Dict[str, Fraction]] = None
+    #: The constant row that certified infeasibility, rendered.
+    refutation: str = ""
+    eliminated: Tuple[str, ...] = ()
+
+    def __bool__(self) -> bool:
+        return self.feasible
+
+
+@dataclass
+class EntailmentResult:
+    """Outcome of an implication check ``H ⊨ g₁ ∧ … ∧ gₙ``."""
+
+    holds: bool
+    #: The first goal whose negation was satisfiable (when not holds).
+    failing_goal: Optional[Constraint] = None
+    #: A model of ``H ∧ ¬g`` for that goal.
+    counterexample: Optional[Dict[str, Fraction]] = None
+
+
+def _normalise(constraints: Sequence[Constraint]) -> List[_Row]:
+    rows: List[_Row] = []
+    for c in constraints:
+        coeffs = {name: coeff for name, coeff in c.expr.coeffs}
+        const = c.expr.constant
+        if c.rel == LE:
+            rows.append(_Row(dict(coeffs), const, strict=False))
+        elif c.rel == LT:
+            rows.append(_Row(dict(coeffs), const, strict=True))
+        elif c.rel == EQ:
+            rows.append(_Row(dict(coeffs), const, strict=False))
+            rows.append(
+                _Row({n: -v for n, v in coeffs.items()}, -const, strict=False)
+            )
+        else:  # pragma: no cover - Constraint validates rel
+            raise AnalyzeError("unknown relation {!r}".format(c.rel))
+    return rows
+
+
+def _constant_row_infeasible(row: _Row) -> bool:
+    if row.strict:
+        return row.const >= 0
+    return row.const > 0
+
+
+def _render_row(row: _Row) -> str:
+    parts = []
+    for name in sorted(row.coeffs):
+        coeff = row.coeffs[name]
+        parts.append("{}*{}".format(coeff, name))
+    parts.append(str(row.const))
+    return " + ".join(parts) + (" < 0" if row.strict else " <= 0")
+
+
+def _pick_variable(rows: List[_Row], order: Optional[Sequence[str]]) -> Optional[str]:
+    """The next variable to eliminate: the one minimising the number of
+    combination rows (#lower × #upper), names breaking ties so the run
+    is deterministic.  An explicit ``order`` overrides the heuristic."""
+    present: Dict[str, Tuple[int, int]] = {}
+    for row in rows:
+        for name, coeff in row.coeffs.items():
+            lowers, uppers = present.get(name, (0, 0))
+            if coeff < 0:
+                lowers += 1
+            else:
+                uppers += 1
+            present[name] = (lowers, uppers)
+    if not present:
+        return None
+    if order:
+        for name in order:
+            if name in present:
+                return name
+    return min(
+        present,
+        key=lambda name: (present[name][0] * present[name][1], name),
+    )
+
+
+def decide(
+    constraints: Sequence[Constraint],
+    order: Optional[Sequence[str]] = None,
+    max_rows: int = DEFAULT_MAX_ROWS,
+) -> FMResult:
+    """Decide feasibility of the conjunction; return a witness if any.
+
+    ``order`` optionally fixes the elimination order (useful in tests);
+    by default a fewest-combinations heuristic with a name tie-break
+    keeps runs deterministic.
+    """
+    _telemetry.incr("analyze.fm.decisions")
+    rows = _normalise(constraints)
+
+    # Peel off variable-free rows eagerly at every stage.
+    def split(rows: List[_Row]) -> Tuple[List[_Row], Optional[_Row]]:
+        keep: List[_Row] = []
+        for row in rows:
+            if row.coeffs:
+                keep.append(row)
+            elif _constant_row_infeasible(row):
+                return keep, row
+        return keep, None
+
+    rows, bad = split(rows)
+    if bad is not None:
+        return FMResult(feasible=False, refutation=_render_row(bad))
+
+    #: (variable, rows mentioning it at elimination time) — consumed in
+    #: reverse for witness back-substitution.
+    trail: List[Tuple[str, List[_Row]]] = []
+
+    while True:
+        name = _pick_variable(rows, order)
+        if name is None:
+            break
+        _telemetry.incr("analyze.fm.eliminations")
+        with_var = [row for row in rows if name in row.coeffs]
+        without = [row for row in rows if name not in row.coeffs]
+        lowers = [row for row in with_var if row.coeffs[name] < 0]
+        uppers = [row for row in with_var if row.coeffs[name] > 0]
+        combined: List[_Row] = []
+        for low in lowers:
+            for up in uppers:
+                # low: a·x + r ≤ 0 with a < 0  →  x ≥ r / (−a)
+                # up:  b·x + s ≤ 0 with b > 0  →  x ≤ −s / b
+                # Combine scaled so x cancels: b·low − a·up (a<0 so −a>0).
+                a = low.coeffs[name]
+                b = up.coeffs[name]
+                coeffs: Dict[str, Fraction] = {}
+                for n, v in low.coeffs.items():
+                    coeffs[n] = coeffs.get(n, Fraction(0)) + b * v
+                for n, v in up.coeffs.items():
+                    coeffs[n] = coeffs.get(n, Fraction(0)) - a * v
+                coeffs = {n: v for n, v in coeffs.items() if v != 0}
+                coeffs.pop(name, None)
+                combined.append(
+                    _Row(
+                        coeffs,
+                        b * low.const - a * up.const,
+                        strict=low.strict or up.strict,
+                    )
+                )
+        rows = without + combined
+        if len(rows) > max_rows:
+            raise AnalyzeError(
+                "Fourier-Motzkin row budget exceeded ({} rows > {})".format(
+                    len(rows), max_rows
+                )
+            )
+        trail.append((name, with_var))
+        rows, bad = split(rows)
+        if bad is not None:
+            return FMResult(
+                feasible=False,
+                refutation=_render_row(bad),
+                eliminated=tuple(n for n, _ in trail),
+            )
+
+    # Feasible: back-substitute a witness in reverse elimination order.
+    witness: Dict[str, Fraction] = {}
+    for name, with_var in reversed(trail):
+        lb: Optional[Fraction] = None
+        lb_strict = False
+        ub: Optional[Fraction] = None
+        ub_strict = False
+        for row in with_var:
+            coeff = row.coeffs[name]
+            rest = row.const
+            for n, v in row.coeffs.items():
+                if n != name:
+                    rest += v * witness[n]
+            # coeff·x + rest ≤ 0
+            bound = -rest / coeff
+            if coeff < 0:  # lower bound
+                if lb is None or bound > lb or (bound == lb and row.strict):
+                    lb, lb_strict = bound, row.strict
+            else:  # upper bound
+                if ub is None or bound < ub or (bound == ub and row.strict):
+                    ub, ub_strict = bound, row.strict
+        witness[name] = _choose(lb, lb_strict, ub, ub_strict)
+    return FMResult(
+        feasible=True,
+        witness=witness,
+        eliminated=tuple(n for n, _ in trail),
+    )
+
+
+def _choose(
+    lb: Optional[Fraction],
+    lb_strict: bool,
+    ub: Optional[Fraction],
+    ub_strict: bool,
+) -> Fraction:
+    """A value inside the (guaranteed nonempty) interval of bounds."""
+    if lb is None and ub is None:
+        return Fraction(0)
+    if lb is None:
+        assert ub is not None
+        return ub - 1 if ub_strict else ub
+    if ub is None:
+        return lb + 1 if lb_strict else lb
+    if lb == ub:
+        # Both bounds non-strict, else elimination would have refuted.
+        return lb
+    if not lb_strict and Fraction(0) <= lb:
+        # Prefer the crisp endpoint when available: witnesses read
+        # better ("t_set_j = 1") than midpoints.
+        return lb
+    return (lb + ub) / 2
+
+
+def entails(
+    hypotheses: Sequence[Constraint],
+    goals: Sequence[Constraint],
+    order: Optional[Sequence[str]] = None,
+    max_rows: int = DEFAULT_MAX_ROWS,
+) -> EntailmentResult:
+    """Check ``H ⊨ g`` for every goal ``g``: each holds exactly when
+    ``H ∧ ¬g`` is infeasible.  EQ goals split into both inequalities;
+    the first failing goal is reported with a model of its negation."""
+    hyp_list = list(hypotheses)
+    for goal in goals:
+        for disjunct in negate(goal):
+            result = decide(hyp_list + [disjunct], order=order, max_rows=max_rows)
+            if result.feasible:
+                return EntailmentResult(
+                    holds=False, failing_goal=goal, counterexample=result.witness
+                )
+    return EntailmentResult(holds=True)

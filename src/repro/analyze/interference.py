@@ -1,0 +1,258 @@
+"""Timing-interference lint rules (R015–R019): a race detector for
+deadlines.
+
+These rules inspect boundmaps, requirement conditions and derived
+bounds *statically* — start states and single transitions at most,
+never an exploration.  They register under the ``interference`` lint
+target and are run by the :mod:`repro.analyze` driver (the plain lint
+driver does not know this target, so ``repro lint`` output is
+unchanged).
+
+========  ==========================================================
+R015      timing-overlap race: co-enabled classes with overlapping
+          bound interiors — event order is timing-dependent
+R016      vacuous window: a class whose earliest fire lands after a
+          co-enabled class has already been forced to disable it
+R017      unreachable deadline: a start-triggered requirement whose
+          deadline expires before its only discharging class can fire
+R018      zero-margin race: one class's latest fire coincides exactly
+          with another's earliest — safe only on a knife edge
+R019      derived-bound mismatch: a declared bound disagrees with the
+          closed-form Theorem 6.4 derivation
+========  ==========================================================
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Hashable, Iterator, List, Sequence, Tuple
+
+from repro.lint.diagnostics import Severity
+from repro.lint.registry import rule
+
+__all__ = ["InterferenceContext"]
+
+
+@dataclass
+class InterferenceContext:
+    """What the interference rules see: one system's ``(A, b)``, its
+    requirement conditions and its statically-derived bounds."""
+
+    name: str
+    timed: object  # TimedAutomaton
+    requirements: Tuple[object, ...] = ()  # TimingCondition
+    bounds: Tuple[object, ...] = ()  # DerivedBound
+    location: str = "?"
+    _active_rule: str = "R000"
+
+    def __post_init__(self) -> None:
+        if self.location == "?":
+            self.location = "{}/interference".format(self.name)
+
+    def diagnostic(self, severity, message, hint="", location=None):
+        from repro.lint.diagnostics import Diagnostic
+
+        return Diagnostic(
+            rule=self._active_rule,
+            severity=severity,
+            location=location or self.location,
+            message=message,
+            hint=hint,
+        )
+
+    # ------------------------------------------------------------------
+    # Static views (start states and one-step effects only)
+    # ------------------------------------------------------------------
+
+    def start_coenabled_pairs(self) -> Iterator[Tuple[Hashable, object, object]]:
+        """``(start_state, C, D)`` for each unordered class pair
+        co-enabled in a start state (first witnessing start state
+        only, partition order)."""
+        automaton = self.timed.automaton
+        seen = set()
+        for state in automaton.start_states():
+            enabled = [
+                cls
+                for cls in automaton.partition.classes
+                if automaton.class_enabled(state, cls)
+            ]
+            for i, first in enumerate(enabled):
+                for second in enabled[i + 1 :]:
+                    key = (first.name, second.name)
+                    if key not in seen:
+                        seen.add(key)
+                        yield state, first, second
+
+    def one_step_disables(self, state: Hashable, actor, victim) -> bool:
+        """True when some single step of class ``actor`` from ``state``
+        lands in a state where class ``victim`` is disabled."""
+        automaton = self.timed.automaton
+        for action in actor.actions:
+            if not automaton.is_enabled(state, action):
+                continue
+            for post in automaton.transitions(state, action):
+                if not automaton.class_enabled(post, victim):
+                    return True
+        return False
+
+
+def _finite(value) -> bool:
+    return not (isinstance(value, float) and math.isinf(value))
+
+
+@rule(
+    "R015",
+    targets="interference",
+    title="timing-overlap race between co-enabled classes",
+    paper="Section 2.2",
+)
+def timing_overlap_race(ctx):
+    """Two classes enabled together whose bound interiors overlap can
+    fire in either order depending on where in their windows they land:
+    any ordering argument about their events is timing-dependent, not
+    structural.  Informational — this is often the intended
+    nondeterminism (competing processes), but proofs that assume a
+    fixed order should be flagged for a second look."""
+    for state, first, second in ctx.start_coenabled_pairs():
+        a = ctx.timed.class_interval(first)
+        b = ctx.timed.class_interval(second)
+        if max(a.lo, b.lo) < min(a.hi, b.hi):
+            yield ctx.diagnostic(
+                Severity.INFO,
+                "classes {!r} and {!r} are co-enabled at start with "
+                "overlapping bounds {!r} and {!r}: their event order is "
+                "timing-dependent".format(first.name, second.name, a, b),
+                hint="any ordering assumption needs a timing proof, not "
+                "just the transition relation",
+            )
+
+
+@rule(
+    "R016",
+    targets="interference",
+    title="window that can never fire before its disabler",
+    paper="Section 2.3",
+)
+def vacuous_window(ctx):
+    """If class D can disable class C in one step from a start state,
+    and C's earliest fire ``b_l(C)`` comes after D's forced deadline
+    ``b_u(D)``, then C's window is vacuous from that configuration: D
+    always preempts it."""
+    for state, first, second in ctx.start_coenabled_pairs():
+        for actor, victim in ((first, second), (second, first)):
+            a = ctx.timed.class_interval(actor)
+            v = ctx.timed.class_interval(victim)
+            if not _finite(a.hi):
+                continue
+            if v.lo > a.hi and ctx.one_step_disables(state, actor, victim):
+                yield ctx.diagnostic(
+                    Severity.WARNING,
+                    "class {!r} (earliest fire {!r}) can never beat class "
+                    "{!r}, which must fire by {!r} and disables it".format(
+                        victim.name, v.lo, actor.name, a.hi
+                    ),
+                    hint="either loosen {!r} or accept that {!r} is "
+                    "unreachable from this start".format(actor.name, victim.name),
+                )
+
+
+@rule(
+    "R017",
+    targets="interference",
+    title="requirement deadline unreachable by its discharging class",
+    paper="Section 2.3",
+)
+def unreachable_deadline(ctx):
+    """A start-triggered requirement condition whose ``Π`` events all
+    belong to one class C cannot be satisfied when its deadline
+    ``b_u(U)`` expires before C's earliest possible fire ``b_l(C)`` —
+    the specification demands the impossible."""
+    automaton = ctx.timed.automaton
+    actions = tuple(automaton.signature.all_actions)
+    start_states = tuple(automaton.start_states())
+    for cond in ctx.requirements:
+        if not any(cond.starts(state) for state in start_states):
+            continue
+        pi_actions = frozenset(a for a in actions if cond.in_pi(a))
+        if not pi_actions:
+            continue
+        for cls in automaton.partition.classes:
+            if not pi_actions <= frozenset(cls.actions):
+                continue
+            lo = ctx.timed.class_interval(cls).lo
+            deadline = cond.interval.hi
+            if _finite(deadline) and deadline < lo:
+                yield ctx.diagnostic(
+                    Severity.ERROR,
+                    "requirement {!r} must be discharged by {!r} but its "
+                    "deadline {!r} precedes the class's earliest fire "
+                    "{!r}".format(cond.name, cls.name, deadline, lo),
+                    hint="loosen the requirement deadline or tighten the "
+                    "class's lower bound",
+                )
+
+
+@rule(
+    "R018",
+    targets="interference",
+    title="zero timing margin between classes",
+    paper="Section 4.1",
+)
+def zero_margin_race(ctx):
+    """When one class's latest possible fire coincides *exactly* with
+    another's earliest, any ordering between them holds only on a knife
+    edge: an arbitrarily small drift flips it.  This is precisely the
+    fischer-tight configuration (``a = b``); deliberate sequential
+    stages can waive it."""
+    classes = list(ctx.timed.classes())
+    for first in classes:
+        a = ctx.timed.class_interval(first)
+        if not _finite(a.hi):
+            continue
+        for second in classes:
+            if first.name == second.name:
+                continue
+            b = ctx.timed.class_interval(second)
+            if b.lo > 0 and a.hi == b.lo:
+                yield ctx.diagnostic(
+                    Severity.WARNING,
+                    "classes {!r} and {!r} touch: b_u({!r}) = {} = "
+                    "b_l({!r}) — zero timing margin".format(
+                        first.name, second.name, first.name, a.hi, second.name
+                    ),
+                    hint="separate the windows (b_l > b_u) or prove the "
+                    "boundary ordering explicitly",
+                )
+
+
+@rule(
+    "R019",
+    targets="interference",
+    title="declared bound disagrees with closed-form derivation",
+    paper="Theorem 6.4",
+)
+def derived_bound_mismatch(ctx):
+    """The composition pass constant-folds boundmaps into end-to-end
+    bounds; a declared bound *tighter* than the derivable one claims
+    more than the hierarchy proves (error), a looser one merely wastes
+    precision (info)."""
+    for bound in ctx.bounds:
+        if bound.agrees:
+            continue
+        looser = (
+            bound.declared.lo <= bound.derived.lo
+            and bound.declared.hi >= bound.derived.hi
+        )
+        yield ctx.diagnostic(
+            Severity.INFO if looser else Severity.ERROR,
+            "bound {!r}: declared {!r} but derived {!r} ({})".format(
+                bound.label,
+                bound.declared,
+                bound.derived,
+                "declared is looser than provable"
+                if looser
+                else "declared is tighter than provable",
+            ),
+            hint="align the declaration with the Theorem 6.4 fold",
+        )

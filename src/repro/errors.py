@@ -24,6 +24,7 @@ __all__ = [
     "ZoneError",
     "PerturbationError",
     "LintError",
+    "AnalyzeError",
 ]
 
 
@@ -147,3 +148,8 @@ class PerturbationError(ReproError):
 class LintError(ReproError):
     """The lint driver or registry was used incorrectly (unknown rule
     id, unknown target, duplicate registration)."""
+
+
+class AnalyzeError(ReproError):
+    """The static analyzer was used incorrectly or blew a resource cap
+    (e.g. the Fourier–Motzkin row budget)."""

@@ -144,13 +144,22 @@ class LintReport:
             counts[diagnostic.severity.name] += 1
         return counts
 
-    def render(self) -> str:
-        """Human-readable multi-line report (diagnostics, worst first,
-        then a one-line summary)."""
-        ordered = sorted(
-            self._diagnostics, key=lambda d: (-int(d.severity), d.rule, d.location)
+    def sorted_diagnostics(self) -> Tuple[Diagnostic, ...]:
+        """Diagnostics in the canonical deterministic order — by
+        (rule, location, severity, message) — used for both rendering
+        and ``--json`` output so CI diffs and cached verdicts are
+        stable regardless of rule execution order."""
+        return tuple(
+            sorted(
+                self._diagnostics,
+                key=lambda d: (d.rule, d.location, -int(d.severity), d.message),
+            )
         )
-        lines = [d.render() for d in ordered]
+
+    def render(self) -> str:
+        """Human-readable multi-line report (canonical order, then a
+        one-line summary)."""
+        lines = [d.render() for d in self.sorted_diagnostics()]
         counts = self.summary()
         lines.append(
             "{} diagnostic(s): {} error(s), {} warning(s), {} info".format(
@@ -163,7 +172,7 @@ class LintReport:
         return "\n".join(lines)
 
     def to_dicts(self) -> List[Dict[str, str]]:
-        return [d.to_dict() for d in self._diagnostics]
+        return [d.to_dict() for d in self.sorted_diagnostics()]
 
     def to_json(self, **extra) -> str:
         payload = dict(extra)

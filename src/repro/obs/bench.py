@@ -174,6 +174,26 @@ def _explore_base(automaton, max_states: int = 4_000) -> int:
     return len(explore(automaton, max_states=max_states).reachable)
 
 
+def _analyze_leg(name: str) -> Tuple[bool, Dict[str, Any]]:
+    """Run the static analyzer as part of a system's profile.
+
+    Its ``analyze.*`` telemetry counters land in the record via the
+    active recorder; the returned meta summarises the verdicts.  ``ok``
+    is expectation-relative (fischer-tight must be refuted)."""
+    from repro.analyze import analyze_system
+
+    report = analyze_system(name)
+    return (
+        not report.unexpected,
+        {
+            "analyze_proved": report.proved,
+            "analyze_refuted": report.refuted,
+            "analyze_unknown": report.unknown,
+            "analyze_wall": report.wall,
+        },
+    )
+
+
 def _profile_rm(iterations: int) -> Dict[str, Any]:
     from repro.core import check_mapping_on_run
     from repro.sim import Simulator, UniformStrategy
@@ -198,12 +218,15 @@ def _profile_rm(iterations: int) -> Dict[str, Any]:
     first = absolute_event_bounds(system.timed, GRANT)
     gap = event_separation_bounds(system.timed, GRANT, occurrence=2, reset_on=[GRANT])
     states = _explore_base(system.timed.automaton)
-    return {
-        "ok": ok,
+    analyze_ok, analyze_meta = _analyze_leg("rm")
+    meta = {
+        "ok": ok and analyze_ok,
         "first_grant": repr(first),
         "grant_gap": repr(gap),
         "base_states": states,
     }
+    meta.update(analyze_meta)
+    return meta
 
 
 def _profile_relay(iterations: int) -> Dict[str, Any]:
@@ -224,12 +247,15 @@ def _profile_relay(iterations: int) -> Dict[str, Any]:
         system.timed, SIGNAL(system.params.n), occurrence=1, reset_on=[SIGNAL(0)]
     )
     states = _explore_base(system.timed.automaton)
-    return {
-        "ok": ok,
+    analyze_ok, analyze_meta = _analyze_leg("relay")
+    meta = {
+        "ok": ok and analyze_ok,
         "levels": len(chain),
         "end_to_end": repr(bounds),
         "base_states": states,
     }
+    meta.update(analyze_meta)
+    return meta
 
 
 def _profile_chain(iterations: int) -> Dict[str, Any]:
@@ -252,12 +278,15 @@ def _profile_chain(iterations: int) -> Dict[str, Any]:
         system.timed, EVENT(system.m), occurrence=1, reset_on=[EVENT(0)]
     )
     states = _explore_base(system.timed.automaton)
-    return {
-        "ok": ok,
+    analyze_ok, analyze_meta = _analyze_leg("chain")
+    meta = {
+        "ok": ok and analyze_ok,
         "levels": len(chain),
         "end_to_end": repr(bounds),
         "base_states": states,
     }
+    meta.update(analyze_meta)
+    return meta
 
 
 def _profile_fischer(iterations: int) -> Dict[str, Any]:
@@ -282,12 +311,15 @@ def _profile_fischer(iterations: int) -> Dict[str, Any]:
             1 for s in run.states if mutual_exclusion_violated(s.astate)
         )
     states = _explore_base(timed.automaton)
-    return {
-        "ok": search.state is None and violations == 0,
+    analyze_ok, analyze_meta = _analyze_leg("fischer")
+    meta = {
+        "ok": search.state is None and violations == 0 and analyze_ok,
         "verdict": "safe" if search.state is None else "violable",
         "sim_violations": violations,
         "base_states": states,
     }
+    meta.update(analyze_meta)
+    return meta
 
 
 def _profile_fischer_tight(iterations: int) -> Dict[str, Any]:
@@ -301,12 +333,16 @@ def _profile_fischer_tight(iterations: int) -> Dict[str, Any]:
     timed = fischer_system(FischerParams(n=2, a=Fraction(1), b=Fraction(1)))
     search = search_reachable_state(timed, mutual_exclusion_violated, max_nodes=400_000)
     states = _explore_base(timed.automaton)
-    # A reachable violation is the *expected* finding here (a = b).
-    return {
-        "ok": search.state is not None,
+    analyze_ok, analyze_meta = _analyze_leg("fischer-tight")
+    # A reachable violation is the *expected* finding here (a = b),
+    # and the static analyzer must refute the race symbolically too.
+    meta = {
+        "ok": search.state is not None and analyze_ok,
         "verdict": "violable" if search.state is not None else "safe",
         "base_states": states,
     }
+    meta.update(analyze_meta)
+    return meta
 
 
 def _profile_peterson(iterations: int) -> Dict[str, Any]:
@@ -324,12 +360,15 @@ def _profile_peterson(iterations: int) -> Dict[str, Any]:
     operational = peterson_first_entry_chain(params.step_interval).total()
     agree = (bounds.lo, bounds.hi) == (operational.lo, operational.hi)
     states = _explore_base(timed.automaton)
-    return {
-        "ok": search.state is None and agree,
+    analyze_ok, analyze_meta = _analyze_leg("peterson")
+    meta = {
+        "ok": search.state is None and agree and analyze_ok,
         "first_entry": repr(bounds),
         "recurrence_agrees": agree,
         "base_states": states,
     }
+    meta.update(analyze_meta)
+    return meta
 
 
 def _profile_tournament(iterations: int) -> Dict[str, Any]:
@@ -347,11 +386,14 @@ def _profile_tournament(iterations: int) -> Dict[str, Any]:
         timed, tournament_mutex_violated, max_nodes=400_000
     )
     states = _explore_base(timed.automaton)
-    return {
-        "ok": search.state is None,
+    analyze_ok, analyze_meta = _analyze_leg("tournament")
+    meta = {
+        "ok": search.state is None and analyze_ok,
         "verdict": "safe" if search.state is None else "violable",
         "base_states": states,
     }
+    meta.update(analyze_meta)
+    return meta
 
 
 def _profile_par_speedup(iterations: int) -> Dict[str, Any]:
@@ -405,6 +447,57 @@ def _profile_par_speedup(iterations: int) -> Dict[str, Any]:
     }
 
 
+def _profile_static_speedup(iterations: int) -> Dict[str, Any]:
+    """Static obligation discharge vs exploratory mapping check on the
+    two mapping-bearing workhorses (rm, relay).
+
+    Both legs decide the same property — does the Definition 3.2
+    mapping hold?  The static leg discharges it symbolically
+    (Fourier–Motzkin over exact rationals); the exploratory leg sweeps
+    the surface grid/horizon with ``check_mapping_exhaustive``.  The
+    record's ``meta`` carries per-system speedups plus a
+    ``verdicts_match`` bit; ``ok`` gates on agreement and a >= 5x
+    static advantage.
+    """
+    from repro.analyze import Verdict, discharge_system
+    from repro.core.checker import check_mapping_exhaustive
+    from repro.par.surface import mapping_specs
+
+    # rm's exploratory leg runs at the same fine reference grid the
+    # par-speedup profile gates on (its surface grid is a coarse
+    # smoke); relay's surface spec is already representative.
+    overrides = {"rm": (Fraction(1, 4), Fraction(14))}
+    meta: Dict[str, Any] = {}
+    ok = True
+    for name in ("rm", "relay"):
+        best_static = None
+        for _attempt in range(max(1, iterations)):
+            start = time.perf_counter()
+            obligations = discharge_system(name)
+            wall = time.perf_counter() - start
+            best_static = wall if best_static is None else min(best_static, wall)
+        static_ok = all(o.verdict is Verdict.PROVED for o in obligations)
+        start = time.perf_counter()
+        explored_ok = True
+        steps = 0
+        for _label, mapping, grid, horizon in mapping_specs(name):
+            grid, horizon = overrides.get(name, (grid, horizon))
+            outcome = check_mapping_exhaustive(mapping, grid=grid, horizon=horizon)
+            explored_ok = explored_ok and outcome.ok
+            steps += outcome.steps_checked
+        explore_wall = time.perf_counter() - start
+        match = static_ok == explored_ok
+        speedup = explore_wall / best_static if best_static else 0.0
+        meta["{}_static_wall".format(name)] = best_static
+        meta["{}_explore_wall".format(name)] = explore_wall
+        meta["{}_explore_steps".format(name)] = steps
+        meta["{}_speedup".format(name)] = speedup
+        meta["{}_verdicts_match".format(name)] = match
+        ok = ok and static_ok and match and speedup >= 5.0
+    meta["ok"] = ok
+    return meta
+
+
 #: name -> profile callable; ordered like ``repro perturb``'s registry.
 PROFILES: Dict[str, Callable[[int], Dict[str, Any]]] = {
     "rm": _profile_rm,
@@ -421,6 +514,7 @@ PROFILES: Dict[str, Callable[[int], Dict[str, Any]]] = {
 #: they never enter the BENCH trajectory unless explicitly requested.
 EXTRA_PROFILES: Dict[str, Callable[[int], Dict[str, Any]]] = {
     "par-speedup": _profile_par_speedup,
+    "static-speedup": _profile_static_speedup,
 }
 
 

@@ -19,6 +19,9 @@ __all__ = [
     "surface_names",
     "explore_automaton",
     "mapping_specs",
+    "build_system",
+    "build_timed",
+    "exhaustive_spec",
 ]
 
 
@@ -55,34 +58,68 @@ def _automaton_chain():
     return _chain_system().timed.automaton
 
 
-def _automaton_fischer():
-    from repro.systems.extensions import FischerParams, fischer_system
+def _fischer_params():
+    from repro.systems.extensions import FischerParams
 
-    return fischer_system(
-        FischerParams(n=2, a=Fraction(1), b=Fraction(2))
-    ).automaton
+    return FischerParams(n=2, a=Fraction(1), b=Fraction(2))
+
+
+def _fischer_tight_params():
+    from repro.systems.extensions import FischerParams
+
+    return FischerParams(n=2, a=Fraction(1), b=Fraction(1))
+
+
+def _peterson_params():
+    from repro.systems.extensions import PetersonParams
+
+    return PetersonParams(s1=Fraction(1), s2=Fraction(2))
+
+
+def _tournament_params():
+    from repro.systems.extensions import TournamentParams
+
+    return TournamentParams(n=2, s1=Fraction(1), s2=Fraction(2))
+
+
+def _timed_fischer():
+    from repro.systems.extensions import fischer_system
+
+    return fischer_system(_fischer_params())
+
+
+def _timed_fischer_tight():
+    from repro.systems.extensions import fischer_system
+
+    return fischer_system(_fischer_tight_params())
+
+
+def _timed_peterson():
+    from repro.systems.extensions import peterson_system
+
+    return peterson_system(_peterson_params())
+
+
+def _timed_tournament():
+    from repro.systems.extensions import tournament_system
+
+    return tournament_system(_tournament_params())
+
+
+def _automaton_fischer():
+    return _timed_fischer().automaton
 
 
 def _automaton_fischer_tight():
-    from repro.systems.extensions import FischerParams, fischer_system
-
-    return fischer_system(
-        FischerParams(n=2, a=Fraction(1), b=Fraction(1))
-    ).automaton
+    return _timed_fischer_tight().automaton
 
 
 def _automaton_peterson():
-    from repro.systems.extensions import PetersonParams, peterson_system
-
-    return peterson_system(PetersonParams(s1=Fraction(1), s2=Fraction(2))).automaton
+    return _timed_peterson().automaton
 
 
 def _automaton_tournament():
-    from repro.systems.extensions import TournamentParams, tournament_system
-
-    return tournament_system(
-        TournamentParams(n=2, s1=Fraction(1), s2=Fraction(2))
-    ).automaton
+    return _timed_tournament().automaton
 
 
 def _mappings_rm() -> List[Tuple[str, Any]]:
@@ -113,6 +150,8 @@ def _mappings_chain() -> List[Tuple[str, Any]]:
 _SURFACE: Dict[str, Dict[str, Any]] = {
     "rm": {
         "automaton": _automaton_rm,
+        "system": _rm_system,
+        "timed": lambda: _rm_system().timed,
         "mappings": _mappings_rm,
         "max_states": 4_000,
         "grid": Fraction(1, 2),
@@ -120,6 +159,8 @@ _SURFACE: Dict[str, Dict[str, Any]] = {
     },
     "relay": {
         "automaton": _automaton_relay,
+        "system": _relay_system,
+        "timed": lambda: _relay_system().timed,
         "mappings": _mappings_relay,
         "max_states": 4_000,
         "grid": Fraction(1, 2),
@@ -127,6 +168,8 @@ _SURFACE: Dict[str, Dict[str, Any]] = {
     },
     "chain": {
         "automaton": _automaton_chain,
+        "system": _chain_system,
+        "timed": lambda: _chain_system().timed,
         "mappings": _mappings_chain,
         "max_states": 4_000,
         "grid": Fraction(1, 2),
@@ -134,6 +177,8 @@ _SURFACE: Dict[str, Dict[str, Any]] = {
     },
     "fischer": {
         "automaton": _automaton_fischer,
+        "system": _fischer_params,
+        "timed": _timed_fischer,
         "mappings": None,
         "max_states": 4_000,
         "grid": None,
@@ -141,6 +186,8 @@ _SURFACE: Dict[str, Dict[str, Any]] = {
     },
     "fischer-tight": {
         "automaton": _automaton_fischer_tight,
+        "system": _fischer_tight_params,
+        "timed": _timed_fischer_tight,
         "mappings": None,
         "max_states": 4_000,
         "grid": None,
@@ -148,6 +195,8 @@ _SURFACE: Dict[str, Dict[str, Any]] = {
     },
     "peterson": {
         "automaton": _automaton_peterson,
+        "system": _peterson_params,
+        "timed": _timed_peterson,
         "mappings": None,
         "max_states": 4_000,
         "grid": None,
@@ -155,6 +204,8 @@ _SURFACE: Dict[str, Dict[str, Any]] = {
     },
     "tournament": {
         "automaton": _automaton_tournament,
+        "system": _tournament_params,
+        "timed": _timed_tournament,
         "mappings": None,
         "max_states": 4_000,
         "grid": None,
@@ -195,3 +246,25 @@ def mapping_specs(name: str) -> List[Tuple[str, Any, Fraction, Fraction]]:
         (label, mapping, entry["grid"], entry["horizon"])
         for label, mapping in entry["mappings"]()
     ]
+
+
+def build_system(name: str) -> Any:
+    """The system's canonical bundle: the full system object for the
+    mapping-bearing systems (rm/relay/chain), the parameter record for
+    the zone-only ones.  This is what the static analyzer compiles
+    obligations from, so its params are — by construction — the same
+    ones the exploratory surface checks."""
+    return _entry(name)["system"]()
+
+
+def build_timed(name: str) -> Any:
+    """The system's canonical ``(A, b)`` timed automaton — the object
+    the timing-interference lint rules inspect."""
+    return _entry(name)["timed"]()
+
+
+def exhaustive_spec(name: str) -> Tuple[Fraction, Fraction]:
+    """The canonical (grid, horizon) used for exhaustive mapping checks
+    (None for zone-only systems)."""
+    entry = _entry(name)
+    return entry["grid"], entry["horizon"]

@@ -37,7 +37,7 @@ __all__ = [
 ]
 
 #: Job kinds in campaign-scheduling order (cheap static checks first).
-JOB_KINDS = ("lint", "check", "perturb", "bench")
+JOB_KINDS = ("lint", "analyze", "check", "perturb", "bench")
 
 #: Version stamp on worker result payloads; a payload without it (or
 #: with a future one) is classified ``malformed`` by the supervisor.
@@ -47,6 +47,7 @@ RESULT_SCHEMA_VERSION = 1
 #: deliberately ships a broken Fischer variant to prove the checkers
 #: catch it) — the supervisor inverts success for these jobs.
 _EXPECTED_FAILURES = {
+    ("analyze", "fischer-tight"),
     ("check", "fischer-tight"),
     ("perturb", "fischer-tight"),
 }
@@ -130,6 +131,7 @@ def default_jobs(
     intersection of the request with its own registry, and a request
     matching *no* kind at all raises.
     """
+    from repro.analyze import analyze_names
     from repro.faults.targets import perturb_names
     from repro.lint.targets import system_names as lint_names
     from repro.obs.bench import bench_names
@@ -140,6 +142,7 @@ def default_jobs(
         raise ReproError("no job kinds selected")
     registry = {
         "lint": list(lint_names()),
+        "analyze": list(analyze_names()),
         "check": list(perturb_names()),
         "perturb": list(perturb_names()),
         "bench": list(bench_names()),
@@ -169,7 +172,7 @@ def default_jobs(
                 params["epsilon"] = str(epsilon if kind == "perturb" else Fraction(0))
             elif kind == "bench":
                 params = {"iterations": iterations}
-            else:  # lint: the driver's own bounded-exploration cap applies
+            else:  # lint/analyze: purely static, no budget to thread
                 params = {"strict": False}
             jobs.append(
                 Job(
@@ -220,6 +223,14 @@ def _run_lint(job: Job) -> Tuple[bool, bool, bool, str]:
     return (not report.fails(strict=strict), True, False, detail)
 
 
+def _run_analyze(job: Job) -> Tuple[bool, bool, bool, str]:
+    from repro.analyze import analyze_system
+
+    report = analyze_system(job.system)
+    strict = bool(job.params.get("strict", False))
+    return (not report.fails(strict=strict), True, False, report.summary_line())
+
+
 def _run_battery(job: Job) -> Tuple[bool, bool, bool, str]:
     from repro.faults.targets import build_perturb_target
 
@@ -247,6 +258,7 @@ def _run_bench(job: Job) -> Tuple[bool, bool, bool, str]:
 
 _EXECUTORS = {
     "lint": _run_lint,
+    "analyze": _run_analyze,
     "check": _run_battery,
     "perturb": _run_battery,
     "bench": _run_bench,
@@ -279,6 +291,12 @@ def _job_cache(job: Job):
         for key, value in job.params.items()
         if key not in _UNCACHED_PARAMS
     }
+    if job.kind in ("lint", "analyze"):
+        # Rule-backed verdicts go stale when the rule set grows; fold
+        # its version into the key so new rules force a recompute.
+        from repro.lint.registry import ruleset_version
+
+        parts["ruleset"] = ruleset_version()
     return cache, parts
 
 

@@ -1,0 +1,101 @@
+"""Exact-rational linear expressions and constraints."""
+
+from fractions import Fraction as F
+
+import pytest
+
+from repro.analyze.constraints import (
+    Constraint,
+    LinExpr,
+    const,
+    eq,
+    ge,
+    gt,
+    le,
+    lt,
+    negate,
+    var,
+)
+from repro.errors import AnalyzeError
+
+
+class TestLinExpr:
+    def test_algebra_is_exact(self):
+        x, y = var("x"), var("y")
+        expr = 2 * x - y + F(1, 3) - x
+        assert expr.evaluate({"x": F(5), "y": F(2)}) == F(5) - F(2) + F(1, 3)
+
+    def test_zero_coefficients_dropped(self):
+        x = var("x")
+        expr = x - x + const(7)
+        assert expr.variables() == ()
+        assert expr.evaluate({}) == 7
+
+    def test_variables(self):
+        x, y = var("x"), var("y")
+        assert set((x + 2 * y - 3).variables()) == {"x", "y"}
+
+    def test_finite_float_converts_exactly(self):
+        expr = var("x") * 0.5
+        assert expr.evaluate({"x": F(4)}) == F(2)
+
+    def test_non_finite_float_rejected(self):
+        with pytest.raises(AnalyzeError):
+            var("x") * float("inf")
+        with pytest.raises(AnalyzeError):
+            var("x") + float("nan")
+
+    def test_subtraction_both_ways(self):
+        x = var("x")
+        assert (3 - x).evaluate({"x": F(1)}) == 2
+        assert (x - 3).evaluate({"x": F(1)}) == -2
+
+
+class TestBuilders:
+    def test_le_means_nonpositive_slack(self):
+        c = le(var("x"), 5)
+        assert isinstance(c, Constraint)
+        # x <= 5 holds at x = 5, fails at x = 6.
+        assert c.expr.evaluate({"x": F(5)}) <= 0
+        assert c.expr.evaluate({"x": F(6)}) > 0
+
+    def test_ge_flips(self):
+        c = ge(var("x"), 5)
+        assert c.expr.evaluate({"x": F(6)}) <= 0
+        assert c.expr.evaluate({"x": F(4)}) > 0
+
+    def test_strict_relations(self):
+        assert lt(var("x"), 1).rel == "<"
+        assert gt(var("x"), 1).rel == "<"
+        assert le(var("x"), 1).rel == "<="
+        assert eq(var("x"), 1).rel == "=="
+
+
+class TestNegate:
+    def test_negate_le_is_strict(self):
+        (neg,) = negate(le(var("x"), 5))
+        # not (x <= 5)  <=>  x > 5: holds strictly at 6, not at 5.
+        assert neg.rel == "<"
+        assert neg.expr.evaluate({"x": F(6)}) < 0
+        assert neg.expr.evaluate({"x": F(5)}) == 0
+
+    def test_negate_lt_is_nonstrict(self):
+        (neg,) = negate(lt(var("x"), 5))
+        assert neg.rel == "<="
+        assert neg.expr.evaluate({"x": F(5)}) <= 0
+
+    def test_negate_eq_is_disjunction(self):
+        parts = negate(eq(var("x"), 5))
+        assert len(parts) == 2
+        assert all(p.rel == "<" for p in parts)
+        # x = 4 satisfies one disjunct, x = 6 the other, x = 5 neither.
+        holds = lambda p, v: p.expr.evaluate({"x": F(v)}) < 0
+        assert any(holds(p, 4) for p in parts)
+        assert any(holds(p, 6) for p in parts)
+        assert not any(holds(p, 5) for p in parts)
+
+
+class TestHashability:
+    def test_expressions_are_frozen_and_hashable(self):
+        assert hash(var("x") + 1) == hash(var("x") + 1)
+        assert le(var("x"), 1) == le(var("x"), 1)

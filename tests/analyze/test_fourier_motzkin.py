@@ -1,0 +1,178 @@
+"""The Fourier–Motzkin decision engine: exactness, witnesses, caps."""
+
+import random
+from fractions import Fraction as F
+
+import pytest
+
+from repro.analyze.constraints import const, eq, ge, gt, le, lt, var
+from repro.analyze.fourier_motzkin import decide, entails
+from repro.errors import AnalyzeError
+
+
+def _satisfies(constraint, witness):
+    value = constraint.expr.evaluate(witness)
+    return value < 0 if constraint.rel == "<" else value <= 0
+
+
+def _witness_ok(result, constraints):
+    assert result.witness is not None
+    return all(_satisfies(c, result.witness) for c in constraints)
+
+
+class TestDecide:
+    def test_empty_system_is_feasible(self):
+        assert decide([]).feasible
+
+    def test_simple_box(self):
+        cs = [ge(var("x"), 0), le(var("x"), 1)]
+        result = decide(cs)
+        assert result.feasible and _witness_ok(result, cs)
+
+    def test_empty_interval_is_infeasible(self):
+        result = decide([ge(var("x"), 2), le(var("x"), 1)])
+        assert not result.feasible
+        assert result.witness is None
+
+    def test_degenerate_point(self):
+        cs = [ge(var("x"), 3), le(var("x"), 3)]
+        result = decide(cs)
+        assert result.feasible
+        assert result.witness["x"] == 3
+
+    def test_strict_boundary_infeasible(self):
+        # x < 3 and x > 3 leave nothing; x <= 3 and x >= 3 leave a point.
+        assert not decide([lt(var("x"), 3), gt(var("x"), 3)]).feasible
+        assert not decide([lt(var("x"), 3), ge(var("x"), 3)]).feasible
+        assert decide([le(var("x"), 3), ge(var("x"), 3)]).feasible
+
+    def test_strict_open_interval_witness(self):
+        cs = [gt(var("x"), 0), lt(var("x"), 1)]
+        result = decide(cs)
+        assert result.feasible and _witness_ok(result, cs)
+
+    def test_unbounded_system(self):
+        cs = [ge(var("x"), 5)]
+        result = decide(cs)
+        assert result.feasible and _witness_ok(result, cs)
+
+    def test_equality_expands(self):
+        cs = [eq(var("x") + var("y"), 4), ge(var("x"), 3), ge(var("y"), 2)]
+        assert not decide(cs).feasible
+        cs = [eq(var("x") + var("y"), 4), ge(var("x"), 3), ge(var("y"), 1)]
+        result = decide(cs)
+        assert result.feasible and _witness_ok(result, cs)
+
+    def test_two_var_chain(self):
+        cs = [
+            ge(var("x"), 0),
+            ge(var("y"), var("x") + 2),
+            le(var("y"), 5),
+            ge(var("z"), var("y") - var("x")),
+            le(var("z"), 1),
+        ]
+        # z >= y - x >= 2 contradicts z <= 1.
+        assert not decide(cs).feasible
+
+    def test_constant_contradiction(self):
+        assert not decide([le(const(1), 0)]).feasible
+        assert decide([le(const(0), 0)]).feasible
+        assert not decide([lt(const(0), 0)]).feasible
+
+    def test_exact_fractions_no_drift(self):
+        # 1/3 + 1/3 + 1/3 = 1 exactly; floats would wobble.
+        x = var("x")
+        cs = [eq(3 * x, 1), ge(x, F(1, 3)), le(x, F(1, 3))]
+        result = decide(cs)
+        assert result.feasible
+        assert result.witness["x"] == F(1, 3)
+
+    def test_row_cap_raises(self):
+        # A dense system over many variables explodes combinatorially;
+        # the cap must surface as AnalyzeError, not an OOM.
+        n = 12
+        xs = [var("x{}".format(i)) for i in range(n)]
+        cs = []
+        for i in range(n):
+            for j in range(i + 1, n):
+                cs.append(le(xs[i] + xs[j], i + j))
+                cs.append(ge(xs[i] - xs[j], -(i + j)))
+        with pytest.raises(AnalyzeError):
+            decide(cs, max_rows=50)
+
+
+class TestRandomizedAgainstWitnesses:
+    """Property-style validation: every feasible verdict must carry a
+    witness satisfying *all* constraints exactly; every infeasible
+    verdict must kill all integer points of a covering box oracle."""
+
+    def _random_system(self, rng, n_vars, n_cons):
+        names = ["v{}".format(i) for i in range(n_vars)]
+        cs = []
+        for name in names:  # box 0..4 keeps the oracle finite
+            cs.append(ge(var(name), 0))
+            cs.append(le(var(name), 4))
+        for _ in range(n_cons):
+            expr = const(rng.randint(-4, 4))
+            for name in names:
+                expr = expr + rng.randint(-2, 2) * var(name)
+            cs.append(le(expr, 0) if rng.random() < 0.8 else lt(expr, 0))
+        return names, cs
+
+    def _integer_points(self, names):
+        def rec(prefix, remaining):
+            if not remaining:
+                yield dict(prefix)
+                return
+            for v in range(5):
+                prefix[remaining[0]] = F(v)
+                for point in rec(prefix, remaining[1:]):
+                    yield point
+            del prefix[remaining[0]]
+
+        return rec({}, list(names))
+
+    @pytest.mark.parametrize("seed", range(30))
+    def test_verdicts_are_sound(self, seed):
+        rng = random.Random(seed)
+        names, cs = self._random_system(rng, rng.randint(1, 3), rng.randint(1, 4))
+        result = decide(cs)
+        if result.feasible:
+            assert _witness_ok(result, cs)
+        else:
+            # Infeasible over the reals => no integer point satisfies.
+            for point in self._integer_points(names):
+                assert not all(_satisfies(c, point) for c in cs)
+
+
+class TestEntails:
+    def test_trivial_entailment(self):
+        hyp = [le(var("x"), 3)]
+        assert entails(hyp, [le(var("x"), 5)]).holds
+
+    def test_non_entailment_has_counterexample(self):
+        hyp = [le(var("x"), 5)]
+        result = entails(hyp, [le(var("x"), 3)])
+        assert not result.holds
+        assert result.counterexample is not None
+        x = result.counterexample["x"]
+        assert x <= 5 and x > 3
+
+    def test_entails_transitive_chain(self):
+        hyp = [le(var("a"), var("b")), le(var("b"), var("c"))]
+        assert entails(hyp, [le(var("a"), var("c"))]).holds
+
+    def test_equality_goal(self):
+        hyp = [eq(var("x"), 2), eq(var("y"), var("x") + 1)]
+        assert entails(hyp, [eq(var("y"), 3)]).holds
+        result = entails(hyp, [eq(var("y"), 4)])
+        assert not result.holds
+        assert result.failing_goal is not None
+
+    def test_vacuous_hypotheses_entail_anything(self):
+        hyp = [le(var("x"), 0), ge(var("x"), 1)]
+        assert entails(hyp, [eq(var("q"), 99)]).holds
+
+    def test_strict_goal_needs_strict_gap(self):
+        assert entails([le(var("x"), 2)], [lt(var("x"), 3)]).holds
+        assert not entails([le(var("x"), 2)], [lt(var("x"), 2)]).holds

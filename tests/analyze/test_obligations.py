@@ -1,0 +1,139 @@
+"""Symbolic obligation discharge across the verification surface."""
+
+from fractions import Fraction as F
+
+import pytest
+
+from repro.analyze import (
+    Verdict,
+    discharge_all,
+    discharge_system,
+    obligation_systems,
+)
+
+
+@pytest.fixture(scope="module")
+def all_results():
+    return {name: discharge_system(name) for name in obligation_systems()}
+
+
+class TestInventory:
+    def test_surface_is_covered(self, all_results):
+        assert set(all_results) == set(obligation_systems())
+        for name, results in all_results.items():
+            assert results, "system {!r} produced no obligations".format(name)
+
+    def test_discharge_ratio_meets_bar(self, all_results):
+        results = [o for rs in all_results.values() for o in rs]
+        discharged = [o for o in results if o.verdict is not Verdict.UNKNOWN]
+        assert len(discharged) / len(results) >= 0.8
+
+    def test_discharge_all_matches_per_system(self, all_results):
+        flat = discharge_all()
+        assert {
+            (o.system, o.obligation, o.verdict)
+            for rs in flat.values()
+            for o in rs
+        } == {
+            (o.system, o.obligation, o.verdict)
+            for rs in all_results.values()
+            for o in rs
+        }
+
+
+class TestResourceManager:
+    def test_all_rm_obligations_proved(self, all_results):
+        for o in all_results["rm"]:
+            assert o.verdict is Verdict.PROVED, o
+
+    def test_lemma_41_discharged_symbolically(self, all_results):
+        lemma = [o for o in all_results["rm"] if "lemma-4.1" in o.obligation]
+        assert len(lemma) == 1
+        assert lemma[0].verdict is Verdict.PROVED
+        assert lemma[0].method == "fourier-motzkin"
+        # The proof is by cases on how the TICK prediction got set.
+        assert len(lemma[0].cases) >= 2
+
+
+class TestHierarchies:
+    def test_relay_all_levels_proved(self, all_results):
+        results = all_results["relay"]
+        assert len(results) == 12  # 4 mappings x base/initial/steps
+        assert all(o.verdict is Verdict.PROVED for o in results)
+
+    def test_relay_inner_levels_use_fm(self, all_results):
+        methods = {
+            o.mapping_label: o.method
+            for o in all_results["relay"]
+            if o.obligation.endswith("/steps")
+        }
+        # The projection endpoints are structural; the B_k levels are
+        # genuine timed mappings discharged by the inequality engine.
+        assert methods["relay[1]"] == "fourier-motzkin"
+        assert methods["relay[2]"] == "fourier-motzkin"
+        assert methods["relay[0]"] == "structural"
+        assert methods["relay[3]"] == "structural"
+
+    def test_chain_all_proved(self, all_results):
+        assert all(o.verdict is Verdict.PROVED for o in all_results["chain"])
+
+
+class TestFischer:
+    def test_safe_variant_proved(self, all_results):
+        (only,) = all_results["fischer"]
+        assert only.verdict is Verdict.PROVED
+
+    def test_tight_variant_refuted_with_witness(self, all_results):
+        (only,) = all_results["fischer-tight"]
+        assert only.verdict is Verdict.REFUTED
+        w = only.witness
+        assert w is not None
+        a = b = F(1)  # fischer-tight ships a = b = 1
+        # The witness must be a genuine interleaving that races:
+        # both processes SET then CHECK inside legal windows, with
+        # process j setting after i's set and before i's check.
+        assert F(0) <= w["t_set_i"] <= a
+        assert F(0) <= w["t_set_j"] <= a
+        assert w["t_set_i"] + b <= w["t_check_i"] <= w["t_set_i"] + 2 * b
+        assert w["t_set_j"] + b <= w["t_check_j"] <= w["t_set_j"] + 2 * b
+        # j overwrites the shared variable at-or-after i's successful
+        # check: both processes end up in the critical section.
+        assert w["t_set_j"] >= w["t_check_i"]
+
+    def test_verdicts_flip_exactly_at_a_equals_b(self):
+        # The race encoding is feasible iff a >= b; the shipped params
+        # sit on either side of that line.
+        safe = discharge_system("fischer")
+        tight = discharge_system("fischer-tight")
+        assert safe[0].verdict is Verdict.PROVED
+        assert tight[0].verdict is Verdict.REFUTED
+
+
+class TestClosedFormAndDeferred:
+    def test_peterson_closed_form(self, all_results):
+        (only,) = all_results["peterson"]
+        assert only.verdict is Verdict.PROVED
+        assert only.method == "closed-form"
+
+    def test_tournament_defers_to_exploration(self, all_results):
+        (only,) = all_results["tournament"]
+        assert only.verdict is Verdict.UNKNOWN
+        outcome = only.to_check_outcome()
+        # UNKNOWN maps to "did not refute, budget-style inconclusive",
+        # never to a failure.
+        assert outcome.ok
+        assert outcome.exhausted_budget
+
+
+class TestResultShape:
+    def test_to_dict_is_json_plain(self, all_results):
+        import json
+
+        for rs in all_results.values():
+            for o in rs:
+                json.dumps(o.to_dict())
+
+    def test_refuted_to_check_outcome_fails(self, all_results):
+        (only,) = all_results["fischer-tight"]
+        outcome = only.to_check_outcome()
+        assert not outcome.ok

@@ -9,6 +9,7 @@ from repro.runner.jobs import RESULT_SCHEMA_VERSION
 
 class TestCatalog:
     def test_all_kinds_cover_every_registered_system(self):
+        from repro.analyze import analyze_names
         from repro.faults.targets import perturb_names
         from repro.lint.targets import system_names as lint_names
         from repro.obs.bench import bench_names
@@ -17,6 +18,8 @@ class TestCatalog:
         ids = {job.job_id for job in jobs}
         for name in lint_names():
             assert "lint:" + name in ids
+        for name in analyze_names():
+            assert "analyze:" + name in ids
         for name in perturb_names():
             assert "check:" + name in ids
             assert "perturb:" + name in ids
@@ -27,7 +30,8 @@ class TestCatalog:
     def test_system_filter_intersects_each_registry(self):
         jobs = default_jobs(systems=["chain"])
         assert {job.job_id for job in jobs} == {
-            "lint:chain", "check:chain", "perturb:chain", "bench:chain",
+            "lint:chain", "analyze:chain", "check:chain",
+            "perturb:chain", "bench:chain",
         }
 
     def test_all_keyword_means_everything(self):
@@ -43,6 +47,7 @@ class TestCatalog:
 
     def test_fischer_tight_checks_expect_failure(self):
         jobs = {job.job_id: job for job in default_jobs(systems=["fischer-tight"])}
+        assert jobs["analyze:fischer-tight"].expect_failure
         assert jobs["check:fischer-tight"].expect_failure
         assert jobs["perturb:fischer-tight"].expect_failure
         assert not jobs["bench:fischer-tight"].expect_failure

@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.lint.registry import ruleset_version
 from repro.runner.jobs import Job, _job_cache, execute_job
 
 
@@ -57,7 +58,25 @@ class TestJobCachePolicy:
         )
         cache, parts = _job_cache(job)
         assert cache is not None
-        assert parts == {"strict": False}
+        assert parts == {"strict": False, "ruleset": ruleset_version()}
+
+    def test_rule_backed_kinds_key_on_ruleset_version(self, warm_cache_env):
+        # Growing the rule set must invalidate lint/analyze verdicts;
+        # exploration-backed kinds don't depend on rules at all.
+        for kind in ("lint", "analyze"):
+            _, parts = _job_cache(
+                Job(
+                    job_id="{}:chain".format(kind),
+                    kind=kind,
+                    system="chain",
+                    params={"strict": False},
+                )
+            )
+            assert parts["ruleset"] == ruleset_version()
+        _, parts = _job_cache(
+            Job(job_id="check:chain", kind="check", system="chain", params={})
+        )
+        assert "ruleset" not in parts
 
 
 class TestExecuteJobCaching:
