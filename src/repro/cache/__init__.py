@@ -12,6 +12,8 @@ and ``docs/performance.md`` for the CI wiring.
 from repro.cache.fingerprint import ENGINE_VERSION, source_fingerprint, verdict_key
 from repro.cache.store import (
     DEFAULT_CACHE_DIR,
+    BackendError,
+    DirBackend,
     VerdictCache,
     cache_enabled,
     default_cache,
@@ -22,6 +24,8 @@ __all__ = [
     "source_fingerprint",
     "verdict_key",
     "DEFAULT_CACHE_DIR",
+    "BackendError",
+    "DirBackend",
     "VerdictCache",
     "cache_enabled",
     "default_cache",

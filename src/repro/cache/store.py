@@ -35,7 +35,14 @@ from repro.serialize import (
     cache_entry_to_json,
 )
 
-__all__ = ["DEFAULT_CACHE_DIR", "VerdictCache", "cache_enabled", "default_cache"]
+__all__ = [
+    "DEFAULT_CACHE_DIR",
+    "BackendError",
+    "DirBackend",
+    "VerdictCache",
+    "cache_enabled",
+    "default_cache",
+]
 
 #: Default on-disk root, relative to the working directory (CI persists
 #: exactly this path via ``actions/cache``).
@@ -65,20 +72,77 @@ def default_cache(enabled: Optional[bool] = None) -> Optional["VerdictCache"]:
     return VerdictCache(os.environ.get("REPRO_CACHE_DIR", DEFAULT_CACHE_DIR))
 
 
-class VerdictCache:
-    """One cache root: lookup and store by ``(kind, system, parts)``."""
+class BackendError(Exception):
+    """A storage backend failed in a way that is not a plain miss.
+
+    The :class:`VerdictCache` converts these into ``cache.errors``-
+    counted no-ops — a cache must never fail the check it fronts."""
+
+
+class DirBackend:
+    """The original on-disk layout as a pluggable backend.
+
+    Layout: ``<root>/v1/<first two hex chars>/<full key>.json``; writes
+    are atomic (temp file + ``os.replace``), so concurrent writers can
+    only ever race to write *identical* content.
+    """
+
+    kind = "dir"
 
     def __init__(self, root: str = DEFAULT_CACHE_DIR):
         self.root = root
+
+    def _path(self, key: str) -> str:
+        return os.path.join(self.root, _VERSION_DIR, key[:2], key + ".json")
+
+    def get(self, key: str) -> Optional[str]:
+        """The stored entry text, or ``None`` when absent/unreadable."""
+        try:
+            with open(self._path(key), "r", encoding="utf-8") as fh:
+                return fh.read()
+        except OSError:
+            return None
+
+    def put(self, key: str, text: str) -> None:
+        path = self._path(key)
+        try:
+            os.makedirs(os.path.dirname(path), exist_ok=True)
+            fd, tmp_path = tempfile.mkstemp(
+                dir=os.path.dirname(path), suffix=".tmp"
+            )
+            try:
+                with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                    fh.write(text)
+                os.replace(tmp_path, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp_path)
+                except OSError:
+                    pass
+                raise
+        except OSError as exc:
+            raise BackendError(str(exc))
+
+    def describe(self) -> str:
+        return "dir:{}".format(self.root)
+
+
+class VerdictCache:
+    """One verdict pool: lookup and store by ``(kind, system, parts)``.
+
+    Storage is delegated to a *backend* (``get``/``put`` of entry text
+    by key).  The default backend is the original per-key-file directory
+    store; :mod:`repro.serve.backends` adds a sqlite backend safe for
+    many serving processes sharing one pool.
+    """
+
+    def __init__(self, root: str = DEFAULT_CACHE_DIR, backend=None):
+        self.backend = backend if backend is not None else DirBackend(root)
+        self.root = getattr(self.backend, "root", root)
         self.hits = 0
         self.misses = 0
         self.stores = 0
         self.errors = 0
-
-    # -- addressing ----------------------------------------------------
-
-    def _path(self, key: str) -> str:
-        return os.path.join(self.root, _VERSION_DIR, key[:2], key + ".json")
 
     # -- operations ----------------------------------------------------
 
@@ -88,15 +152,14 @@ class VerdictCache:
         """The cached payload for this work item, or ``None`` (a miss —
         also on any unreadable/torn/mismatched entry)."""
         key = verdict_key(kind, system, parts)
-        path = self._path(key)
         try:
-            with open(path, "r", encoding="utf-8") as fh:
-                payload = cache_entry_from_json(fh.read(), expected_key=key)
-        except (OSError, ValueError):
-            self.misses += 1
-            _telemetry.incr("cache.misses")
-            return None
-        except SerializationError:
+            text = self.backend.get(key)
+            if text is None:
+                self.misses += 1
+                _telemetry.incr("cache.misses")
+                return None
+            payload = cache_entry_from_json(text, expected_key=key)
+        except (BackendError, SerializationError):
             self.errors += 1
             self.misses += 1
             _telemetry.incr("cache.errors")
@@ -117,30 +180,11 @@ class VerdictCache:
         failure (read-only disk, full disk) degrades to a no-op with a
         ``cache.errors`` count — a cache must never fail the check."""
         key = verdict_key(kind, system, parts)
-        path = self._path(key)
         meta = {"kind": kind, "system": system}
         try:
             text = cache_entry_to_json(key, payload, meta)
-        except SerializationError:
-            self.errors += 1
-            _telemetry.incr("cache.errors")
-            return False
-        try:
-            os.makedirs(os.path.dirname(path), exist_ok=True)
-            fd, tmp_path = tempfile.mkstemp(
-                dir=os.path.dirname(path), suffix=".tmp"
-            )
-            try:
-                with os.fdopen(fd, "w", encoding="utf-8") as fh:
-                    fh.write(text)
-                os.replace(tmp_path, path)
-            except BaseException:
-                try:
-                    os.unlink(tmp_path)
-                except OSError:
-                    pass
-                raise
-        except OSError:
+            self.backend.put(key, text)
+        except (BackendError, SerializationError):
             self.errors += 1
             _telemetry.incr("cache.errors")
             return False
@@ -164,4 +208,9 @@ class VerdictCache:
         )
 
     def __repr__(self) -> str:
-        return "<VerdictCache {} {}>".format(self.root, self.stats())
+        return "<VerdictCache {} {}>".format(
+            self.backend.describe()
+            if hasattr(self.backend, "describe")
+            else self.root,
+            self.stats(),
+        )

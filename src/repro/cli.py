@@ -75,6 +75,45 @@ def _fraction(text: str) -> Fraction:
     return Fraction(text)
 
 
+def _positive_int(text: str) -> int:
+    """argparse type: an integer >= 1 (nonsense exits 2)."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError("expected an integer, got {!r}".format(text))
+    if value < 1:
+        raise argparse.ArgumentTypeError(
+            "expected a positive integer, got {}".format(value)
+        )
+    return value
+
+
+def _nonneg_int(text: str) -> int:
+    """argparse type: an integer >= 0 (nonsense exits 2)."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError("expected an integer, got {!r}".format(text))
+    if value < 0:
+        raise argparse.ArgumentTypeError(
+            "expected a nonnegative integer, got {}".format(value)
+        )
+    return value
+
+
+def _positive_fraction(text: str) -> Fraction:
+    """argparse type: a fraction/decimal > 0 (nonsense exits 2)."""
+    try:
+        value = _fraction(text)
+    except (ValueError, ZeroDivisionError):
+        raise argparse.ArgumentTypeError("expected a number, got {!r}".format(text))
+    if value <= 0:
+        raise argparse.ArgumentTypeError(
+            "expected a positive number, got {}".format(value)
+        )
+    return value
+
+
 def _rm_params(args) -> ResourceManagerParams:
     return ResourceManagerParams(k=args.k, c1=args.c1, c2=args.c2, l=args.l)
 
@@ -116,7 +155,7 @@ def _add_engine_arguments(parser) -> None:
              "byte-identical, just faster on multi-core machines)",
     )
     parser.add_argument(
-        "--engine-workers", type=int, default=None, metavar="N",
+        "--engine-workers", type=_positive_int, default=None, metavar="N",
         help="worker processes for --engine parallel (default: cores - 1)",
     )
 
@@ -832,6 +871,27 @@ def cmd_check(args) -> int:
     return 1 if failed else 0
 
 
+def cmd_serve(args) -> int:
+    from repro.serve.app import ServeConfig, serve_main
+
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        queue_depth=args.queue_depth,
+        timeout_s=float(args.timeout),
+        max_retries=args.max_retries,
+        journal_path=args.journal,
+        backend=args.backend,
+        breaker_threshold=args.breaker_threshold,
+        breaker_cooldown_s=float(args.breaker_cooldown),
+        drain_grace_s=float(args.drain_grace),
+        isolation=not args.inline,
+        seed=args.seed,
+    )
+    return serve_main(config)
+
+
 def cmd_trace(args) -> int:
     from repro.obs.tracing import trace_system
     from repro.serialize import events_to_jsonl
@@ -1065,7 +1125,7 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     bench.add_argument(
-        "--iterations", type=int, default=DEFAULT_ITERATIONS,
+        "--iterations", type=_positive_int, default=DEFAULT_ITERATIONS,
         help="seeded simulation iterations per profile",
     )
     bench.add_argument(
@@ -1105,15 +1165,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated job kinds (default: {})".format(",".join(JOB_KINDS)),
     )
     run.add_argument(
-        "--workers", type=int, default=2,
+        "--workers", type=_nonneg_int, default=2,
         help="concurrent isolated worker processes (0 = inline, no isolation)",
     )
     run.add_argument(
-        "--timeout", type=_fraction, default=Fraction(30),
+        "--timeout", type=_positive_fraction, default=Fraction(30),
         help="per-job watchdog seconds before the worker is killed",
     )
     run.add_argument(
-        "--max-retries", type=int, default=2,
+        "--max-retries", type=_nonneg_int, default=2,
         help="retries per job for transient failures (crash/timeout/malformed/budget)",
     )
     run.add_argument(
@@ -1149,6 +1209,64 @@ def build_parser() -> argparse.ArgumentParser:
     _add_engine_arguments(run)
     _add_cache_argument(run)
     run.set_defaults(func=cmd_run)
+
+    serve = sub.add_parser(
+        "serve",
+        help="verification-as-a-service HTTP daemon (journaled, "
+             "deadline-aware, circuit-broken; see docs/serving.md)",
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument(
+        "--port", type=_nonneg_int, default=8421,
+        help="TCP port (0 = ephemeral; the bound port is printed on start)",
+    )
+    serve.add_argument(
+        "--workers", type=_positive_int, default=2,
+        help="worker threads executing jobs",
+    )
+    serve.add_argument(
+        "--queue-depth", type=_positive_int, default=64,
+        help="bounded admission queue depth (overflow answers 429)",
+    )
+    serve.add_argument(
+        "--timeout", type=_positive_fraction, default=Fraction(30),
+        help="per-attempt watchdog seconds before the worker is killed",
+    )
+    serve.add_argument(
+        "--max-retries", type=_nonneg_int, default=1,
+        help="default retries per job for transient failures",
+    )
+    serve.add_argument(
+        "--journal", default="repro-serve-journal.jsonl", metavar="FILE.jsonl",
+        help="durable request journal (replayed on restart after a crash)",
+    )
+    serve.add_argument(
+        "--backend", default="dir:.repro-cache", metavar="SPEC",
+        help="verdict-cache backend: dir:<root> or sqlite:<file.db>",
+    )
+    serve.add_argument(
+        "--breaker-threshold", type=_positive_int, default=3,
+        help="consecutive infrastructure failures before a system's "
+             "circuit breaker opens",
+    )
+    serve.add_argument(
+        "--breaker-cooldown", type=_positive_fraction, default=Fraction(30),
+        help="seconds an open breaker waits before a half-open probe",
+    )
+    serve.add_argument(
+        "--drain-grace", type=_positive_fraction, default=Fraction(30),
+        help="seconds a SIGTERM drain waits for in-flight jobs "
+             "(exit 4 when exceeded; unfinished jobs stay journaled)",
+    )
+    serve.add_argument(
+        "--inline", action="store_true",
+        help="run jobs in worker threads instead of isolated "
+             "subprocesses (faster, but no crash/hang isolation)",
+    )
+    serve.add_argument(
+        "--seed", type=int, default=0, help="retry-backoff jitter seed"
+    )
+    serve.set_defaults(func=cmd_serve)
 
     trace = sub.add_parser(
         "trace", help="replayable JSONL telemetry trace of a checked run"

@@ -498,6 +498,114 @@ def _profile_static_speedup(iterations: int) -> Dict[str, Any]:
     return meta
 
 
+def _profile_serve_throughput(iterations: int) -> Dict[str, Any]:
+    """Request throughput of the serving daemon, cold vs warm.
+
+    Spins an in-process :class:`~repro.serve.app.VerificationService`
+    (inline workers, private journal and verdict pool) and measures two
+    legs over the analyze battery:
+
+    - **cold** — distinct jobs that must actually execute; req/sec is
+      bounded by the engines themselves;
+    - **warm** — the same work resubmitted ``iterations`` times; every
+      request must be answered at submit straight from the verdict
+      cache, so req/sec is bounded by the serving layer alone.
+
+    The record's ``meta``/gauges carry warm and cold req/sec, the warm
+    hit rate, and warm p50/p95 submit latencies; ``ok`` gates on a 100%
+    warm hit rate and sub-100ms warm p95 — the serving-layer overhead
+    budget CI's serve-smoke job also asserts over real HTTP.
+    """
+    import shutil
+    import tempfile
+
+    from repro.obs.instrument import active
+    from repro.serve.app import ServeConfig, VerificationService
+
+    # Captured now: inline workers scope their own recorders over the
+    # process-global slot mid-run, so "whatever is active later" could
+    # misattribute the gauges.
+    recorder = active()
+    root = tempfile.mkdtemp(prefix="repro-serve-bench-")
+    service = VerificationService(
+        ServeConfig(
+            workers=2,
+            isolation=False,
+            journal_path=os.path.join(root, "journal.jsonl"),
+            backend="dir:" + os.path.join(root, "pool"),
+        )
+    )
+    service.start()
+    try:
+        batch = [
+            {"kind": "analyze", "system": system, "params": {"strict": strict}}
+            for system in ("rm", "relay", "chain")
+            for strict in (False, True)
+        ]
+        # Cold leg: every job executes.  Submissions are serialized
+        # (submit, wait, next) so the cache counters in this record stay
+        # deterministic — inline workers scope the process-global
+        # recorder while a job runs, and overlapping a submit with that
+        # window would attribute lookups to a random recorder.
+        start = time.perf_counter()
+        deadline = time.monotonic() + 120.0
+        cold_ok = True
+        for body in batch:
+            status, doc = service.submit(body)
+            if status != 202:
+                return {"ok": False, "detail": "cold submit got {}".format(status)}
+            while True:
+                polled = service.get_job(doc["job_id"])
+                if polled["state"] == "done":
+                    cold_ok = cold_ok and bool(polled["result"]["ok"])
+                    break
+                if time.monotonic() > deadline:
+                    return {"ok": False, "detail": "cold jobs never settled"}
+                time.sleep(0.002)
+        cold_wall = time.perf_counter() - start
+
+        # Warm leg: identical requests, answered from the verdict pool.
+        latencies = []
+        hits = 0
+        start = time.perf_counter()
+        for _round in range(max(1, iterations)):
+            for body in batch:
+                t0 = time.perf_counter()
+                status, doc = service.submit(body)
+                latencies.append((time.perf_counter() - t0) * 1000.0)
+                if status == 200 and doc.get("result", {}).get("cached"):
+                    hits += 1
+        warm_wall = time.perf_counter() - start
+        latencies.sort()
+        warm_p50 = latencies[len(latencies) // 2]
+        warm_p95 = latencies[min(len(latencies) - 1, int(len(latencies) * 0.95))]
+        hit_rate = hits / len(latencies)
+        cold_rps = len(batch) / cold_wall if cold_wall else 0.0
+        warm_rps = len(latencies) / warm_wall if warm_wall else 0.0
+        if recorder is not None:
+            recorder.gauge("serve.cold_rps", cold_rps)
+            recorder.gauge("serve.warm_rps", warm_rps)
+            recorder.gauge("serve.warm_hit_rate", hit_rate)
+            recorder.gauge("serve.warm_p50_ms", warm_p50)
+            recorder.gauge("serve.warm_p95_ms", warm_p95)
+        return {
+            "ok": cold_ok and hit_rate == 1.0 and warm_p95 < 100.0,
+            "cold_jobs": len(batch),
+            "cold_wall": cold_wall,
+            "cold_rps": cold_rps,
+            "warm_requests": len(latencies),
+            "warm_wall": warm_wall,
+            "warm_rps": warm_rps,
+            "warm_hit_rate": hit_rate,
+            "warm_p50_ms": warm_p50,
+            "warm_p95_ms": warm_p95,
+        }
+    finally:
+        service.drain(grace_s=30.0)
+        service.journal.close()
+        shutil.rmtree(root, ignore_errors=True)
+
+
 #: name -> profile callable; ordered like ``repro perturb``'s registry.
 PROFILES: Dict[str, Callable[[int], Dict[str, Any]]] = {
     "rm": _profile_rm,
@@ -515,6 +623,7 @@ PROFILES: Dict[str, Callable[[int], Dict[str, Any]]] = {
 EXTRA_PROFILES: Dict[str, Callable[[int], Dict[str, Any]]] = {
     "par-speedup": _profile_par_speedup,
     "static-speedup": _profile_static_speedup,
+    "serve-throughput": _profile_serve_throughput,
 }
 
 

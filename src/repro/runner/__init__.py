@@ -25,9 +25,17 @@ from repro.runner.report import (
     CampaignReport,
     JobOutcome,
 )
-from repro.runner.supervisor import CHAOS_MODES, RetryPolicy, Supervisor
+from repro.runner.supervisor import (
+    CHAOS_MODES,
+    RetryPolicy,
+    Supervisor,
+    classify_payload,
+    payload_detail,
+)
 
 __all__ = [
+    "classify_payload",
+    "payload_detail",
     "JOB_KINDS",
     "FAILURE_CLASSES",
     "TRANSIENT_CLASSES",

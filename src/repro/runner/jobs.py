@@ -34,6 +34,7 @@ __all__ = [
     "Job",
     "default_jobs",
     "execute_job",
+    "job_cache_parts",
 ]
 
 #: Job kinds in campaign-scheduling order (cheap static checks first).
@@ -272,20 +273,16 @@ _EXECUTORS = {
 _UNCACHED_PARAMS = frozenset({"engine", "workers", "timeout", "cache"})
 
 
-def _job_cache(job: Job):
-    """The verdict cache and canonical key parts for this job, or
-    ``(None, None)`` when the job must not touch the cache: bench jobs
-    (their product *is* a wall time), chaos-injected attempts (the
-    self-test must actually run), or an explicit ``cache: False``."""
+def job_cache_parts(job: Job) -> Optional[Dict[str, Any]]:
+    """The canonical verdict-cache key parts for ``job``, or ``None``
+    when the job is uncacheable by nature: bench jobs (their product
+    *is* a wall time) and chaos-injected attempts (the self-test must
+    actually run).  The parts deliberately exclude the job id and the
+    :data:`_UNCACHED_PARAMS`, so any cache holding an entry under these
+    parts may serve it to *any* request for the same work — this is the
+    key contract :mod:`repro.serve` relies on for warm requests."""
     if job.kind == "bench" or job.chaos is not None:
-        return None, None
-    if job.params.get("cache") is False:
-        return None, None
-    from repro.cache import default_cache
-
-    cache = default_cache()
-    if cache is None:
-        return None, None
+        return None
     parts = {
         key: value
         for key, value in job.params.items()
@@ -297,6 +294,23 @@ def _job_cache(job: Job):
         from repro.lint.registry import ruleset_version
 
         parts["ruleset"] = ruleset_version()
+    return parts
+
+
+def _job_cache(job: Job):
+    """The verdict cache and canonical key parts for this job, or
+    ``(None, None)`` when the job must not touch the cache: uncacheable
+    jobs (see :func:`job_cache_parts`) or an explicit ``cache: False``."""
+    if job.params.get("cache") is False:
+        return None, None
+    parts = job_cache_parts(job)
+    if parts is None:
+        return None, None
+    from repro.cache import default_cache
+
+    cache = default_cache()
+    if cache is None:
+        return None, None
     return cache, parts
 
 

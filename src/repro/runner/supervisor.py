@@ -42,12 +42,51 @@ from repro.runner.jobs import RESULT_SCHEMA_VERSION, Job, execute_job
 from repro.runner.ledger import Ledger
 from repro.runner.report import TRANSIENT_CLASSES, CampaignReport, JobOutcome
 
-__all__ = ["RetryPolicy", "Supervisor", "CHAOS_MODES"]
+__all__ = [
+    "RetryPolicy",
+    "Supervisor",
+    "CHAOS_MODES",
+    "classify_payload",
+    "payload_detail",
+]
 
 #: The chaos self-test battery: with ``chaos=True`` the supervisor
 #: assigns one mode per job, cycling, to the first three jobs — one
 #: guaranteed crash, hang, and malformed result per campaign.
 CHAOS_MODES = ("crash", "hang", "malformed")
+
+
+def classify_payload(job_id: str, payload) -> str:
+    """Map a worker's (possibly absent or garbled) result payload to a
+    failure class from :data:`repro.runner.report.FAILURE_CLASSES`.
+
+    Shared by the campaign :class:`Supervisor` and the serving worker
+    pool (:mod:`repro.serve.workers`) so both sides of the repo speak
+    one taxonomy: ``malformed`` for anything that is not a current-schema
+    payload for this job, ``error`` for an escaped library error,
+    ``verdict`` for a completed-and-failed check, ``budget`` for a
+    partial (inconclusive) verdict, ``ok`` otherwise.
+    """
+    if (
+        not isinstance(payload, dict)
+        or payload.get("schema") != RESULT_SCHEMA_VERSION
+        or payload.get("job_id") != job_id
+    ):
+        return "malformed"
+    if payload.get("error"):
+        return "error"
+    if not payload.get("ok"):
+        return "verdict"
+    if payload.get("exhausted_budget") and not payload.get("conclusive", True):
+        return "budget"
+    return "ok"
+
+
+def payload_detail(payload) -> str:
+    """A human-readable one-liner for a classified payload."""
+    if isinstance(payload, dict):
+        return str(payload.get("detail", ""))
+    return "unintelligible worker result: {!r}".format(payload)[:200]
 
 
 class RetryPolicy:
@@ -165,26 +204,10 @@ class Supervisor:
     # -- classification ------------------------------------------------
 
     def _classify_payload(self, state: _JobState, payload) -> str:
-        """Map a worker's (possibly absent or garbled) result to a
-        failure class; see :data:`FAILURE_CLASSES`."""
-        if (
-            not isinstance(payload, dict)
-            or payload.get("schema") != RESULT_SCHEMA_VERSION
-            or payload.get("job_id") != state.job.job_id
-        ):
-            return "malformed"
-        if payload.get("error"):
-            return "error"
-        if not payload.get("ok"):
-            return "verdict"
-        if payload.get("exhausted_budget") and not payload.get("conclusive", True):
-            return "budget"
-        return "ok"
+        return classify_payload(state.job.job_id, payload)
 
     def _payload_detail(self, payload) -> str:
-        if isinstance(payload, dict):
-            return str(payload.get("detail", ""))
-        return "unintelligible worker result: {!r}".format(payload)[:200]
+        return payload_detail(payload)
 
     # -- attempt lifecycle ---------------------------------------------
 

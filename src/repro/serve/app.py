@@ -1,0 +1,546 @@
+"""The verification-as-a-service daemon: HTTP front end + service core.
+
+``python -m repro serve`` turns the toolbox into a long-running JSON
+API over the stdlib :class:`~http.server.ThreadingHTTPServer` — no new
+dependencies, one process, many worker threads:
+
+- ``POST /v1/jobs``      — submit a job (``kind`` x ``system`` +
+  params, optional ``deadline_ms``); answers ``202`` with a job id,
+  ``200`` immediately on a warm verdict-cache hit, ``400`` on a bad
+  request, ``429`` + ``Retry-After`` when the bounded queue sheds load,
+  ``503`` + ``Retry-After`` when the system's circuit breaker is open
+  or the daemon is draining;
+- ``GET /v1/jobs/<id>``  — poll state and the terminal result;
+- ``GET /v1/healthz``    — liveness (200 while the process runs);
+- ``GET /v1/readyz``     — readiness (503 once draining);
+- ``GET /v1/stats``      — queue depth, breaker states, cache stats,
+  and the full ``serve.*`` telemetry snapshot.
+
+Every request's ``deadline_ms`` becomes a
+:class:`~repro.faults.budget.Budget` wall-time cap plus a watchdog cap
+(see :mod:`repro.serve.workers`), so overload degrades to partial
+``exhausted_budget`` verdicts — the daemon honours the same timing
+discipline it verifies.  SIGTERM starts a graceful drain (stop
+accepting, finish what is queued, journal everything); ``kill -9`` is
+recovered on restart by replaying the request journal.
+"""
+
+from __future__ import annotations
+
+import json
+import signal
+import sys
+import threading
+import time
+import uuid
+from dataclasses import dataclass, field
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.errors import ReproError
+from repro.obs.instrument import Recorder
+from repro.runner.jobs import JOB_KINDS, Job, job_cache_parts
+from repro.runner.supervisor import RetryPolicy
+from repro.serve.backends import backend_cache
+from repro.serve.journal import Journal, load_journal
+from repro.serve.queue import AdmissionQueue
+from repro.serve.resilience import BreakerBoard
+from repro.serve.workers import ServeJob, WorkerPool
+
+__all__ = [
+    "ServeConfig",
+    "VerificationService",
+    "build_server",
+    "serve_main",
+    "EXIT_DRAIN_TIMEOUT",
+]
+
+#: Exit code when a graceful drain could not finish inside
+#: ``drain_grace_s`` — unfinished jobs stay journaled for recovery.
+EXIT_DRAIN_TIMEOUT = 4
+
+#: Default per-kind budget/simulation parameters for submitted jobs,
+#: mirroring :func:`repro.runner.jobs.default_jobs`.
+_BATTERY_DEFAULTS = {
+    "seeds": 2,
+    "steps": 40,
+    "seed": 0,
+    "max_states": 200_000,
+    "max_steps": 2_000_000,
+    "wall_time": 60.0,
+}
+
+#: Request params a client may set, per kind; anything else is a 400
+#: (admission control includes not letting clients smuggle arbitrary
+#: knobs across the process boundary).
+_ALLOWED_PARAMS = {
+    "check": {"seeds", "steps", "seed", "max_states", "max_steps", "wall_time"},
+    "perturb": {
+        "seeds", "steps", "seed", "epsilon", "max_states", "max_steps", "wall_time",
+    },
+    "lint": {"strict", "max_states"},
+    "analyze": {"strict"},
+    "bench": {"iterations"},
+}
+
+
+@dataclass
+class ServeConfig:
+    """Everything the daemon needs, in one serializable bundle."""
+
+    host: str = "127.0.0.1"
+    port: int = 8421
+    workers: int = 2
+    queue_depth: int = 64
+    timeout_s: float = 30.0
+    max_retries: int = 1
+    journal_path: str = "repro-serve-journal.jsonl"
+    backend: str = "dir:.repro-cache"
+    breaker_threshold: int = 3
+    breaker_cooldown_s: float = 30.0
+    drain_grace_s: float = 30.0
+    isolation: bool = True
+    seed: int = 0
+
+    def options(self) -> Dict[str, Any]:
+        return {
+            "workers": self.workers,
+            "queue_depth": self.queue_depth,
+            "timeout_s": self.timeout_s,
+            "max_retries": self.max_retries,
+            "backend": self.backend,
+            "breaker_threshold": self.breaker_threshold,
+            "breaker_cooldown_s": self.breaker_cooldown_s,
+            "isolation": self.isolation,
+        }
+
+
+def _system_registry() -> Dict[str, List[str]]:
+    """kind -> known systems, the submit-time admission whitelist."""
+    from repro.analyze import analyze_names
+    from repro.faults.targets import perturb_names
+    from repro.lint.targets import system_names as lint_names
+    from repro.obs.bench import bench_names
+
+    return {
+        "lint": list(lint_names()),
+        "analyze": list(analyze_names()),
+        "check": list(perturb_names()),
+        "perturb": list(perturb_names()),
+        "bench": list(bench_names()),
+    }
+
+
+class RequestError(ReproError):
+    """A client request the daemon refuses (maps to HTTP 400)."""
+
+
+def _require_int(body: Dict[str, Any], name: str, minimum: int) -> Optional[int]:
+    value = body.get(name)
+    if value is None:
+        return None
+    if not isinstance(value, int) or isinstance(value, bool) or value < minimum:
+        raise RequestError(
+            "{} must be an integer >= {}, got {!r}".format(name, minimum, value)
+        )
+    return value
+
+
+class VerificationService:
+    """The composition root: journal + queue + breakers + pool + cache."""
+
+    def __init__(self, config: ServeConfig):
+        self.config = config
+        self.generation = uuid.uuid4().hex[:12]
+        self.recorder = Recorder(name="serve." + self.generation, max_events=0)
+        self.journal = Journal(config.journal_path)
+        self.queue = AdmissionQueue(max_depth=config.queue_depth)
+        self.breakers = BreakerBoard(
+            failure_threshold=config.breaker_threshold,
+            cooldown_s=config.breaker_cooldown_s,
+        )
+        self.cache = backend_cache(config.backend)
+        self.registry = _system_registry()
+        self.jobs: Dict[str, ServeJob] = {}
+        self._jobs_lock = threading.Lock()
+        self.pool = WorkerPool(
+            self.queue,
+            self.journal,
+            self.breakers,
+            self.recorder,
+            workers=config.workers,
+            isolation=config.isolation,
+            retry=RetryPolicy(seed=config.seed),
+            on_done=self._job_done,
+        )
+        self.draining = False
+        self.recovered = 0
+        self.started_at = time.monotonic()
+
+    # -- lifecycle -----------------------------------------------------
+
+    def start(self) -> None:
+        """Recover the journal, mark a new generation, start workers."""
+        self._recover()
+        self.journal.start(self.generation, self.config.options())
+        self.pool.start()
+
+    def _recover(self) -> None:
+        state = load_journal(self.config.journal_path)
+        if state is None:
+            return
+        # Finished jobs stay pollable across restarts; unfinished jobs
+        # are re-enqueued and run exactly like `run --resume` re-runs
+        # an interrupted campaign.
+        for job_id, result in state.results.items():
+            entry = state.jobs.get(job_id)
+            if entry is None:
+                continue
+            serve_job = self._rebuild(entry)
+            serve_job.state = "done"
+            serve_job.result = result
+            with self._jobs_lock:
+                self.jobs[job_id] = serve_job
+        for entry in state.pending:
+            serve_job = self._rebuild(entry)
+            serve_job.recovered = True
+            with self._jobs_lock:
+                self.jobs[serve_job.job.job_id] = serve_job
+            self.queue.offer(serve_job) or self._force_enqueue(serve_job)
+            self.recovered += 1
+            self.recorder.incr("serve.recovered")
+
+    def _force_enqueue(self, serve_job: ServeJob) -> bool:
+        # Recovery must never shed an already-accepted job, even when
+        # the configured queue is smaller than the backlog.
+        with self.queue._lock:
+            self.queue._items.append(serve_job)
+            self.queue._not_empty.notify()
+        return True
+
+    def _rebuild(self, entry: Dict[str, Any]) -> ServeJob:
+        envelope = entry.get("envelope", {})
+        deadline_ms = envelope.get("deadline_ms")
+        return ServeJob(
+            job=Job.from_dict(entry["job"]),
+            # A recovered deadline restarts its window: the original
+            # monotonic instant died with the old process.
+            deadline_ms=deadline_ms,
+            max_retries=int(envelope.get("max_retries", self.config.max_retries)),
+            timeout_s=float(envelope.get("timeout_s", self.config.timeout_s)),
+        )
+
+    def drain(self, grace_s: Optional[float] = None) -> int:
+        """Graceful shutdown: stop admission, finish or journal work.
+
+        Returns the process exit code: 0 when every accepted job
+        reached a terminal state, :data:`EXIT_DRAIN_TIMEOUT` when the
+        grace ran out (unfinished jobs stay journaled for the next
+        generation's recovery).
+        """
+        grace = self.config.drain_grace_s if grace_s is None else grace_s
+        self.draining = True
+        self.queue.close()
+        drained = self.pool.join(timeout=grace)
+        with self._jobs_lock:
+            unfinished = [j.job.job_id for j in self.jobs.values() if j.state != "done"]
+        summary = {
+            "generation": self.generation,
+            "drained": drained and not unfinished,
+            "unfinished": unfinished,
+            "jobs": len(self.jobs),
+        }
+        if drained and not unfinished:
+            self.journal.drain(summary)
+            return 0
+        return EXIT_DRAIN_TIMEOUT
+
+    # -- submission ----------------------------------------------------
+
+    def _build_job(self, body: Dict[str, Any]) -> Tuple[Job, Dict[str, Any]]:
+        kind = body.get("kind")
+        if kind not in JOB_KINDS:
+            raise RequestError(
+                "unknown kind {!r}; expected one of {}".format(kind, ", ".join(JOB_KINDS))
+            )
+        system = body.get("system")
+        known = self.registry[kind]
+        if system not in known:
+            raise RequestError(
+                "unknown system {!r} for kind {!r}; known: {}".format(
+                    system, kind, ", ".join(known)
+                )
+            )
+        raw = body.get("params") or {}
+        if not isinstance(raw, dict):
+            raise RequestError("params must be an object")
+        unknown = set(raw) - _ALLOWED_PARAMS[kind]
+        if unknown:
+            raise RequestError(
+                "unknown param(s) for {}: {}".format(kind, ", ".join(sorted(unknown)))
+            )
+        if kind in ("check", "perturb"):
+            params: Dict[str, Any] = dict(_BATTERY_DEFAULTS)
+            params.update(raw)
+            params.setdefault("epsilon", "0")
+            params["epsilon"] = str(params["epsilon"])
+        elif kind == "bench":
+            params = {"iterations": int(raw.get("iterations", 1))}
+        else:
+            params = {"strict": bool(raw.get("strict", False))}
+            if "max_states" in raw:
+                params["max_states"] = int(raw["max_states"])
+        # The serving layer owns caching (one backend, parent-side
+        # lookups/stores); workers must not consult their own.
+        params["cache"] = False
+        chaos = body.get("chaos")
+        if chaos is not None and chaos not in ("crash", "hang", "malformed"):
+            raise RequestError("chaos must be crash/hang/malformed")
+        job = Job(
+            job_id="sv-" + uuid.uuid4().hex[:16],
+            kind=kind,
+            system=system,
+            params=params,
+            chaos=chaos,
+        )
+        envelope = {
+            "deadline_ms": _require_int(body, "deadline_ms", 1),
+            "max_retries": (
+                _require_int(body, "max_retries", 0)
+                if body.get("max_retries") is not None
+                else self.config.max_retries
+            ),
+        }
+        return job, envelope
+
+    def submit(self, body: Dict[str, Any]) -> Tuple[int, Dict[str, Any]]:
+        """Admit one request; returns ``(http_status, response_body)``."""
+        self.recorder.incr("serve.submissions")
+        if self.draining:
+            return 503, {
+                "error": "draining: not accepting new jobs",
+                "retry_after_s": None,
+            }
+        try:
+            job, envelope = self._build_job(body)
+        except RequestError as exc:
+            self.recorder.incr("serve.rejected")
+            return 400, {"error": str(exc)}
+        serve_job = ServeJob(
+            job=job,
+            deadline_ms=envelope["deadline_ms"],
+            max_retries=envelope["max_retries"],
+            timeout_s=self.config.timeout_s,
+        )
+        # Warm path: a settled verdict for identical work is served
+        # straight from the shared cache — no queue, no worker, no
+        # breaker (reading a verdict cannot hurt a quarantined system).
+        parts = job_cache_parts(job)
+        if parts is not None:
+            hit = self.cache.lookup(job.kind, job.system, parts)
+            if isinstance(hit, dict) and hit.get("ok") is not None:
+                result = {k: v for k, v in hit.items() if k != "telemetry"}
+                result["job_id"] = job.job_id
+                result["cached"] = True
+                result.setdefault("status", "ok" if result.get("ok") else "verdict")
+                serve_job.state = "done"
+                serve_job.result = result
+                with self._jobs_lock:
+                    self.jobs[job.job_id] = serve_job
+                self.journal.job(job.to_dict(), serve_job.envelope())
+                self.journal.done(job.job_id, result)
+                self.recorder.incr("serve.cache_hits")
+                return 200, serve_job.to_public_dict()
+        breaker = self.breakers.breaker(job.system)
+        if not breaker.allow():
+            self.recorder.incr("serve.breaker_rejections")
+            return 503, {
+                "error": "circuit breaker open for system {!r}".format(job.system),
+                "system": job.system,
+                "breaker": breaker.snapshot(),
+                "retry_after_s": round(breaker.retry_after_s(), 3),
+            }
+        # Journal before enqueue: an accepted job must survive kill -9
+        # from the instant the client could learn its id.
+        with self._jobs_lock:
+            self.jobs[job.job_id] = serve_job
+        self.journal.job(job.to_dict(), serve_job.envelope())
+        if not self.queue.offer(serve_job):
+            # Shed: roll back the acceptance so the journal replay does
+            # not resurrect a job the client was told to retry.
+            with self._jobs_lock:
+                self.jobs.pop(job.job_id, None)
+            self.journal.done(
+                job.job_id,
+                {
+                    "job_id": job.job_id,
+                    "status": "shed",
+                    "ok": False,
+                    "conclusive": False,
+                    "exhausted_budget": False,
+                    "detail": "queue full (depth {})".format(self.queue.max_depth),
+                    "error": None,
+                },
+            )
+            self.recorder.incr("serve.shed")
+            return 429, {
+                "error": "queue full",
+                "retry_after_s": round(self.queue.retry_after_s(), 3),
+            }
+        self.recorder.incr("serve.accepted")
+        return 202, serve_job.to_public_dict()
+
+    def _job_done(self, serve_job: ServeJob) -> None:
+        """Worker-pool callback: store settled verdicts in the shared
+        cache so the next identical request is a warm hit."""
+        result = serve_job.result or {}
+        if (
+            result.get("error") is None
+            and result.get("conclusive")
+            and not result.get("exhausted_budget")
+            and result.get("status") in ("ok", "verdict")
+        ):
+            parts = job_cache_parts(serve_job.job)
+            if parts is not None:
+                stored = {k: v for k, v in result.items() if k != "wall"}
+                self.cache.store(serve_job.job.kind, serve_job.job.system, parts, stored)
+
+    # -- reads ---------------------------------------------------------
+
+    def get_job(self, job_id: str) -> Optional[Dict[str, Any]]:
+        with self._jobs_lock:
+            serve_job = self.jobs.get(job_id)
+        return None if serve_job is None else serve_job.to_public_dict()
+
+    def stats(self) -> Dict[str, Any]:
+        with self._jobs_lock:
+            states: Dict[str, int] = {}
+            for serve_job in self.jobs.values():
+                states[serve_job.state] = states.get(serve_job.state, 0) + 1
+        return {
+            "generation": self.generation,
+            "uptime_s": round(time.monotonic() - self.started_at, 3),
+            "draining": self.draining,
+            "recovered": self.recovered,
+            "jobs": states,
+            "queue": self.queue.stats(),
+            "breakers": self.breakers.snapshot(),
+            "cache": self.cache.stats(),
+            "backend": self.cache.backend.describe(),
+            "telemetry": self.recorder.snapshot(),
+        }
+
+
+# ----------------------------------------------------------------------
+# HTTP layer
+# ----------------------------------------------------------------------
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Routes the v1 API onto a :class:`VerificationService`."""
+
+    service: VerificationService = None  # set by serve_main
+    protocol_version = "HTTP/1.1"
+    quiet = True
+
+    def log_message(self, fmt, *args):  # noqa: N802 (stdlib name)
+        if not self.quiet:
+            sys.stderr.write("%s - %s\n" % (self.address_string(), fmt % args))
+
+    def _respond(self, status: int, body: Dict[str, Any], retry_after=None) -> None:
+        payload = json.dumps(body, sort_keys=True).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(payload)))
+        if retry_after is not None:
+            self.send_header("Retry-After", str(max(1, int(round(retry_after)))))
+        self.end_headers()
+        self.wfile.write(payload)
+
+    def do_GET(self) -> None:  # noqa: N802
+        service = self.service
+        service.recorder.incr("serve.requests")
+        path = self.path.rstrip("/") or "/"
+        if path == "/v1/healthz":
+            self._respond(200, {"ok": True, "generation": service.generation})
+        elif path == "/v1/readyz":
+            if service.draining:
+                self._respond(503, {"ready": False, "reason": "draining"})
+            else:
+                self._respond(200, {"ready": True})
+        elif path == "/v1/stats":
+            self._respond(200, service.stats())
+        elif path.startswith("/v1/jobs/"):
+            body = service.get_job(path[len("/v1/jobs/"):])
+            if body is None:
+                self._respond(404, {"error": "unknown job"})
+            else:
+                self._respond(200, body)
+        else:
+            self._respond(404, {"error": "unknown path {!r}".format(self.path)})
+
+    def do_POST(self) -> None:  # noqa: N802
+        service = self.service
+        service.recorder.incr("serve.requests")
+        path = self.path.rstrip("/")
+        if path != "/v1/jobs":
+            self._respond(404, {"error": "unknown path {!r}".format(self.path)})
+            return
+        try:
+            length = int(self.headers.get("Content-Length", 0))
+            body = json.loads(self.rfile.read(length).decode("utf-8") or "{}")
+            if not isinstance(body, dict):
+                raise ValueError("request body must be a JSON object")
+        except (ValueError, UnicodeDecodeError) as exc:
+            self._respond(400, {"error": "bad request body: {}".format(exc)})
+            return
+        status, payload = service.submit(body)
+        self._respond(status, payload, retry_after=payload.get("retry_after_s"))
+
+
+def build_server(service: VerificationService) -> ThreadingHTTPServer:
+    """Bind the HTTP front end for ``service`` (port 0 = ephemeral);
+    split out of :func:`serve_main` so tests can run the wire protocol
+    without the signal plumbing."""
+    handler = type("BoundHandler", (_Handler,), {"service": service})
+    server = ThreadingHTTPServer(
+        (service.config.host, service.config.port), handler
+    )
+    server.daemon_threads = True
+    return server
+
+
+def serve_main(config: ServeConfig, ready_line: bool = True) -> int:
+    """Run the daemon until SIGTERM/SIGINT, then drain; returns the
+    process exit code (0 clean drain, :data:`EXIT_DRAIN_TIMEOUT` when
+    the grace expired with jobs still unfinished)."""
+    service = VerificationService(config)
+    service.start()
+
+    server = build_server(service)
+    host, port = server.server_address[:2]
+    if ready_line:
+        print("serving on {}:{} (journal {}, backend {})".format(
+            host, port, config.journal_path, config.backend
+        ))
+        sys.stdout.flush()
+
+    exit_code: List[int] = []
+
+    def _drain(signum, frame):
+        # Runs the drain off the signal handler so serve_forever's
+        # own thread can be shut down cleanly.
+        def _do():
+            exit_code.append(service.drain())
+            server.shutdown()
+
+        threading.Thread(target=_do, daemon=True).start()
+
+    signal.signal(signal.SIGTERM, _drain)
+    signal.signal(signal.SIGINT, _drain)
+    try:
+        server.serve_forever(poll_interval=0.1)
+    finally:
+        server.server_close()
+        service.journal.close()
+    return exit_code[0] if exit_code else 0

@@ -1,0 +1,161 @@
+"""Pluggable verdict-cache backends for the serving layer.
+
+The campaign tooling caches verdicts in a per-key-file directory
+(:class:`repro.cache.store.DirBackend`) — perfect for one process, CI
+artifact persistence, and rsync.  A fleet of serving processes wants a
+single shared pool with transactional writes instead; this module adds
+a **sqlite** backend (WAL journal, busy-timeout retries, upserts) that
+many daemons on one host can hammer concurrently, plus a tiny spec
+language so deployments choose a backend with one string:
+
+- ``dir:<root>``     — the existing directory store (default);
+- ``sqlite:<path>``  — one sqlite database file shared by all writers;
+- a bare path        — ``sqlite`` when it ends in ``.db``/``.sqlite``,
+  ``dir`` otherwise.
+
+Both backends speak the two-method contract :class:`VerdictCache`
+expects — ``get(key) -> Optional[str]`` and ``put(key, text)`` raising
+:class:`~repro.cache.store.BackendError` on storage failure — so every
+consumer of the cache (``check``/``lint``/``perturb``/``run``/serve)
+works unchanged over either.
+"""
+
+from __future__ import annotations
+
+import os
+import sqlite3
+import threading
+from typing import Optional
+
+from repro.cache.store import BackendError, DirBackend, VerdictCache
+from repro.errors import ReproError
+
+__all__ = ["BACKEND_KINDS", "SqliteBackend", "open_backend", "backend_cache"]
+
+#: Recognised backend spec prefixes.
+BACKEND_KINDS = ("dir", "sqlite")
+
+
+class SqliteBackend:
+    """A verdict pool in one sqlite database file.
+
+    Safe for many processes and threads sharing the file: the database
+    runs in WAL mode (readers never block the writer), every connection
+    sets a busy timeout instead of failing fast on lock contention, and
+    writes are single-statement upserts — the same last-writer-wins
+    semantics as the directory store's atomic ``os.replace``.
+
+    Connections are per-thread (sqlite3 objects must not cross threads),
+    created lazily on first use.
+    """
+
+    kind = "sqlite"
+
+    _SCHEMA = (
+        "CREATE TABLE IF NOT EXISTS verdicts ("
+        " key TEXT PRIMARY KEY,"
+        " body TEXT NOT NULL)"
+    )
+
+    def __init__(self, path: str, busy_timeout_s: float = 5.0):
+        self.path = path
+        self.busy_timeout_s = busy_timeout_s
+        self._local = threading.local()
+        # Create the schema eagerly so a misconfigured path (unwritable
+        # directory) fails at construction, not mid-request.
+        self._connection()
+
+    def _connection(self) -> sqlite3.Connection:
+        conn = getattr(self._local, "conn", None)
+        if conn is not None:
+            return conn
+        parent = os.path.dirname(os.path.abspath(self.path))
+        try:
+            os.makedirs(parent, exist_ok=True)
+            conn = sqlite3.connect(self.path, timeout=self.busy_timeout_s)
+            conn.execute("PRAGMA journal_mode=WAL")
+            conn.execute("PRAGMA synchronous=NORMAL")
+            conn.execute(
+                "PRAGMA busy_timeout={}".format(int(self.busy_timeout_s * 1000))
+            )
+            conn.execute(self._SCHEMA)
+            conn.commit()
+        except (OSError, sqlite3.Error) as exc:
+            raise BackendError("sqlite backend {}: {}".format(self.path, exc))
+        self._local.conn = conn
+        return conn
+
+    def get(self, key: str) -> Optional[str]:
+        try:
+            row = self._connection().execute(
+                "SELECT body FROM verdicts WHERE key = ?", (key,)
+            ).fetchone()
+        except sqlite3.Error as exc:
+            raise BackendError("sqlite get {}: {}".format(key[:12], exc))
+        return None if row is None else row[0]
+
+    def put(self, key: str, text: str) -> None:
+        try:
+            conn = self._connection()
+            conn.execute(
+                "INSERT INTO verdicts (key, body) VALUES (?, ?) "
+                "ON CONFLICT(key) DO UPDATE SET body = excluded.body",
+                (key, text),
+            )
+            conn.commit()
+        except sqlite3.Error as exc:
+            raise BackendError("sqlite put {}: {}".format(key[:12], exc))
+
+    def count(self) -> int:
+        """Entries currently in the pool (stats endpoint)."""
+        try:
+            (n,) = self._connection().execute(
+                "SELECT COUNT(*) FROM verdicts"
+            ).fetchone()
+        except sqlite3.Error as exc:
+            raise BackendError("sqlite count: {}".format(exc))
+        return int(n)
+
+    def close(self) -> None:
+        conn = getattr(self._local, "conn", None)
+        if conn is not None:
+            conn.close()
+            self._local.conn = None
+
+    def describe(self) -> str:
+        return "sqlite:{}".format(self.path)
+
+
+def open_backend(spec: str):
+    """Resolve a backend spec string to a backend instance.
+
+    ``dir:<root>`` / ``sqlite:<path>`` are explicit; a bare path infers
+    ``sqlite`` from a ``.db``/``.sqlite`` suffix and defaults to ``dir``
+    otherwise.  An unknown prefix raises :class:`ReproError` (a typo'd
+    deployment flag must not silently build an empty directory cache).
+    """
+    if not spec:
+        raise ReproError("empty cache-backend spec")
+    kind, sep, rest = spec.partition(":")
+    if sep and kind in BACKEND_KINDS:
+        if not rest:
+            raise ReproError(
+                "cache-backend spec {!r} is missing a path".format(spec)
+            )
+        return DirBackend(rest) if kind == "dir" else SqliteBackend(rest)
+    if sep and kind not in BACKEND_KINDS and len(kind) > 1:
+        # A real prefix that isn't a known kind (single letters pass
+        # through as Windows-style drive paths).
+        raise ReproError(
+            "unknown cache-backend kind {!r}; expected one of {}".format(
+                kind, ", ".join(BACKEND_KINDS)
+            )
+        )
+    if spec.endswith((".db", ".sqlite", ".sqlite3")):
+        return SqliteBackend(spec)
+    return DirBackend(spec)
+
+
+def backend_cache(spec: str) -> VerdictCache:
+    """A :class:`VerdictCache` over the backend ``spec`` names."""
+    return VerdictCache(backend=open_backend(spec))

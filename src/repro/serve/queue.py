@@ -1,0 +1,96 @@
+"""Bounded admission queue: accept, shed, or drain — never hang.
+
+The daemon's first timing guarantee is its own: a request either gets
+queue space *now* or is shed with a 429 and a ``Retry-After`` hint, so
+overload produces fast, honest rejections instead of unbounded queues
+and silently growing latency.  The queue is deliberately dumb — FIFO,
+bounded, thread-safe; admission *policy* (circuit breakers, draining,
+deadline sanity) lives in :mod:`repro.serve.app` where it can consult
+the whole service state.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Any, Dict, Optional
+
+__all__ = ["AdmissionQueue"]
+
+
+class AdmissionQueue:
+    """A bounded, closable FIFO of scheduled jobs.
+
+    - :meth:`offer` never blocks: ``False`` means full (shed the
+      request) or closed (draining);
+    - :meth:`take` blocks workers up to ``timeout`` seconds and returns
+      ``None`` on timeout or when the queue is closed *and* empty —
+      the worker-pool shutdown signal;
+    - :meth:`close` stops admission; queued items still drain.
+    """
+
+    def __init__(self, max_depth: int = 64):
+        if max_depth <= 0:
+            raise ValueError("max_depth must be positive")
+        self.max_depth = max_depth
+        self._items: deque = deque()
+        self._lock = threading.Lock()
+        self._not_empty = threading.Condition(self._lock)
+        self._closed = False
+        self.accepted = 0
+        self.shed = 0
+
+    def offer(self, item: Any) -> bool:
+        """Enqueue ``item`` if there is room; ``False`` sheds it."""
+        with self._lock:
+            if self._closed or len(self._items) >= self.max_depth:
+                self.shed += 1
+                return False
+            self._items.append(item)
+            self.accepted += 1
+            self._not_empty.notify()
+            return True
+
+    def take(self, timeout: Optional[float] = None) -> Optional[Any]:
+        """Dequeue the oldest item, waiting up to ``timeout`` seconds.
+
+        ``None`` means either the wait timed out (poll again) or the
+        queue is closed and fully drained (stop the worker).  Use
+        :meth:`closed` + :meth:`depth` to tell the cases apart.
+        """
+        with self._not_empty:
+            while not self._items:
+                if self._closed:
+                    return None
+                if not self._not_empty.wait(timeout):
+                    return None
+            return self._items.popleft()
+
+    def close(self) -> None:
+        """Stop admission and wake every waiting worker."""
+        with self._lock:
+            self._closed = True
+            self._not_empty.notify_all()
+
+    def closed(self) -> bool:
+        with self._lock:
+            return self._closed
+
+    def depth(self) -> int:
+        with self._lock:
+            return len(self._items)
+
+    def retry_after_s(self, per_item_estimate_s: float = 1.0) -> float:
+        """A polite ``Retry-After`` hint for shed requests: how long the
+        current backlog should take to half-drain."""
+        return max(1.0, self.depth() * per_item_estimate_s / 2.0)
+
+    def stats(self) -> Dict[str, int]:
+        with self._lock:
+            return {
+                "depth": len(self._items),
+                "max_depth": self.max_depth,
+                "accepted": self.accepted,
+                "shed": self.shed,
+                "closed": self._closed,
+            }

@@ -1,0 +1,419 @@
+"""The serving worker pool: crash-isolated attempts under deadlines.
+
+Each worker thread pulls scheduled jobs off the admission queue and
+drives one job at a time to a terminal result, reusing the campaign
+supervisor's machinery piece by piece:
+
+- attempts run in a **spawned subprocess** via
+  :func:`repro.runner.worker.worker_main` (isolated mode, the daemon
+  default) or inline via :func:`repro.runner.jobs.execute_job` (test
+  and benchmark mode — no hang protection, budgets only);
+- results are classified with
+  :func:`repro.runner.supervisor.classify_payload` — the exact taxonomy
+  campaigns use (``ok``/``crash``/``timeout``/``malformed``/``budget``/
+  ``verdict``/``error``);
+- transient classes retry with the campaign
+  :class:`~repro.runner.supervisor.RetryPolicy` (budget cuts escalate
+  the budget 4x, like ``repro run``), but **never past the request's
+  deadline**;
+- every terminal classification feeds the system's circuit breaker.
+
+Deadline semantics: a request's ``deadline_ms`` is converted to a
+monotonic-clock deadline at admission.  The remaining time caps both
+the in-job :class:`~repro.faults.budget.Budget` *wall_time* (so checks
+degrade to partial ``exhausted_budget`` verdicts) and the subprocess
+watchdog (so even a hung worker cannot overrun the deadline by more
+than a kill's grace).  A job that runs out of deadline — queued or
+mid-attempt — settles as a partial verdict with status ``deadline``,
+``exhausted_budget: true`` and ``conclusive: false``; it never hangs
+and never counts against the system's breaker (the *client's* clock
+ran out, not the system).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.obs.instrument import Recorder
+from repro.runner.jobs import RESULT_SCHEMA_VERSION, Job, execute_job
+from repro.runner.report import TRANSIENT_CLASSES
+from repro.runner.supervisor import RetryPolicy, classify_payload, payload_detail
+from repro.serve.journal import Journal
+from repro.serve.queue import AdmissionQueue
+from repro.serve.resilience import BreakerBoard
+
+__all__ = ["ServeJob", "WorkerPool"]
+
+#: Seconds granted to a killed worker to die before SIGKILL.
+_KILL_GRACE_S = 0.5
+
+#: Floor on any watchdog/budget window — a zero window would make even
+#: the degradation path unreachable.
+_MIN_WINDOW_S = 0.05
+
+
+@dataclass
+class ServeJob:
+    """One accepted request, from admission to terminal result."""
+
+    job: Job
+    deadline_ms: Optional[int] = None
+    max_retries: int = 1
+    timeout_s: float = 30.0
+    submitted_at: float = field(default_factory=time.monotonic)
+    #: Monotonic instant the deadline expires (None: no deadline).
+    deadline_at: Optional[float] = None
+    state: str = "queued"  # queued | running | done
+    result: Optional[Dict[str, Any]] = None
+    attempts: int = 0
+    classifications: List[str] = field(default_factory=list)
+    budget_scale: int = 1
+    recovered: bool = False
+
+    def __post_init__(self):
+        if self.deadline_ms is not None and self.deadline_at is None:
+            self.deadline_at = self.submitted_at + self.deadline_ms / 1000.0
+
+    def remaining_s(self) -> Optional[float]:
+        if self.deadline_at is None:
+            return None
+        return self.deadline_at - time.monotonic()
+
+    def envelope(self) -> Dict[str, Any]:
+        """The serving parameters journaled alongside the job body."""
+        return {
+            "deadline_ms": self.deadline_ms,
+            "max_retries": self.max_retries,
+            "timeout_s": self.timeout_s,
+            "recovered": self.recovered,
+        }
+
+    def to_public_dict(self) -> Dict[str, Any]:
+        """The ``GET /v1/jobs/<id>`` projection."""
+        body = {
+            "job_id": self.job.job_id,
+            "kind": self.job.kind,
+            "system": self.job.system,
+            "state": self.state,
+            "deadline_ms": self.deadline_ms,
+            "attempts": self.attempts,
+            "classifications": list(self.classifications),
+            "recovered": self.recovered,
+        }
+        if self.result is not None:
+            body["result"] = {
+                k: v for k, v in self.result.items() if k not in ("schema", "telemetry")
+            }
+        return body
+
+
+def _deadline_result(job: ServeJob, where: str) -> Dict[str, Any]:
+    """The partial verdict for a job whose deadline expired ``where``
+    (``"queued"`` or ``"running"``) — the Budget-discipline answer:
+    degrade, flag, never hang."""
+    return {
+        "schema": RESULT_SCHEMA_VERSION,
+        "job_id": job.job.job_id,
+        "status": "deadline",
+        "ok": False,
+        "conclusive": False,
+        "exhausted_budget": True,
+        "detail": "deadline_ms={} expired while {}".format(job.deadline_ms, where),
+        "error": None,
+    }
+
+
+class WorkerPool:
+    """``workers`` threads drain the admission queue to terminal results.
+
+    ``isolation=True`` (daemon default) spawns one subprocess per
+    attempt with a watchdog; ``isolation=False`` executes attempts
+    inline in the worker thread — fast, but hangs are only contained by
+    in-job budgets, so it is for tests and benchmarks.
+
+    ``on_done(serve_job)`` fires after a job settles (journal written),
+    letting the service layer store warm-cache entries and wake pollers.
+    """
+
+    def __init__(
+        self,
+        queue: AdmissionQueue,
+        journal: Journal,
+        breakers: BreakerBoard,
+        recorder: Recorder,
+        workers: int = 2,
+        isolation: bool = True,
+        retry: Optional[RetryPolicy] = None,
+        on_done=None,
+    ):
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.queue = queue
+        self.journal = journal
+        self.breakers = breakers
+        self.recorder = recorder
+        self.workers = workers
+        self.isolation = isolation
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.on_done = on_done
+        self._threads: List[threading.Thread] = []
+        self._ctx = multiprocessing.get_context("spawn")
+        self._stop = threading.Event()
+
+    # -- lifecycle -----------------------------------------------------
+
+    def start(self) -> None:
+        for index in range(self.workers):
+            thread = threading.Thread(
+                target=self._loop, name="serve-worker-{}".format(index), daemon=True
+            )
+            thread.start()
+            self._threads.append(thread)
+
+    def join(self, timeout: Optional[float] = None) -> bool:
+        """Wait for every worker thread to exit (queue must be closed);
+        ``False`` when ``timeout`` elapsed first."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        for thread in self._threads:
+            remaining = (
+                None if deadline is None else max(0.0, deadline - time.monotonic())
+            )
+            thread.join(remaining)
+            if thread.is_alive():
+                return False
+        return True
+
+    def stop(self) -> None:
+        """Ask workers to exit after their current job (drain assist)."""
+        self._stop.set()
+
+    def _loop(self) -> None:
+        while True:
+            item = self.queue.take(timeout=0.1)
+            if item is None:
+                if self._stop.is_set() or (
+                    self.queue.closed() and self.queue.depth() == 0
+                ):
+                    return
+                continue
+            self.recorder.gauge("serve.queue_depth", self.queue.depth())
+            try:
+                self._process(item)
+            except Exception as exc:  # the pool must survive anything
+                self.recorder.incr("serve.worker_errors")
+                self._settle(
+                    item,
+                    "error",
+                    {
+                        "schema": RESULT_SCHEMA_VERSION,
+                        "job_id": item.job.job_id,
+                        "status": "error",
+                        "ok": False,
+                        "conclusive": True,
+                        "exhausted_budget": False,
+                        "detail": "serving error: {}: {}".format(
+                            type(exc).__name__, exc
+                        ),
+                        "error": {"type": type(exc).__name__, "message": str(exc)},
+                    },
+                    breaker_counts=False,
+                )
+
+    # -- one job -------------------------------------------------------
+
+    def _attempt_params(self, job: ServeJob, window_s: Optional[float]) -> Dict[str, Any]:
+        params = dict(job.job.params)
+        params["budget_scale"] = job.budget_scale
+        params["timeout"] = job.timeout_s
+        if window_s is not None:
+            # The remaining deadline caps the in-job budget so the check
+            # degrades to a partial verdict before the watchdog fires.
+            wall = params.get("wall_time")
+            budget_window = max(_MIN_WINDOW_S, window_s * 0.9)
+            params["wall_time"] = (
+                budget_window if wall is None else min(float(wall), budget_window)
+            )
+        return params
+
+    def _run_isolated(self, body: Dict[str, Any], attempt: int, watchdog_s: float):
+        """One spawned attempt; returns (payload_or_None, timed_out)."""
+        queue = self._ctx.SimpleQueue()
+        from repro.runner.worker import worker_main
+
+        process = self._ctx.Process(
+            target=worker_main, args=(body, attempt, queue), daemon=True
+        )
+        process.start()
+        deadline = time.monotonic() + watchdog_s
+        while process.is_alive() and time.monotonic() < deadline:
+            time.sleep(0.01)
+        timed_out = process.is_alive()
+        if timed_out:
+            process.terminate()
+            process.join(_KILL_GRACE_S)
+            if process.is_alive():
+                process.kill()
+                process.join(1.0)
+        else:
+            process.join()
+        payload = None
+        if not timed_out:
+            try:
+                payload = None if queue.empty() else queue.get()
+            except Exception:  # torn pipe write from a dying worker
+                payload = None
+        if hasattr(queue, "close"):
+            queue.close()
+        return payload, timed_out
+
+    def _process(self, job: ServeJob) -> None:
+        job.state = "running"
+        while True:
+            remaining = job.remaining_s()
+            if remaining is not None and remaining <= 0:
+                self.recorder.incr("serve.deadline_expired")
+                self._settle(
+                    job,
+                    "deadline",
+                    _deadline_result(job, "queued" if job.attempts == 0 else "running"),
+                    breaker_counts=False,
+                )
+                return
+            watchdog = self.timeout_for(job, remaining)
+            deadline_bound = remaining is not None and remaining <= watchdog
+            body = job.job.to_dict()
+            body["params"] = self._attempt_params(job, remaining)
+            started = time.perf_counter()
+            if self.isolation:
+                payload, timed_out = self._run_isolated(
+                    body, job.attempts, watchdog
+                )
+                if timed_out:
+                    classification = "timeout"
+                    detail = "watchdog: no result within {:.1f}s".format(watchdog)
+                elif payload is None:
+                    classification = "crash"
+                    detail = "worker exited without a result"
+                else:
+                    classification = classify_payload(job.job.job_id, payload)
+                    detail = payload_detail(payload)
+            else:
+                payload = execute_job(Job.from_dict(body))
+                classification = classify_payload(job.job.job_id, payload)
+                detail = payload_detail(payload)
+            wall = time.perf_counter() - started
+            job.attempts += 1
+            job.classifications.append(classification)
+            self.recorder.merge(
+                {"timers": {"serve.attempt." + job.job.kind: {"total_s": wall, "calls": 1}}}
+            )
+            counter = {
+                "crash": "serve.crashes",
+                "timeout": "serve.timeouts",
+                "malformed": "serve.malformed",
+                "budget": "serve.budget_cuts",
+            }.get(classification)
+            if counter is not None:
+                self.recorder.incr(counter)
+            if isinstance(payload, dict) and isinstance(
+                payload.get("telemetry"), dict
+            ):
+                self.recorder.merge(payload["telemetry"])
+            if classification == "timeout" and deadline_bound:
+                # The deadline, not the service watchdog, killed it: a
+                # partial verdict, not an infrastructure timeout.
+                self.recorder.incr("serve.deadline_expired")
+                self._settle(
+                    job, "deadline", _deadline_result(job, "running"),
+                    breaker_counts=False,
+                )
+                return
+            retryable = (
+                classification in TRANSIENT_CLASSES
+                and job.attempts <= job.max_retries
+            )
+            if retryable:
+                backoff = self.retry.delay(job.attempts - 1)
+                remaining = job.remaining_s()
+                if remaining is not None and backoff + _MIN_WINDOW_S >= remaining:
+                    retryable = False  # no room left to retry inside the deadline
+                else:
+                    if classification == "budget":
+                        job.budget_scale *= 4
+                        self.recorder.incr("serve.budget_escalations")
+                    self.recorder.incr("serve.retries")
+                    self.breakers.breaker(job.job.system).record(classification)
+                    time.sleep(backoff)
+                    continue
+            if not retryable:
+                self._settle(
+                    job,
+                    classification,
+                    self._terminal_result(job, classification, detail, payload),
+                )
+                return
+
+    def timeout_for(self, job: ServeJob, remaining: Optional[float]) -> float:
+        """The attempt watchdog: the configured per-job timeout, capped
+        by the request's remaining deadline (plus a floor so the kill
+        path stays reachable)."""
+        if remaining is None:
+            return job.timeout_s
+        return max(_MIN_WINDOW_S, min(job.timeout_s, remaining))
+
+    def _terminal_result(
+        self, job: ServeJob, classification: str, detail: str, payload
+    ) -> Dict[str, Any]:
+        if isinstance(payload, dict) and classification in (
+            "ok",
+            "verdict",
+            "budget",
+            "error",
+        ):
+            result = {
+                k: v for k, v in payload.items() if k != "telemetry"
+            }
+            result["status"] = classification
+            return result
+        return {
+            "schema": RESULT_SCHEMA_VERSION,
+            "job_id": job.job.job_id,
+            "status": classification,
+            "ok": False,
+            "conclusive": classification not in ("budget",),
+            "exhausted_budget": classification == "budget",
+            "detail": detail,
+            "error": None,
+        }
+
+    def _settle(
+        self,
+        job: ServeJob,
+        status: str,
+        result: Dict[str, Any],
+        breaker_counts: bool = True,
+    ) -> None:
+        result.setdefault("status", status)
+        job.result = result
+        if breaker_counts:
+            self.breakers.breaker(job.job.system).record(status)
+        self.journal.done(job.job.job_id, result)
+        self.recorder.incr("serve.completed")
+        if not result.get("ok"):
+            self.recorder.incr("serve.failed")
+        latency = time.monotonic() - job.submitted_at
+        self.recorder.merge(
+            {"timers": {"serve.job": {"total_s": latency, "calls": 1}}}
+        )
+        if self.on_done is not None:
+            # Before the state flip: a poller must not observe "done"
+            # and warm-miss because the cache store hasn't landed yet.
+            try:
+                self.on_done(job)
+            except Exception:
+                self.recorder.incr("serve.on_done_errors")
+        job.state = "done"

@@ -1,0 +1,106 @@
+"""Monotonic-clock discipline for all timing machinery.
+
+Budgets, supervisor watchdogs, retry eligibility, serving deadlines and
+circuit-breaker cool-downs are *duration* contracts: a wall-clock step
+(NTP correction, DST, a VM migration) must neither extend nor cut short
+any of them.  These tests pin that by yanking ``time.time`` around
+wildly and asserting nothing built on durations notices.
+"""
+
+import time
+
+import pytest
+
+from repro.faults.budget import Budget
+from repro.serve.workers import ServeJob
+from repro.runner.jobs import Job
+
+
+@pytest.fixture
+def wild_wall_clock(monkeypatch):
+    """Make time.time() jump a year backwards — anything reading the
+    wall clock for durations will misbehave loudly."""
+    real = time.time()
+    monkeypatch.setattr(time, "time", lambda: real - 365 * 86400.0)
+
+
+def test_budget_wall_time_ignores_wall_clock_steps(wild_wall_clock):
+    budget = Budget(wall_time=60.0)
+    # A year-backwards wall clock: a time.time()-based implementation
+    # would see a huge negative elapsed and never expire — or with a
+    # forward jump, expire instantly.  Monotonic elapsed stays tiny.
+    assert budget.ok()
+    assert 0.0 <= budget.elapsed() < 5.0
+    assert budget.reason is None
+
+
+def test_budget_expires_on_monotonic_elapsed(monkeypatch):
+    budget = Budget(wall_time=10.0)
+    base = time.monotonic()
+    monkeypatch.setattr(time, "monotonic", lambda: base + 11.0)
+    assert not budget.ok()
+    assert "wall_time" in budget.reason
+
+
+def test_budget_survives_forward_wall_clock_jump(monkeypatch):
+    budget = Budget(wall_time=60.0)
+    real = time.time()
+    monkeypatch.setattr(time, "time", lambda: real + 3600.0)
+    assert budget.ok()  # an hour of wall-clock jump is zero duration
+
+
+def test_serve_deadline_uses_monotonic_clock(wild_wall_clock):
+    job = ServeJob(
+        job=Job(job_id="sv-x", kind="analyze", system="rm", params={}),
+        deadline_ms=60_000,
+    )
+    remaining = job.remaining_s()
+    # deadline_at was anchored on time.monotonic(); the wall-clock jump
+    # must leave the full minute intact (not -a-year, not +a-year).
+    assert 55.0 < remaining <= 60.0
+
+
+def test_supervisor_watchdog_uses_monotonic_clock(monkeypatch, tmp_path):
+    """An inline campaign with a wild wall clock still finishes and
+    reports sane walls — the supervisor's watchdog/accounting would go
+    negative (or kill everything instantly) if it read time.time()."""
+    from repro.runner import Ledger, RetryPolicy, Supervisor
+
+    real = time.time()
+    monkeypatch.setattr(time, "time", lambda: real - 365 * 86400.0)
+    jobs = [
+        Job(job_id="j-analyze-rm", kind="analyze", system="rm", params={})
+    ]
+    ledger = Ledger(str(tmp_path / "ledger.jsonl"))
+    supervisor = Supervisor(
+        jobs,
+        workers=0,
+        timeout=30.0,
+        ledger=ledger,
+        retry=RetryPolicy(max_retries=0),
+    )
+    report = supervisor.run()
+    outcome = report.outcomes[0]
+    assert outcome.status == "ok"
+    assert outcome.wall >= 0.0
+    assert outcome.wall < 60.0
+
+
+def test_source_has_no_wall_clock_reads():
+    """No timing code under src/ may call time.time() — monotonic or
+    perf_counter only.  (Timestamps for *display* would be fine, but
+    nothing needs them today; revisit this pin if that changes.)"""
+    import repro
+    import os
+
+    root = os.path.dirname(os.path.abspath(repro.__file__))
+    offenders = []
+    for dirpath, _dirnames, filenames in os.walk(root):
+        for filename in filenames:
+            if not filename.endswith(".py"):
+                continue
+            path = os.path.join(dirpath, filename)
+            with open(path) as fh:
+                if "time.time()" in fh.read():
+                    offenders.append(os.path.relpath(path, root))
+    assert offenders == []

@@ -1,0 +1,169 @@
+"""Cache backends: spec parsing, sqlite round-trips, concurrent writers."""
+
+import os
+import sqlite3
+import threading
+
+import pytest
+
+from repro.cache import BackendError, DirBackend, VerdictCache
+from repro.serve.backends import SqliteBackend, backend_cache, open_backend
+from repro.errors import ReproError
+
+
+# -- spec language -----------------------------------------------------
+
+
+def test_open_backend_explicit_dir(tmp_path):
+    backend = open_backend("dir:" + str(tmp_path / "pool"))
+    assert backend.kind == "dir"
+    assert backend.describe().startswith("dir:")
+
+
+def test_open_backend_explicit_sqlite(tmp_path):
+    backend = open_backend("sqlite:" + str(tmp_path / "pool.db"))
+    assert backend.kind == "sqlite"
+    assert backend.describe().startswith("sqlite:")
+
+
+def test_open_backend_bare_path_infers_kind(tmp_path):
+    assert open_backend(str(tmp_path / "plain")).kind == "dir"
+    assert open_backend(str(tmp_path / "pool.db")).kind == "sqlite"
+    assert open_backend(str(tmp_path / "pool.sqlite")).kind == "sqlite"
+
+
+def test_open_backend_rejects_unknown_kind(tmp_path):
+    with pytest.raises(ReproError):
+        open_backend("redis:localhost")
+    with pytest.raises(ReproError):
+        open_backend("")
+    with pytest.raises(ReproError):
+        open_backend("sqlite:")
+
+
+def test_sqlite_unwritable_path_fails_at_construction(tmp_path):
+    blocker = tmp_path / "not-a-dir"
+    blocker.write_text("file, not directory")
+    with pytest.raises(BackendError):
+        SqliteBackend(str(blocker / "pool.db"))
+
+
+# -- sqlite backend ----------------------------------------------------
+
+
+def test_sqlite_round_trip(tmp_path):
+    backend = SqliteBackend(str(tmp_path / "pool.db"))
+    assert backend.get("k" * 64) is None
+    backend.put("k" * 64, '{"x": 1}')
+    assert backend.get("k" * 64) == '{"x": 1}'
+    assert backend.count() == 1
+    backend.close()
+
+
+def test_sqlite_upsert_last_writer_wins(tmp_path):
+    backend = SqliteBackend(str(tmp_path / "pool.db"))
+    backend.put("key", "first")
+    backend.put("key", "second")
+    assert backend.get("key") == "second"
+    assert backend.count() == 1
+
+
+def test_sqlite_is_wal_mode(tmp_path):
+    path = str(tmp_path / "pool.db")
+    backend = SqliteBackend(path)
+    backend.put("k", "v")
+    mode = sqlite3.connect(path).execute("PRAGMA journal_mode").fetchone()[0]
+    assert mode.lower() == "wal"
+
+
+def test_sqlite_shared_between_instances(tmp_path):
+    # Two backends on one file model two daemon replicas sharing a pool.
+    path = str(tmp_path / "pool.db")
+    writer = SqliteBackend(path)
+    reader = SqliteBackend(path)
+    writer.put("key", "payload")
+    assert reader.get("key") == "payload"
+
+
+def test_sqlite_concurrent_threaded_writers(tmp_path):
+    backend = SqliteBackend(str(tmp_path / "pool.db"))
+    errors = []
+
+    def writer(base):
+        try:
+            for i in range(30):
+                backend.put("key-{}-{}".format(base, i), str(base))
+        except Exception as exc:  # pragma: no cover - diagnostic
+            errors.append(exc)
+
+    threads = [threading.Thread(target=writer, args=(n,)) for n in range(6)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert not errors
+    assert backend.count() == 180
+
+
+# -- VerdictCache over a backend ---------------------------------------
+
+
+def _cache_env(monkeypatch, tmp_path):
+    monkeypatch.setenv("REPRO_CACHE", "1")
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "unused"))
+
+
+def test_verdict_cache_over_sqlite(tmp_path, monkeypatch):
+    _cache_env(monkeypatch, tmp_path)
+    cache = backend_cache("sqlite:" + str(tmp_path / "pool.db"))
+    parts = {"seeds": 2, "steps": 40}
+    assert cache.lookup("check", "rm", parts) is None
+    assert cache.store("check", "rm", parts, {"ok": True, "job_id": "x"})
+    hit = cache.lookup("check", "rm", parts)
+    assert hit["ok"] is True
+    assert cache.stats() == {"hits": 1, "misses": 1, "stores": 1, "errors": 0}
+
+
+def test_verdict_cache_over_dir_backend(tmp_path, monkeypatch):
+    _cache_env(monkeypatch, tmp_path)
+    cache = backend_cache("dir:" + str(tmp_path / "pool"))
+    assert isinstance(cache.backend, DirBackend)
+    parts = {"seeds": 2}
+    cache.store("check", "relay", parts, {"ok": False, "job_id": "y"})
+    assert cache.lookup("check", "relay", parts)["ok"] is False
+
+
+def test_dir_and_sqlite_backends_agree_on_keys(tmp_path, monkeypatch):
+    """The backend only stores bytes — the verdict key is computed above
+    it, so the same (kind, system, parts) maps to the same entry in
+    either backend."""
+    _cache_env(monkeypatch, tmp_path)
+    dir_cache = backend_cache("dir:" + str(tmp_path / "pool"))
+    sql_cache = backend_cache("sqlite:" + str(tmp_path / "pool.db"))
+    parts = {"seeds": 3, "steps": 80}
+    dir_cache.store("check", "rm", parts, {"ok": True, "job_id": "z"})
+    sql_cache.store("check", "rm", parts, {"ok": True, "job_id": "z"})
+    assert dir_cache.lookup("check", "rm", parts) == sql_cache.lookup(
+        "check", "rm", parts
+    )
+
+
+def test_backend_error_counts_not_raises(tmp_path, monkeypatch):
+    _cache_env(monkeypatch, tmp_path)
+
+    class FlakyBackend:
+        kind = "flaky"
+
+        def get(self, key):
+            raise BackendError("storage down")
+
+        def put(self, key, text):
+            raise BackendError("storage down")
+
+        def describe(self):
+            return "flaky:"
+
+    cache = VerdictCache(backend=FlakyBackend())
+    assert cache.lookup("check", "rm", {}) is None  # degraded to a miss
+    assert not cache.store("check", "rm", {}, {"ok": True, "job_id": "w"})
+    assert cache.stats()["errors"] == 2

@@ -1,0 +1,188 @@
+"""Request journal: durability, replay, torn tails, interleaved writers."""
+
+import threading
+
+import pytest
+
+from repro.serialize import ledger_entry_to_line
+from repro.serve.journal import Journal, JournalState, load_journal
+
+
+def _job_entry_body(job_id, system="rm"):
+    return {
+        "job_id": job_id,
+        "kind": "analyze",
+        "system": system,
+        "params": {"strict": False},
+        "expect_failure": False,
+        "chaos": None,
+    }
+
+
+def _result(job_id, ok=True):
+    return {
+        "job_id": job_id,
+        "status": "ok" if ok else "crash",
+        "ok": ok,
+        "conclusive": True,
+        "exhausted_budget": False,
+        "detail": "",
+        "error": None,
+    }
+
+
+def test_round_trip(tmp_path):
+    path = str(tmp_path / "j.jsonl")
+    with Journal(path) as journal:
+        journal.start("gen-1", {"workers": 2})
+        journal.job(_job_entry_body("sv-1"), {"deadline_ms": None})
+        journal.job(_job_entry_body("sv-2"), {"deadline_ms": 500})
+        journal.done("sv-1", _result("sv-1"))
+    state = load_journal(path)
+    assert state.generations == ["gen-1"]
+    assert set(state.jobs) == {"sv-1", "sv-2"}
+    assert set(state.results) == {"sv-1"}
+    assert [e["job"]["job_id"] for e in state.pending] == ["sv-2"]
+    assert state.pending[0]["envelope"]["deadline_ms"] == 500
+    assert not state.complete
+
+
+def test_missing_journal_is_none(tmp_path):
+    assert load_journal(str(tmp_path / "absent.jsonl")) is None
+
+
+def test_drain_and_generations_span_restarts(tmp_path):
+    path = str(tmp_path / "j.jsonl")
+    with Journal(path) as journal:
+        journal.start("gen-1", {})
+        journal.job(_job_entry_body("sv-1"), {})
+        journal.done("sv-1", _result("sv-1"))
+        journal.drain({"jobs": 1})
+    # A restart appends — the file accumulates history.
+    with Journal(path) as journal:
+        journal.start("gen-2", {})
+        journal.job(_job_entry_body("sv-2"), {})
+    state = load_journal(path)
+    assert state.generations == ["gen-1", "gen-2"]
+    assert not state.drained  # gen-2 never drained
+    assert [e["job"]["job_id"] for e in state.pending] == ["sv-2"]
+    assert state.results["sv-1"]["ok"] is True
+
+
+def test_torn_tail_is_tolerated(tmp_path):
+    path = str(tmp_path / "j.jsonl")
+    with Journal(path) as journal:
+        journal.start("gen-1", {})
+        journal.job(_job_entry_body("sv-1"), {})
+        journal.done("sv-1", _result("sv-1"))
+    with open(path, "a") as fh:
+        fh.write('{"schema": 1, "kind": "serve-done", "job_id": "sv-2", "resu')
+    state = load_journal(path)
+    assert set(state.results) == {"sv-1"}  # torn line dropped, rest kept
+
+
+def test_unknown_kinds_are_skipped(tmp_path):
+    path = str(tmp_path / "j.jsonl")
+    with Journal(path) as journal:
+        journal.start("gen-1", {})
+    with open(path, "a") as fh:
+        fh.write(ledger_entry_to_line({"kind": "serve-metrics", "x": 1}) + "\n")
+    with Journal(path) as journal:
+        journal.job(_job_entry_body("sv-1"), {})
+    state = load_journal(path)
+    assert set(state.jobs) == {"sv-1"}
+
+
+def test_done_before_job_entry_still_counts(tmp_path):
+    # A replayed generation may re-journal a job after its result from a
+    # previous generation; last-write-wins must keep it terminal.
+    path = str(tmp_path / "j.jsonl")
+    with Journal(path) as journal:
+        journal.job(_job_entry_body("sv-1"), {})
+        journal.done("sv-1", _result("sv-1"))
+        journal.job(_job_entry_body("sv-1"), {})  # replay re-accept
+    state = load_journal(path)
+    assert state.complete
+
+
+def test_interleaved_threaded_writers(tmp_path):
+    """Satellite: many writer threads sharing one journal must never
+    tear each other's lines — every entry parses back whole."""
+    path = str(tmp_path / "j.jsonl")
+    journal = Journal(path)
+    errors = []
+
+    def writer(base):
+        try:
+            for i in range(40):
+                job_id = "sv-{}-{}".format(base, i)
+                journal.job(_job_entry_body(job_id), {"writer": base})
+                journal.done(job_id, _result(job_id))
+        except Exception as exc:  # pragma: no cover - diagnostic
+            errors.append(exc)
+
+    threads = [threading.Thread(target=writer, args=(n,)) for n in range(6)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    journal.close()
+    assert not errors
+    state = load_journal(path)
+    expected = {"sv-{}-{}".format(n, i) for n in range(6) for i in range(40)}
+    assert set(state.jobs) == expected
+    assert set(state.results) == expected
+    assert state.complete
+
+
+def test_interleaved_process_writers_with_torn_tail(tmp_path):
+    """Satellite: entries appended by *separate processes* (O_APPEND)
+    interleave without tearing, and a torn final line — a writer killed
+    mid-write — costs exactly that line."""
+    import subprocess
+    import sys
+
+    path = str(tmp_path / "j.jsonl")
+    script = (
+        "import sys\n"
+        "sys.path.insert(0, {src!r})\n"
+        "from repro.serve.journal import Journal\n"
+        "base = sys.argv[1]\n"
+        "journal = Journal({path!r})\n"
+        "for i in range(25):\n"
+        "    jid = 'sv-%s-%d' % (base, i)\n"
+        "    journal.job({{'job_id': jid, 'kind': 'analyze', 'system': 'rm',\n"
+        "                 'params': {{}}, 'expect_failure': False, 'chaos': None}},\n"
+        "                {{'writer': base}})\n"
+        "    journal.done(jid, {{'job_id': jid, 'status': 'ok', 'ok': True,\n"
+        "                       'conclusive': True, 'exhausted_budget': False,\n"
+        "                       'detail': '', 'error': None}})\n"
+        "journal.close()\n"
+    ).format(src=_src_dir(), path=path)
+    procs = [
+        subprocess.Popen([sys.executable, "-c", script, str(n)])
+        for n in range(3)
+    ]
+    for proc in procs:
+        assert proc.wait(timeout=60) == 0
+    with open(path, "a") as fh:
+        fh.write('{"schema": 1, "kind": "serve-job", "job": {"job_id": "torn')
+    state = load_journal(path)
+    expected = {"sv-{}-{}".format(n, i) for n in range(3) for i in range(25)}
+    assert set(state.jobs) == expected
+    assert state.complete  # the torn acceptance never became a job
+
+
+def _src_dir():
+    import repro
+
+    import os
+
+    return os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+
+
+def test_journal_state_defaults():
+    state = JournalState()
+    assert state.complete
+    assert state.pending == []
+    assert not state.drained

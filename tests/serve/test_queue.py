@@ -1,0 +1,108 @@
+"""Admission queue: bounded, closable, shed-not-hang."""
+
+import threading
+import time
+
+import pytest
+
+from repro.serve.queue import AdmissionQueue
+
+
+def test_fifo_round_trip():
+    q = AdmissionQueue(max_depth=4)
+    for item in ("a", "b", "c"):
+        assert q.offer(item)
+    assert [q.take(timeout=0.1) for _ in range(3)] == ["a", "b", "c"]
+
+
+def test_offer_sheds_when_full():
+    q = AdmissionQueue(max_depth=2)
+    assert q.offer(1) and q.offer(2)
+    assert not q.offer(3)
+    stats = q.stats()
+    assert stats["accepted"] == 2
+    assert stats["shed"] == 1
+    assert stats["depth"] == 2
+
+
+def test_offer_never_blocks_when_full():
+    q = AdmissionQueue(max_depth=1)
+    assert q.offer(1)
+    start = time.monotonic()
+    assert not q.offer(2)
+    assert time.monotonic() - start < 0.1
+
+
+def test_take_times_out_with_none():
+    q = AdmissionQueue()
+    start = time.monotonic()
+    assert q.take(timeout=0.05) is None
+    assert time.monotonic() - start >= 0.04
+
+
+def test_close_stops_admission_but_drains():
+    q = AdmissionQueue()
+    assert q.offer("queued-before-close")
+    q.close()
+    assert not q.offer("after-close")
+    assert q.take(timeout=0.1) == "queued-before-close"
+    assert q.take(timeout=0.1) is None  # closed + empty: worker shutdown
+    assert q.closed()
+
+
+def test_close_wakes_blocked_takers():
+    q = AdmissionQueue()
+    results = []
+
+    def taker():
+        results.append(q.take(timeout=10.0))
+
+    thread = threading.Thread(target=taker)
+    thread.start()
+    time.sleep(0.05)
+    q.close()
+    thread.join(timeout=2.0)
+    assert not thread.is_alive()
+    assert results == [None]
+
+
+def test_concurrent_producers_and_consumers():
+    q = AdmissionQueue(max_depth=1000)
+    taken = []
+    taken_lock = threading.Lock()
+
+    def producer(base):
+        for i in range(50):
+            assert q.offer(base + i)
+
+    def consumer():
+        while True:
+            item = q.take(timeout=0.2)
+            if item is None:
+                return
+            with taken_lock:
+                taken.append(item)
+
+    producers = [threading.Thread(target=producer, args=(n * 100,)) for n in range(4)]
+    consumers = [threading.Thread(target=consumer) for _ in range(4)]
+    for t in producers + consumers:
+        t.start()
+    for t in producers:
+        t.join()
+    q.close()
+    for t in consumers:
+        t.join()
+    assert sorted(taken) == sorted(n * 100 + i for n in range(4) for i in range(50))
+
+
+def test_retry_after_scales_with_depth():
+    q = AdmissionQueue(max_depth=100)
+    assert q.retry_after_s() == 1.0  # floor
+    for i in range(60):
+        q.offer(i)
+    assert q.retry_after_s(per_item_estimate_s=1.0) == 30.0
+
+
+def test_rejects_nonsense_depth():
+    with pytest.raises(ValueError):
+        AdmissionQueue(max_depth=0)

@@ -1,0 +1,150 @@
+"""Circuit breakers: trip, quarantine, half-open probe, recovery.
+
+Every test drives the breaker on an injected fake clock — quarantine is
+a *monotonic-time* contract, so the tests never sleep.
+"""
+
+import pytest
+
+from repro.serve.resilience import (
+    BREAKER_FAILURE_CLASSES,
+    BreakerBoard,
+    CircuitBreaker,
+)
+
+
+class Clock:
+    def __init__(self):
+        self.now = 100.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+@pytest.fixture
+def clock():
+    return Clock()
+
+
+def breaker(clock, threshold=3, cooldown=30.0):
+    return CircuitBreaker(
+        failure_threshold=threshold, cooldown_s=cooldown, clock=clock
+    )
+
+
+def test_closed_until_threshold_consecutive_failures(clock):
+    b = breaker(clock)
+    for _ in range(2):
+        b.record("crash")
+        assert b.allow()
+    b.record("crash")
+    assert b.state == "open"
+    assert not b.allow()
+
+
+def test_success_resets_the_streak(clock):
+    b = breaker(clock)
+    b.record("crash")
+    b.record("crash")
+    b.record("ok")  # machinery worked: streak resets
+    b.record("crash")
+    b.record("crash")
+    assert b.state == "closed"
+    assert b.allow()
+
+
+def test_results_are_not_infrastructure_failures(clock):
+    b = breaker(clock)
+    # A failing check (verdict), a budget cut, an in-engine error: the
+    # machinery worked, so none of these may quarantine the system.
+    for classification in ("verdict", "budget", "error", "ok"):
+        assert classification not in BREAKER_FAILURE_CLASSES
+        for _ in range(5):
+            b.record(classification)
+        assert b.state == "closed"
+
+
+def test_open_rejects_until_cooldown(clock):
+    b = breaker(clock, threshold=1, cooldown=30.0)
+    b.record("timeout")
+    assert not b.allow()
+    assert b.retry_after_s() == pytest.approx(30.0)
+    clock.advance(29.0)
+    assert not b.allow()
+    assert b.retry_after_s() == pytest.approx(1.0)
+
+
+def test_half_open_admits_exactly_one_probe(clock):
+    b = breaker(clock, threshold=1, cooldown=10.0)
+    b.record("crash")
+    clock.advance(10.0)
+    assert b.state == "half-open"
+    assert b.allow()       # the probe
+    assert not b.allow()   # concurrent requests wait for the probe
+    assert not b.allow()
+
+
+def test_probe_success_closes(clock):
+    b = breaker(clock, threshold=1, cooldown=10.0)
+    b.record("crash")
+    clock.advance(10.0)
+    assert b.allow()
+    b.record("ok")
+    assert b.state == "closed"
+    assert b.allow() and b.allow()
+
+
+def test_probe_failure_reopens_for_a_full_cooldown(clock):
+    b = breaker(clock, threshold=1, cooldown=10.0)
+    b.record("crash")
+    clock.advance(10.0)
+    assert b.allow()
+    b.record("crash")
+    assert b.state == "open"
+    assert not b.allow()
+    assert b.retry_after_s() == pytest.approx(10.0)
+    assert b.trips == 2
+
+
+def test_snapshot_shape(clock):
+    b = breaker(clock, threshold=2, cooldown=5.0)
+    b.record("crash")
+    snap = b.snapshot()
+    assert snap["state"] == "closed"
+    assert snap["streak"] == 1
+    assert snap["trips"] == 0
+    assert snap["failure_threshold"] == 2
+    assert snap["cooldown_s"] == 5.0
+
+
+def test_rejections_counted(clock):
+    b = breaker(clock, threshold=1, cooldown=10.0)
+    b.record("malformed")
+    b.allow()
+    b.allow()
+    assert b.snapshot()["rejections"] == 2
+
+
+def test_board_isolates_systems(clock):
+    board = BreakerBoard(failure_threshold=1, cooldown_s=10.0, clock=clock)
+    board.breaker("relay").record("crash")
+    assert not board.breaker("relay").allow()
+    assert board.breaker("rm").allow()  # other systems unaffected
+    snap = board.snapshot()
+    assert snap["relay"]["state"] == "open"
+    assert snap["rm"]["state"] == "closed"
+
+
+def test_board_reuses_one_breaker_per_system(clock):
+    board = BreakerBoard(clock=clock)
+    assert board.breaker("rm") is board.breaker("rm")
+
+
+def test_invalid_configuration_rejected(clock):
+    with pytest.raises(ValueError):
+        CircuitBreaker(failure_threshold=0)
+    with pytest.raises(ValueError):
+        CircuitBreaker(cooldown_s=0)

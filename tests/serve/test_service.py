@@ -1,0 +1,250 @@
+"""VerificationService: admission, deadlines, caching, recovery.
+
+All tests run inline workers (``isolation=False``) on cheap jobs so the
+whole file stays fast; the subprocess-isolation path is covered by
+``scripts/serve_chaos.py`` against real daemons.
+"""
+
+import time
+
+import pytest
+
+from repro.serve.app import ServeConfig, VerificationService
+
+
+def make_service(tmp_path, **overrides):
+    defaults = dict(
+        workers=1,
+        isolation=False,
+        journal_path=str(tmp_path / "journal.jsonl"),
+        backend="dir:" + str(tmp_path / "pool"),
+        timeout_s=30.0,
+        drain_grace_s=10.0,
+    )
+    defaults.update(overrides)
+    return VerificationService(ServeConfig(**defaults))
+
+
+def wait_done(service, job_id, timeout=30.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        doc = service.get_job(job_id)
+        if doc and doc["state"] == "done":
+            return doc
+        time.sleep(0.01)
+    raise AssertionError("job {} did not settle".format(job_id))
+
+
+@pytest.fixture
+def service(tmp_path):
+    svc = make_service(tmp_path)
+    svc.start()
+    yield svc
+    svc.drain(grace_s=10.0)
+    svc.journal.close()
+
+
+def test_submit_and_poll_round_trip(service):
+    status, body = service.submit({"kind": "analyze", "system": "rm"})
+    assert status == 202
+    assert body["state"] == "queued"
+    doc = wait_done(service, body["job_id"])
+    assert doc["result"]["ok"] is True
+    assert doc["result"]["status"] == "ok"
+    assert doc["classifications"] == ["ok"]
+
+
+def test_unknown_job_is_none(service):
+    assert service.get_job("sv-nope") is None
+
+
+@pytest.mark.parametrize(
+    "body, fragment",
+    [
+        ({"kind": "zap", "system": "rm"}, "unknown kind"),
+        ({"kind": "check", "system": "nope"}, "unknown system"),
+        ({"kind": "analyze", "system": "rm", "deadline_ms": 0}, "deadline_ms"),
+        ({"kind": "analyze", "system": "rm", "deadline_ms": "soon"}, "deadline_ms"),
+        ({"kind": "analyze", "system": "rm", "max_retries": -1}, "max_retries"),
+        ({"kind": "analyze", "system": "rm", "params": {"wat": 1}}, "unknown param"),
+        ({"kind": "analyze", "system": "rm", "params": 7}, "params"),
+        ({"kind": "analyze", "system": "rm", "chaos": "gremlins"}, "chaos"),
+    ],
+)
+def test_bad_requests_are_400(service, body, fragment):
+    status, payload = service.submit(body)
+    assert status == 400
+    assert fragment in payload["error"]
+
+
+def test_warm_resubmit_is_a_cache_hit(service):
+    status, body = service.submit({"kind": "analyze", "system": "rm"})
+    assert status == 202
+    wait_done(service, body["job_id"])
+    status, warm = service.submit({"kind": "analyze", "system": "rm"})
+    assert status == 200  # answered at submit, no queueing
+    assert warm["state"] == "done"
+    assert warm["result"]["cached"] is True
+    assert warm["result"]["job_id"] == warm["job_id"]  # rewritten to this request
+    assert service.cache.stats()["hits"] == 1
+
+
+def test_different_params_miss_the_cache(service):
+    status, body = service.submit({"kind": "analyze", "system": "rm"})
+    wait_done(service, body["job_id"])
+    status, other = service.submit(
+        {"kind": "analyze", "system": "rm", "params": {"strict": True}}
+    )
+    assert status == 202  # different work, must run
+
+
+def test_tight_deadline_degrades_to_partial_verdict(service):
+    status, body = service.submit(
+        {
+            "kind": "check",
+            "system": "rm",
+            "params": {"seeds": 20, "steps": 400},
+            "deadline_ms": 200,
+        }
+    )
+    assert status == 202
+    start = time.monotonic()
+    doc = wait_done(service, body["job_id"], timeout=15.0)
+    result = doc["result"]
+    assert result["exhausted_budget"] is True
+    assert result["conclusive"] is False
+    assert result["status"] in ("budget", "deadline")
+    assert time.monotonic() - start < 10.0
+
+
+def test_deadline_partials_are_not_cached(service):
+    body = {
+        "kind": "check",
+        "system": "rm",
+        "params": {"seeds": 20, "steps": 400},
+        "deadline_ms": 200,
+    }
+    status, doc = service.submit(body)
+    wait_done(service, doc["job_id"], timeout=15.0)
+    status, again = service.submit(body)
+    assert status == 202  # a partial verdict must never be served warm
+
+
+def test_queue_full_sheds_with_429(tmp_path):
+    service = make_service(tmp_path, queue_depth=1)
+    # Pool not started: the queue fills and stays full.
+    statuses = [
+        service.submit({"kind": "analyze", "system": "rm"})[0] for _ in range(3)
+    ]
+    assert statuses[0] == 202
+    assert 429 in statuses
+    shed_status, shed_body = service.submit({"kind": "analyze", "system": "rm"})
+    assert shed_status == 429
+    assert shed_body["retry_after_s"] >= 1.0
+    # A shed job must not be resurrected by journal replay.
+    from repro.serve.journal import load_journal
+
+    state = load_journal(service.config.journal_path)
+    assert len(state.pending) == 1
+    service.journal.close()
+
+
+def test_open_breaker_rejects_with_503(service):
+    breaker = service.breakers.breaker("rm")
+    for _ in range(service.config.breaker_threshold):
+        breaker.record_failure()
+    status, body = service.submit({"kind": "analyze", "system": "rm"})
+    assert status == 503
+    assert body["retry_after_s"] > 0
+    assert service.submit({"kind": "analyze", "system": "relay"})[0] == 202
+
+
+def test_draining_rejects_submissions(service):
+    service.draining = True
+    status, body = service.submit({"kind": "analyze", "system": "rm"})
+    assert status == 503
+    assert "draining" in body["error"]
+    service.draining = False
+
+
+def test_drain_settles_everything_and_returns_zero(tmp_path):
+    service = make_service(tmp_path)
+    service.start()
+    ids = [
+        service.submit({"kind": "analyze", "system": system})[1]["job_id"]
+        for system in ("rm", "relay")
+    ]
+    assert service.drain(grace_s=30.0) == 0
+    for job_id in ids:
+        assert service.get_job(job_id)["state"] == "done"
+    service.journal.close()
+
+
+def test_drain_timeout_returns_4(tmp_path):
+    from repro.serve.app import EXIT_DRAIN_TIMEOUT
+
+    service = make_service(tmp_path, queue_depth=8)
+    # Pool never started: queued jobs cannot finish inside any grace.
+    service.submit({"kind": "analyze", "system": "rm"})
+    assert service.drain(grace_s=0.1) == EXIT_DRAIN_TIMEOUT
+    service.journal.close()
+
+
+def test_stats_shape(service):
+    status, body = service.submit({"kind": "analyze", "system": "rm"})
+    wait_done(service, body["job_id"])
+    stats = service.stats()
+    assert stats["jobs"] == {"done": 1}
+    assert stats["queue"]["accepted"] == 1
+    assert stats["backend"].startswith("dir:")
+    assert stats["telemetry"]["counters"]["serve.completed"] == 1
+    assert stats["recovered"] == 0
+    assert not stats["draining"]
+
+
+def test_kill_and_replay_recovers_accepted_jobs(tmp_path):
+    # Generation 1 accepts work and "dies" (journal never drained,
+    # pool never ran).
+    first = make_service(tmp_path)
+    accepted = []
+    for system in ("rm", "relay", "chain"):
+        status, body = first.submit({"kind": "analyze", "system": system})
+        assert status == 202
+        accepted.append(body["job_id"])
+    first.journal.close()  # kill -9: no drain entry
+
+    # Generation 2 replays the journal and finishes every accepted job.
+    second = make_service(tmp_path)
+    second.start()
+    try:
+        assert second.recovered == len(accepted)
+        for job_id in accepted:
+            doc = wait_done(second, job_id)
+            assert doc["recovered"] is True
+            assert doc["result"]["ok"] is True
+    finally:
+        assert second.drain(grace_s=30.0) == 0
+        second.journal.close()
+    from repro.serve.journal import load_journal
+
+    assert load_journal(str(tmp_path / "journal.jsonl")).complete
+
+
+def test_replay_preserves_finished_results(tmp_path):
+    first = make_service(tmp_path)
+    first.start()
+    status, body = first.submit({"kind": "analyze", "system": "rm"})
+    done = wait_done(first, body["job_id"])
+    assert first.drain(grace_s=30.0) == 0
+    first.journal.close()
+
+    second = make_service(tmp_path)
+    second.start()
+    try:
+        assert second.recovered == 0
+        replayed = second.get_job(body["job_id"])
+        assert replayed["state"] == "done"
+        assert replayed["result"]["ok"] == done["result"]["ok"]
+    finally:
+        second.drain(grace_s=10.0)
+        second.journal.close()

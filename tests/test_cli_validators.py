@@ -1,0 +1,62 @@
+"""CLI argument validation: nonsense numerics must exit 2, up front.
+
+A typo'd ``--timeout -5`` used to sail into the machinery and fail (or
+worse, "work") somewhere deep; argparse type validators now reject
+nonpositive and non-numeric values at parse time with the usage exit
+code, before any engine spins up.
+"""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.mark.parametrize(
+    "argv",
+    [
+        # run: workers/timeout/retries
+        ["run", "rm", "--workers", "-1"],
+        ["run", "rm", "--workers", "two"],
+        ["run", "rm", "--timeout", "0"],
+        ["run", "rm", "--timeout", "-3"],
+        ["run", "rm", "--timeout", "soon"],
+        ["run", "rm", "--max-retries", "-1"],
+        # bench: iterations
+        ["bench", "rm", "--iterations", "0"],
+        ["bench", "rm", "--iterations", "-2"],
+        ["bench", "rm", "--iterations", "many"],
+        # engine workers (any command that takes --engine)
+        ["check", "rm", "--engine-workers", "0"],
+        ["check", "rm", "--engine-workers", "-4"],
+        # serve: every numeric knob
+        ["serve", "--port", "-1"],
+        ["serve", "--workers", "0"],
+        ["serve", "--queue-depth", "0"],
+        ["serve", "--timeout", "0"],
+        ["serve", "--timeout", "nope"],
+        ["serve", "--max-retries", "-1"],
+        ["serve", "--breaker-threshold", "0"],
+        ["serve", "--breaker-cooldown", "0"],
+        ["serve", "--drain-grace", "-1"],
+    ],
+)
+def test_nonsense_numerics_exit_2(capsys, argv):
+    with pytest.raises(SystemExit) as excinfo:
+        main(argv)
+    assert excinfo.value.code == 2
+    assert "error" in capsys.readouterr().err
+
+
+def test_valid_values_still_parse(capsys):
+    # Sanity: the validators must not reject the documented defaults.
+    from repro.cli import build_parser
+
+    parser = build_parser()
+    args = parser.parse_args(["run", "rm", "--workers", "0", "--timeout", "3/2"])
+    assert args.workers == 0
+    assert float(args.timeout) == 1.5
+    args = parser.parse_args(["bench", "rm", "--iterations", "5"])
+    assert args.iterations == 5
+    args = parser.parse_args(["serve", "--port", "0", "--timeout", "0.5"])
+    assert args.port == 0
+    assert float(args.timeout) == 0.5
