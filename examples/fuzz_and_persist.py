@@ -1,76 +1,86 @@
-"""Fuzzing the semantics and persisting counterexample runs.
+"""Differential fuzzing with ``repro.gen`` and persisting reproducers.
 
-Shows the library's testing substrate as a user-facing workflow:
+The library's fuzzing substrate is now a first-class subsystem.  This
+example shows the full workflow:
 
-1. generate random closed timed systems (``repro.testkit``);
-2. simulate each and check, mechanically, the invariants the paper's
-   definitions promise (semi-execution-ness, checker agreement,
-   lift/project round trips);
-3. verify an auto-derived claim about each system with the exact zone
-   verifier — and on a refuted claim, persist a witness run to JSON and
-   reload it bit-for-bit.
+1. run a small seeded campaign with :func:`repro.gen.fuzzer.run_campaign`
+   — each instance is a random well-formed timed automaton whose anchor
+   gap claim is decided independently by four proof methods (exhaustive
+   mapping sweep, direct semantic inclusion, exact zone bounds, symbolic
+   Fourier–Motzkin), with any split failing loudly;
+2. serialise one instance as a JSON *reproducer* and re-run the oracle
+   from the artifact alone — verdicts replay exactly, no randomness
+   involved;
+3. materialise a parametric family instance (``gen:relay_ring-6``) and
+   peek at its generated bundle.
 
 Run:  python examples/fuzz_and_persist.py
 """
 
-import random
-from fractions import Fraction as F
+import os
+import tempfile
 
 from repro.analysis.report import Table
-from repro.core import lift, project, time_of_boundmap
-from repro.serialize import run_from_json, run_to_json
-from repro.sim import Simulator, UniformStrategy
-from repro.testkit import INC, random_system
-from repro.timed import Interval
-from repro.timed.satisfaction import find_boundmap_violation
-from repro.zones import verify_event_condition
+from repro.gen import build_bundle, sample_names
+from repro.gen.fuzzer import load_reproducer, run_campaign, write_reproducer
 
 
 def main() -> None:
+    # 1. A seeded differential campaign.  Same seed => same instances,
+    #    same verdicts, byte-identical report — campaigns shard freely.
+    report = run_campaign(count=5, seed=2026)
     table = Table(
-        "20 random systems — semantic invariants and exact claim checks",
-        ["seed", "cells", "run ok", "round trip", "claimed anchor gap", "verdict"],
+        "differential fuzz — four proof methods per instance",
+        ["index", "cells", "claim kind", "expected", "mapping", "semantic",
+         "zones", "symbolic", "agree"],
     )
-    refuted_examples = 0
-    for seed in range(20):
-        rng = random.Random(seed)
-        system = random_system(rng, allow_unbounded=False)
-        automaton = time_of_boundmap(system.timed)
-        run = Simulator(automaton, UniformStrategy(random.Random(seed + 1))).run(
-            max_steps=40
-        )
-        seq = project(run)
-        run_ok = find_boundmap_violation(system.timed, seq, semi=True) is None
-        round_trip = lift(automaton, seq) == run
-
-        # Auto-derive a claim about the always-enabled anchor cell: its
-        # firing gap equals its boundmap interval...
-        anchor = system.cells[0]
-        true_claim = anchor.interval
-        # ...then deliberately tighten it on odd seeds, expecting refutation.
-        if seed % 2 and true_claim.width > 0:
-            claimed = Interval(true_claim.lo, true_claim.hi - true_claim.width / 2)
-        else:
-            claimed = true_claim
-        report = verify_event_condition(
-            system.timed, INC(0), INC(0), claimed, occurrences=2, max_nodes=40_000
-        )
+    for inst in report.instances:
         table.add_row(
-            seed, len(system.cells), run_ok, round_trip,
-            repr(claimed), report.verdict.value,
+            inst.index,
+            len(inst.recipe["cells"]),
+            inst.recipe["claim"]["kind"],
+            inst.expected,
+            inst.verdicts["mapping"],
+            inst.verdicts["semantic"],
+            inst.verdicts["zones"],
+            inst.verdicts["symbolic"],
+            inst.agree,
         )
-        assert run_ok and round_trip
-        if not report.verdict.holds:
-            refuted_examples += 1
-            # Persist the simulated run as the context for this refutation.
-            payload = run_to_json(run)
-            assert run_from_json(payload) == run
     table.print()
     print()
-    print(
-        "{} deliberately-tightened claims refuted; every refutation context "
-        "serialised and reloaded exactly".format(refuted_examples)
-    )
+    print(report.detail)
+    assert report.ok, "method disagreement: an engine has a bug"
+
+    # 2. Reproducer round trip: the artifact alone rebuilds the exact
+    #    instance and replays the exact verdicts.
+    inst = report.instances[0]
+    with tempfile.TemporaryDirectory() as artifacts:
+        path = write_reproducer(inst, artifacts)
+        replayed = load_reproducer(path)
+        assert replayed.verdicts == inst.verdicts
+        assert replayed.expected == inst.expected
+        print(
+            "reproducer {} replayed: verdicts identical".format(
+                os.path.basename(path)
+            )
+        )
+
+    # 3. Parametric families: any gen:<family>-<params> name yields a
+    #    fully formed system bundle (automaton, boundmap, obligations,
+    #    declared closed-form bounds) accepted by check/lint/analyze.
+    bundle = build_bundle("gen:relay_ring-6")
+    described = bundle.describe_dict()
+    print()
+    print("gen:relay_ring-6 bundle:")
+    print("  classes: {}".format(", ".join(sorted(described["boundmap"]))))
+    print("  declared bounds: {}".format(
+        {b.label: repr(b.declared) for b in bundle.bounds()}
+    ))
+    print("  obligations: {}".format(
+        {o.obligation: o.verdict.value for o in bundle.obligations()}
+    ))
+    print()
+    print("one sample per family: {}".format(", ".join(sample_names())))
 
 
 if __name__ == "__main__":

@@ -66,8 +66,13 @@ def _fold(intervals) -> Interval:
 def derived_bounds(name: str) -> List[DerivedBound]:
     """All closed-form bounds derivable for one system, each paired
     with the declared bound it must reproduce."""
+    from repro.gen.names import is_gen_name
     from repro.par.surface import build_system
 
+    if is_gen_name(name):
+        from repro.gen.families import build_bundle
+
+        return build_bundle(name).bounds()
     system = build_system(name)
     if name == "rm":
         return _rm_bounds(name, system)
@@ -80,7 +85,7 @@ def derived_bounds(name: str) -> List[DerivedBound]:
     if name == "peterson":
         return _peterson_bounds(name, system)
     if name == "tournament":
-        return []
+        return _tournament_bounds(name, system)
     raise AnalyzeError("no derived bounds registered for {!r}".format(name))
 
 
@@ -197,6 +202,26 @@ def _fischer_bounds(name: str, params) -> List[DerivedBound]:
     ]
 
 
+def _tournament_bounds(name: str, params) -> List[DerivedBound]:
+    from repro.analysis.recurrence import peterson_first_entry_chain
+
+    if params.n != 2:
+        # Width >= 4 entry-upper bounds are deferred to exploration
+        # (see the analyze obligations); no closed form is declared.
+        return []
+    step = params.step_interval
+    return [
+        DerivedBound(
+            system=name,
+            label="first-entry",
+            derived=step.scale(3),
+            declared=peterson_first_entry_chain(step).total(),
+            detail="the width-2 bracket is Peterson: three protocol steps "
+            "of [s1, s2] each",
+        )
+    ]
+
+
 def _peterson_bounds(name: str, params) -> List[DerivedBound]:
     from repro.analysis.recurrence import peterson_first_entry_chain
 
@@ -217,8 +242,13 @@ def closed_form_tolerance(name: str) -> Optional[Fraction]:
     """The closed-form perturbation tolerance ``(hi − lo)/(hi + lo)``
     of the system's critical interval, or ``None`` when the system's
     safety does not reduce to a single interval ratio."""
+    from repro.gen.names import is_gen_name
     from repro.par.surface import build_system
 
+    if is_gen_name(name):
+        from repro.gen.families import build_bundle
+
+        return build_bundle(name).tolerance
     system = build_system(name)
     if name == "rm":
         p = system.params

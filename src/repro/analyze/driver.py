@@ -61,11 +61,27 @@ _WAIVERS: Dict[str, Tuple[Tuple[str, str], ...]] = {
 
 
 def _requirement_conditions(name: str, system) -> Tuple[object, ...]:
+    from repro.gen.names import is_gen_name
+
+    if is_gen_name(name):
+        from repro.gen.families import build_bundle
+
+        return build_bundle(name).requirements()
     if name == "rm":
         return (system.g1, system.g2)
     if name in ("relay", "chain"):
         return (system.requirement,)
     return ()
+
+
+def _interference_waivers(name: str) -> Tuple[Tuple[str, str], ...]:
+    from repro.gen.names import is_gen_name
+
+    if is_gen_name(name):
+        from repro.gen.families import build_bundle
+
+        return build_bundle(name).analyze_waivers
+    return _WAIVERS.get(name, ())
 
 
 @dataclass
@@ -232,7 +248,7 @@ def analyze_system(name: str) -> AnalyzeReport:
         bounds=tuple(bounds),
     )
     with _telemetry.span("analyze.interference"):
-        report = _apply_waivers(_run("interference", ctx), _WAIVERS.get(name, ()))
+        report = _apply_waivers(_run("interference", ctx), _interference_waivers(name))
     _telemetry.incr("analyze.findings", len(report))
 
     return AnalyzeReport(

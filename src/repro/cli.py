@@ -114,6 +114,44 @@ def _positive_fraction(text: str) -> Fraction:
     return value
 
 
+def _gen_aware_system(known) -> "argparse.FileType":
+    """argparse type: a shipped system name, ``all``, or a parsable
+    ``gen:``-namespace name (``gen:fischer-4``).  Replaces ``choices=``
+    so generated names stay open-ended while nonsense still exits 2."""
+    shipped = list(known)
+
+    def validate(text: str) -> str:
+        if text in shipped or text == "all":
+            return text
+        from repro.errors import ReproError
+        from repro.gen import is_gen_name, parse
+
+        if is_gen_name(text):
+            try:
+                parse(text)
+            except ReproError as exc:
+                raise argparse.ArgumentTypeError(str(exc))
+            return text
+        raise argparse.ArgumentTypeError(
+            "unknown system {!r}; choose from {}, 'all', or a generated "
+            "name like gen:fischer-4".format(text, ", ".join(shipped))
+        )
+
+    validate.__name__ = "system"
+    return validate
+
+
+def _with_gen_parts(name: str, parts: dict) -> dict:
+    """Fold (family, params, GEN_VERSION) into a verdict-cache key for
+    generated systems: bumping the generator must orphan their verdicts
+    even when the package source is otherwise untouched."""
+    from repro.gen import cache_parts, is_gen_name
+
+    if is_gen_name(name):
+        parts.update(cache_parts(name))
+    return parts
+
+
 def _rm_params(args) -> ResourceManagerParams:
     return ResourceManagerParams(k=args.k, c1=args.c1, c2=args.c2, l=args.l)
 
@@ -418,7 +456,9 @@ def cmd_lint(args) -> int:
         # invalidate previously-clean verdicts, not serve them stale.
         version = ruleset_version()
         for name in names:
-            parts = {"max_states": args.max_states, "ruleset": version}
+            parts = _with_gen_parts(
+                name, {"max_states": args.max_states, "ruleset": version}
+            )
             entry = None if cache is None else cache.lookup("lint", name, parts)
             cached = entry is not None
             if entry is None:
@@ -468,7 +508,7 @@ def cmd_analyze(args) -> int:
     with _engine_scope(args):
         version = ruleset_version()
         for name in names:
-            parts = {"ruleset": version}
+            parts = _with_gen_parts(name, {"ruleset": version})
             entry = None if cache is None else cache.lookup("analyze", name, parts)
             cached = entry is not None
             if entry is None:
@@ -545,7 +585,7 @@ def cmd_perturb(args) -> int:
             seed=args.seed,
         )
         if args.epsilon is not None:
-            parts = target.cache_parts()
+            parts = _with_gen_parts(name, target.cache_parts())
             parts.update(
                 epsilon=str(args.epsilon),
                 max_states=args.max_states,
@@ -712,6 +752,8 @@ def cmd_run(args) -> int:
                 max_states=args.max_states,
                 max_steps=args.max_steps,
                 wall_time=float(args.wall_time),
+                fuzz_count=args.fuzz_count,
+                fuzz_shard=args.fuzz_shard,
             )
             campaign_id = None
             prior = None
@@ -761,14 +803,14 @@ def cmd_check(args) -> int:
     failed = False
     with _engine_scope(args):
         for name in names:
-            parts = {
+            parts = _with_gen_parts(name, {
                 "seeds": args.seeds,
                 "steps": args.steps,
                 "seed": args.seed,
                 "max_states": args.max_states,
                 "max_steps": args.max_steps,
                 "wall_time": str(args.wall_time),
-            }
+            })
             entry = None if cache is None else cache.lookup("check", name, parts)
             cached = entry is not None
             if entry is None:
@@ -892,6 +934,117 @@ def cmd_serve(args) -> int:
     return serve_main(config)
 
 
+def _resolve_gen_name(args) -> str:
+    """``gen emit`` target: a full ``gen:`` name, or a family plus its
+    parameter flags (``fischer --n 4``)."""
+    from repro.errors import ReproError
+    from repro.gen import GEN_PREFIX, family_specs, parse
+
+    target = args.family
+    if target.startswith(GEN_PREFIX):
+        return parse(target).name
+    specs = family_specs()
+    if target not in specs:
+        raise ReproError(
+            "unknown family {!r}; choose from {} (or pass a full gen: name)".format(
+                target, ", ".join(sorted(specs))
+            )
+        )
+    flags = {
+        "n": args.n,
+        "k": args.k,
+        "depth": args.depth,
+        "fanout": args.fanout,
+        "width": args.width,
+    }
+    wanted = specs[target]["params"]
+    for key, value in flags.items():
+        if value is not None and key not in wanted:
+            raise ReproError(
+                "family {!r} does not take --{} (its parameters: {})".format(
+                    target, key, ", ".join("--" + p for p in wanted)
+                )
+            )
+    values = []
+    for key in wanted:
+        if flags.get(key) is None:
+            raise ReproError("family {!r} needs --{}".format(target, key))
+        values.append(flags[key])
+    name = GEN_PREFIX + target + "-" + "x".join(str(v) for v in values)
+    return parse(name).name
+
+
+def cmd_gen(args) -> int:
+    import json as _json
+
+    from repro.errors import ReproError
+    from repro.gen import GEN_VERSION, build_bundle, family_specs, sample_names
+
+    if args.gen_command == "list":
+        specs = family_specs()
+        if args.json:
+            payload = {
+                "gen_version": GEN_VERSION,
+                "families": specs,
+                "samples": sample_names(),
+            }
+            print(_json.dumps(payload, indent=2, sort_keys=True))
+        else:
+            print("generated-system families (gen_version {}):".format(GEN_VERSION))
+            for family, spec in sorted(specs.items()):
+                ranges = ", ".join(
+                    "{} in [{}, {}]".format(key, lo, hi)
+                    for key, lo, hi in spec["ranges"]
+                )
+                print("  gen:{:<12} {}".format(family, ranges))
+            print("samples: " + ", ".join(sample_names()))
+        return 0
+
+    if args.gen_command == "emit":
+        try:
+            name = _resolve_gen_name(args)
+            bundle = build_bundle(name)
+        except ReproError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+        print(_json.dumps(bundle.describe_dict(), indent=2, sort_keys=True))
+        return 0
+
+    # gen fuzz
+    from repro.gen.fuzzer import _instance_rng, run_campaign, sample_recipe
+
+    if args.emit_only:
+        recipes = [
+            sample_recipe(_instance_rng(args.seed, index))
+            for index in range(args.start, args.start + args.count)
+        ]
+        print(_json.dumps(recipes, indent=2, sort_keys=True))
+        return 0
+    report = run_campaign(
+        count=args.count,
+        seed=args.seed,
+        start=args.start,
+        artifact_dir=args.artifacts,
+    )
+    if args.json:
+        print(_json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(report.detail)
+        for inst in report.disagreements:
+            print(
+                "DISAGREEMENT at index {}: expected {}, verdicts {}{}".format(
+                    inst.index,
+                    inst.expected,
+                    inst.verdicts,
+                    " (reproducer in {})".format(args.artifacts)
+                    if args.artifacts
+                    else "",
+                )
+            )
+        print("verdict: {}".format("ok" if report.ok else "FAIL"))
+    return 0 if report.ok else 1
+
+
 def cmd_trace(args) -> int:
     from repro.obs.tracing import trace_system
     from repro.serialize import events_to_jsonl
@@ -985,7 +1138,10 @@ def build_parser() -> argparse.ArgumentParser:
     lint = sub.add_parser(
         "lint", help="static pre-flight diagnostics for a shipped system"
     )
-    lint.add_argument("system", choices=list(system_names()) + ["all"])
+    lint.add_argument(
+        "system", type=_gen_aware_system(system_names()),
+        help="a shipped system, 'all', or a generated name (gen:fischer-4)",
+    )
     lint.add_argument(
         "--json", action="store_true", help="machine-readable diagnostics"
     )
@@ -1010,7 +1166,10 @@ def build_parser() -> argparse.ArgumentParser:
              "(Fourier–Motzkin), interference rules R015–R019 and "
              "closed-form Theorem 6.4 bounds — no state exploration",
     )
-    analyze.add_argument("system", choices=list(surface_names()) + ["all"])
+    analyze.add_argument(
+        "system", type=_gen_aware_system(surface_names()),
+        help="a shipped system, 'all', or a generated name (gen:fischer-4)",
+    )
     analyze.add_argument(
         "--json", action="store_true", help="machine-readable report"
     )
@@ -1026,7 +1185,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="full nominal verification of a shipped system "
              "(exploration + exhaustive mapping checks + proof battery)",
     )
-    check.add_argument("system", choices=list(surface_names()) + ["all"])
+    check.add_argument(
+        "system", type=_gen_aware_system(surface_names()),
+        help="a shipped system, 'all', or a generated name (gen:fischer-4)",
+    )
     check.add_argument("--seeds", type=int, default=3, help="uniform-strategy seeds")
     check.add_argument("--seed", type=int, default=0, help="base RNG seed")
     check.add_argument("--steps", type=int, default=80, help="events per run")
@@ -1056,7 +1218,10 @@ def build_parser() -> argparse.ArgumentParser:
         "perturb",
         help="fault-injection: how much clock drift do the proofs survive?",
     )
-    perturb.add_argument("system", choices=list(perturb_names()) + ["all"])
+    perturb.add_argument(
+        "system", type=_gen_aware_system(perturb_names()),
+        help="a shipped system, 'all', or a generated name (gen:fischer-4)",
+    )
     group = perturb.add_mutually_exclusive_group()
     group.add_argument(
         "--epsilon",
@@ -1205,10 +1370,80 @@ def build_parser() -> argparse.ArgumentParser:
         "--wall-time", type=_fraction, default=Fraction(60),
         help="budget: in-job seconds before graceful degradation",
     )
+    run.add_argument(
+        "--fuzz-count", type=_positive_int, default=100,
+        help="instances per 'fuzz'-kind campaign",
+    )
+    run.add_argument(
+        "--fuzz-shard", type=_positive_int, default=50,
+        help="instances per fuzz shard job (shards resume independently)",
+    )
     run.add_argument("--json", action="store_true", help="machine-readable report")
     _add_engine_arguments(run)
     _add_cache_argument(run)
     run.set_defaults(func=cmd_run)
+
+    gen = sub.add_parser(
+        "gen",
+        help="parametric generated systems (gen:<family>-<params>) and "
+             "the differential proof-method fuzzer",
+    )
+    gen_sub = gen.add_subparsers(dest="gen_command", required=True)
+    gen_list = gen_sub.add_parser(
+        "list", help="families, parameter ranges and sample names"
+    )
+    gen_list.add_argument("--json", action="store_true", help="machine-readable roster")
+    gen_list.set_defaults(func=cmd_gen)
+    gen_emit = gen_sub.add_parser(
+        "emit",
+        help="emit one generated system's bundle (automaton, bounds, "
+             "obligations) as deterministic JSON",
+    )
+    gen_emit.add_argument(
+        "family",
+        help="a family name with parameter flags (fischer --n 4) or a "
+             "full generated name (gen:fischer-4)",
+    )
+    gen_emit.add_argument(
+        "--n", type=_positive_int, default=None, help="fischer: process count"
+    )
+    gen_emit.add_argument(
+        "--k", type=_positive_int, default=None,
+        help="relay_line / relay_ring: stage or station count",
+    )
+    gen_emit.add_argument(
+        "--depth", type=_positive_int, default=None, help="relay_tree: depth"
+    )
+    gen_emit.add_argument(
+        "--fanout", type=_positive_int, default=None, help="relay_tree: fanout"
+    )
+    gen_emit.add_argument(
+        "--width", type=_positive_int, default=None, help="tournament: bracket width"
+    )
+    gen_emit.set_defaults(func=cmd_gen)
+    gen_fuzz = gen_sub.add_parser(
+        "fuzz",
+        help="differential fuzz campaign: random well-formed instances "
+             "through four independent proof methods; any split fails",
+    )
+    gen_fuzz.add_argument(
+        "--count", type=_positive_int, default=100, help="instances to fuzz"
+    )
+    gen_fuzz.add_argument("--seed", type=int, default=0, help="campaign seed")
+    gen_fuzz.add_argument(
+        "--start", type=_nonneg_int, default=0,
+        help="first instance index (for manual sharding)",
+    )
+    gen_fuzz.add_argument(
+        "--artifacts", default=None, metavar="DIR",
+        help="write a JSON reproducer per disagreement here",
+    )
+    gen_fuzz.add_argument(
+        "--emit-only", action="store_true",
+        help="print the sampled instance recipes without running the oracle",
+    )
+    gen_fuzz.add_argument("--json", action="store_true", help="machine-readable report")
+    gen_fuzz.set_defaults(func=cmd_gen)
 
     serve = sub.add_parser(
         "serve",

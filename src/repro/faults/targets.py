@@ -499,6 +499,30 @@ def build_perturb_target(
     """Build one system's harness, optionally overriding the canonical
     stress direction or drift mode.  ``seed`` offsets every RNG in the
     adversarial battery for reproducible-but-independent reruns."""
+    from repro.gen.names import is_gen_name
+
+    if is_gen_name(name):
+        from repro.gen.families import build_bundle
+
+        bundle = build_bundle(name)
+        direction = direction or bundle.perturb_direction
+        mode = mode or "scale"
+        Drift(Fraction(0), mode=mode, direction=direction)
+        description, ceiling, evaluate = bundle.perturb_builder(
+            direction, mode, seeds, steps, seed
+        )
+        return PerturbTarget(
+            name=name,
+            description=description,
+            direction=direction,
+            mode=mode,
+            ceiling=ceiling,
+            evaluate=_guarded(evaluate),
+            expected_broken=False,
+            seeds=seeds,
+            steps=steps,
+            seed=seed,
+        )
     if name not in _BUILDERS:
         raise ReproError(
             "unknown perturbation target {!r}; expected one of {}".format(

@@ -180,7 +180,13 @@ def system_names() -> Tuple[str, ...]:
 
 
 def build_target(name: str) -> SystemTarget:
-    """Build the lint target for one shipped system by name."""
+    """Build the lint target for one shipped or generated system."""
+    from repro.gen.names import is_gen_name
+
+    if is_gen_name(name):
+        from repro.gen.families import build_bundle
+
+        return build_bundle(name).lint_target()
     try:
         builder = _BUILDERS[name]
     except KeyError:

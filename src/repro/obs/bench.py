@@ -396,6 +396,46 @@ def _profile_tournament(iterations: int) -> Dict[str, Any]:
     return meta
 
 
+def _profile_gen_scaling(iterations: int) -> Dict[str, Any]:
+    """Wall-clock scaling of the generated-system families.
+
+    Explores a ladder of instances per family (fischer n = 2..4,
+    relay_line k = 2..6) and records per-size states and wall time —
+    the BENCH trajectory then gates on the whole record's wall and on
+    the seed-deterministic exploration counters, so a generator change
+    that blows up a family's state space shows up as a regression.
+    ``ok`` requires every exploration to complete untruncated with the
+    exact state count the family's construction predicts.
+    """
+    from repro.gen import build_bundle
+    from repro.ioa.explorer import explore
+
+    # name -> reachable-state count the construction predicts.
+    expected = {
+        "gen:fischer-2": 28,
+        "gen:fischer-3": 152,
+        "gen:fischer-4": 752,
+        "gen:relay_line-2": 4,
+        "gen:relay_line-4": 6,
+        "gen:relay_line-6": 8,
+    }
+    meta: Dict[str, Any] = {}
+    ok = True
+    for name in sorted(expected):
+        bundle = build_bundle(name)
+        automaton = bundle.timed().automaton
+        start = time.perf_counter()
+        result = explore(automaton, max_states=bundle.max_states)
+        wall = time.perf_counter() - start
+        key = name[len("gen:"):].replace("-", "_")
+        meta[key + "_states"] = len(result.reachable)
+        meta[key + "_wall"] = wall
+        ok = ok and not result.truncated
+        ok = ok and len(result.reachable) == expected[name]
+    meta["ok"] = ok
+    return meta
+
+
 def _profile_par_speedup(iterations: int) -> Dict[str, Any]:
     """Serial vs parallel wall time on the heaviest shipped workload:
     the Section 4.3 resource-manager mapping checked exhaustively at a
@@ -615,6 +655,7 @@ PROFILES: Dict[str, Callable[[int], Dict[str, Any]]] = {
     "fischer-tight": _profile_fischer_tight,
     "peterson": _profile_peterson,
     "tournament": _profile_tournament,
+    "gen-scaling": _profile_gen_scaling,
 }
 
 #: Opt-in profiles outside the default battery: their wall times are

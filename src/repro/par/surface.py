@@ -219,7 +219,31 @@ def surface_names() -> Tuple[str, ...]:
     return tuple(_SURFACE)
 
 
+def _gen_entry(name: str) -> Dict[str, Any]:
+    """A surface entry synthesised from a generated-system bundle, so
+    ``gen:`` names flow through every accessor unchanged."""
+    from repro.gen.families import build_bundle
+
+    bundle = build_bundle(name)
+    mappings = None
+    if bundle.mappings_factory is not None:
+        mappings = bundle.mappings
+    return {
+        "automaton": lambda: bundle.timed().automaton,
+        "system": bundle.system,
+        "timed": bundle.timed,
+        "mappings": mappings,
+        "max_states": bundle.max_states,
+        "grid": bundle.grid,
+        "horizon": bundle.horizon,
+    }
+
+
 def _entry(name: str) -> Dict[str, Any]:
+    from repro.gen.names import is_gen_name
+
+    if is_gen_name(name):
+        return _gen_entry(name)
     if name not in _SURFACE:
         raise ReproError(
             "unknown system {!r}; expected one of {}".format(

@@ -10,7 +10,12 @@ unchanged.  Four kinds decompose the repo's whole verification surface:
   via :func:`repro.faults.build_perturb_target` at ε = 0;
 - ``perturb`` — the same battery under one fixed drift ε;
 - ``lint``    — the static diagnostics pass of :mod:`repro.lint`;
-- ``bench``   — one :func:`repro.obs.bench.run_profile` iteration.
+- ``bench``   — one :func:`repro.obs.bench.run_profile` iteration;
+- ``fuzz``    — one shard of a differential proof-method fuzz campaign
+  (:func:`repro.gen.fuzzer.run_campaign`) under the synthetic system
+  name ``gen``; shards with the same seed partition one campaign's
+  index range, so a crashed shard resumes from the ledger without
+  re-fuzzing its siblings.
 
 :func:`execute_job` runs a job *in the current process* and reduces
 whatever happened to a plain result payload — the worker wrapper in
@@ -29,16 +34,23 @@ from repro.errors import ReproError
 from repro.obs.instrument import Recorder, recording
 
 __all__ = [
+    "FUZZ_SYSTEM",
     "JOB_KINDS",
     "RESULT_SCHEMA_VERSION",
     "Job",
     "default_jobs",
     "execute_job",
+    "fuzz_shards",
     "job_cache_parts",
 ]
 
-#: Job kinds in campaign-scheduling order (cheap static checks first).
-JOB_KINDS = ("lint", "analyze", "check", "perturb", "bench")
+#: Job kinds in campaign-scheduling order (cheap static checks first;
+#: fuzz campaigns are the most expensive unit and go last).
+JOB_KINDS = ("lint", "analyze", "check", "perturb", "bench", "fuzz")
+
+#: The synthetic "system" every fuzz shard runs against: a campaign
+#: fuzzes *random* instances, so no shipped system name applies.
+FUZZ_SYSTEM = "gen"
 
 #: Version stamp on worker result payloads; a payload without it (or
 #: with a future one) is classified ``malformed`` by the supervisor.
@@ -124,6 +136,8 @@ def default_jobs(
     max_states: int = 200_000,
     max_steps: int = 2_000_000,
     wall_time: float = 60.0,
+    fuzz_count: int = 100,
+    fuzz_shard: int = 50,
 ) -> List[Job]:
     """Decompose the requested verification surface into jobs.
 
@@ -134,6 +148,7 @@ def default_jobs(
     """
     from repro.analyze import analyze_names
     from repro.faults.targets import perturb_names
+    from repro.gen import is_gen_name, parse as parse_gen_name
     from repro.lint.targets import system_names as lint_names
     from repro.obs.bench import bench_names
 
@@ -147,9 +162,19 @@ def default_jobs(
         "check": list(perturb_names()),
         "perturb": list(perturb_names()),
         "bench": list(bench_names()),
+        "fuzz": [FUZZ_SYSTEM],
     }
     known = set().union(*registry.values())
     if chosen is not None:
+        for name in chosen:
+            if is_gen_name(name):
+                # Raises with a precise message on a malformed or
+                # out-of-range generated name; a valid one joins every
+                # registry whose check applies to generated systems.
+                parse_gen_name(name)
+                for kind in ("lint", "analyze", "check", "perturb"):
+                    registry[kind].append(name)
+                known.add(name)
         unknown = [name for name in chosen if name not in known]
         if unknown:
             raise ReproError(
@@ -166,6 +191,9 @@ def default_jobs(
     for kind in kinds:
         for name in registry[kind]:
             if chosen is not None and name not in chosen:
+                continue
+            if kind == "fuzz":
+                jobs.extend(fuzz_shards(seed=seed, count=fuzz_count, shard=fuzz_shard))
                 continue
             if kind in ("check", "perturb"):
                 params: Dict[str, Any] = dict(budget)
@@ -186,6 +214,36 @@ def default_jobs(
             )
     if not jobs:
         raise ReproError("the requested systems/kinds produced no jobs")
+    return jobs
+
+
+def fuzz_shards(seed: int = 0, count: int = 100, shard: int = 50) -> List[Job]:
+    """Split one ``count``-instance fuzz campaign into shard jobs.
+
+    Shards share the campaign ``seed`` and partition the index range
+    ``0 .. count-1``, so their union is instance-for-instance identical
+    to one unsharded campaign — a shard that crashed mid-flight reruns
+    alone (process isolation plus the ledger), without invalidating its
+    siblings' results.
+    """
+    if count <= 0:
+        raise ReproError("fuzz campaign needs a positive instance count")
+    if shard <= 0:
+        raise ReproError("fuzz shard size must be positive")
+    jobs: List[Job] = []
+    for number, start in enumerate(range(0, count, shard)):
+        jobs.append(
+            Job(
+                job_id="fuzz:{}:s{}".format(FUZZ_SYSTEM, number),
+                kind="fuzz",
+                system=FUZZ_SYSTEM,
+                params={
+                    "count": min(shard, count - start),
+                    "seed": seed,
+                    "start": start,
+                },
+            )
+        )
     return jobs
 
 
@@ -257,12 +315,27 @@ def _run_bench(job: Job) -> Tuple[bool, bool, bool, str]:
     return (bool(record.meta.get("ok", True)), True, False, detail)
 
 
+def _run_fuzz(job: Job) -> Tuple[bool, bool, bool, str]:
+    from repro.gen.fuzzer import run_campaign
+
+    report = run_campaign(
+        count=int(job.params.get("count", 100)),
+        seed=int(job.params.get("seed", 0)),
+        start=int(job.params.get("start", 0)),
+        artifact_dir=job.params.get("artifacts"),
+    )
+    # Every instance completed: the shard is conclusive either way; a
+    # disagreement is a *verdict* failure, reported via ``ok``.
+    return (report.ok, True, False, report.detail)
+
+
 _EXECUTORS = {
     "lint": _run_lint,
     "analyze": _run_analyze,
     "check": _run_battery,
     "perturb": _run_battery,
     "bench": _run_bench,
+    "fuzz": _run_fuzz,
 }
 
 #: Job params that change *how* a verdict is computed, never *what* it
@@ -270,7 +343,7 @@ _EXECUTORS = {
 #: stay out by design (the engines are byte-identical); ``timeout`` is
 #: the supervisor's watchdog, not part of the check; ``cache`` is the
 #: gate itself.
-_UNCACHED_PARAMS = frozenset({"engine", "workers", "timeout", "cache"})
+_UNCACHED_PARAMS = frozenset({"engine", "workers", "timeout", "cache", "artifacts"})
 
 
 def job_cache_parts(job: Job) -> Optional[Dict[str, Any]]:
@@ -294,6 +367,16 @@ def job_cache_parts(job: Job) -> Optional[Dict[str, Any]]:
         from repro.lint.registry import ruleset_version
 
         parts["ruleset"] = ruleset_version()
+    from repro.gen import cache_parts as gen_cache_parts
+    from repro.gen import is_gen_name
+    from repro.gen.names import GEN_VERSION
+
+    if is_gen_name(job.system):
+        # Generated instances key on (family, params, generator
+        # version) so a generator change invalidates their verdicts.
+        parts.update(gen_cache_parts(job.system))
+    elif job.kind == "fuzz":
+        parts["gen_version"] = GEN_VERSION
     return parts
 
 

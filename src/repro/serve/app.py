@@ -81,7 +81,13 @@ _ALLOWED_PARAMS = {
     "lint": {"strict", "max_states"},
     "analyze": {"strict"},
     "bench": {"iterations"},
+    "fuzz": {"count", "seed", "start"},
 }
+
+#: Hard ceiling on a single submitted fuzz shard: differential fuzzing
+#: costs ~1–2 s per instance, and a service request must stay within a
+#: worker timeout, not monopolise the pool.
+_FUZZ_COUNT_CAP = 500
 
 
 @dataclass
@@ -121,6 +127,7 @@ def _system_registry() -> Dict[str, List[str]]:
     from repro.faults.targets import perturb_names
     from repro.lint.targets import system_names as lint_names
     from repro.obs.bench import bench_names
+    from repro.runner.jobs import FUZZ_SYSTEM
 
     return {
         "lint": list(lint_names()),
@@ -128,7 +135,31 @@ def _system_registry() -> Dict[str, List[str]]:
         "check": list(perturb_names()),
         "perturb": list(perturb_names()),
         "bench": list(bench_names()),
+        "fuzz": [FUZZ_SYSTEM],
     }
+
+
+#: Kinds that also admit ``gen:``-namespace systems (parametric
+#: generated instances).  Bench profiles and fuzz shards have their own
+#: fixed registries.
+_GEN_KINDS = frozenset({"lint", "analyze", "check", "perturb"})
+
+
+def _admit_gen(kind: str, system: Any) -> bool:
+    """Whitelist check for generated-system names: the name must parse
+    (family known, parameters in range, instance feasible) and the kind
+    must apply to generated instances."""
+    from repro.gen import is_gen_name, parse
+
+    if kind not in _GEN_KINDS or not isinstance(system, str):
+        return False
+    if not is_gen_name(system):
+        return False
+    try:
+        parse(system)
+    except ReproError as exc:
+        raise RequestError(str(exc))
+    return True
 
 
 class RequestError(ReproError):
@@ -265,7 +296,7 @@ class VerificationService:
             )
         system = body.get("system")
         known = self.registry[kind]
-        if system not in known:
+        if system not in known and not _admit_gen(kind, system):
             raise RequestError(
                 "unknown system {!r} for kind {!r}; known: {}".format(
                     system, kind, ", ".join(known)
@@ -286,6 +317,23 @@ class VerificationService:
             params["epsilon"] = str(params["epsilon"])
         elif kind == "bench":
             params = {"iterations": int(raw.get("iterations", 1))}
+        elif kind == "fuzz":
+            count = raw.get("count", 100)
+            if not isinstance(count, int) or isinstance(count, bool) or count < 1:
+                raise RequestError(
+                    "count must be a positive integer, got {!r}".format(count)
+                )
+            if count > _FUZZ_COUNT_CAP:
+                raise RequestError(
+                    "count {} exceeds the per-request cap of {}".format(
+                        count, _FUZZ_COUNT_CAP
+                    )
+                )
+            params = {
+                "count": count,
+                "seed": int(raw.get("seed", 0)),
+                "start": int(raw.get("start", 0)),
+            }
         else:
             params = {"strict": bool(raw.get("strict", False))}
             if "max_states" in raw:

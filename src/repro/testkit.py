@@ -26,7 +26,7 @@ from repro.ioa.partition import Partition
 from repro.timed.boundmap import Boundmap, TimedAutomaton
 from repro.timed.interval import INFINITY, Interval
 
-__all__ = ["INC", "CellSpec", "RandomSystem", "random_system"]
+__all__ = ["INC", "CellSpec", "RandomSystem", "random_system", "system_of_cells"]
 
 
 def INC(i: int) -> Act:
@@ -172,6 +172,16 @@ def random_system(
                 guard_on=guard_on,
             )
         )
+    return system_of_cells(cells)
+
+
+def system_of_cells(cells: List[CellSpec]) -> RandomSystem:
+    """Assemble the timed system a sequence of :class:`CellSpec` rows
+    describes.  This is the deterministic half of :func:`random_system`:
+    given the same cells it always builds the same automaton, which is
+    what lets a fuzz *recipe* (the plain-data cell list) stand in for
+    the system itself in reproducer artifacts.
+    """
     automata = [_cell_automaton(cell) for cell in cells]
     if len(automata) == 1:
         composed = automata[0]

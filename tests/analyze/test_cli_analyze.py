@@ -27,8 +27,8 @@ class TestAnalyzeCommand:
         assert "verdict: ok" in capsys.readouterr().out
 
     def test_all_strict_exits_clean(self, capsys):
-        # tournament's UNKNOWN and the waived chain R018 must not fail
-        # the strict gate; fischer-tight fails as expected.
+        # The waived chain R018 must not fail the strict gate;
+        # fischer-tight fails as expected.
         assert main(["analyze", "all", "--strict"]) == 0
 
     def test_all_json_meets_discharge_bar(self, capsys):

@@ -41,8 +41,11 @@ class TestDerivedBounds:
         assert bounds["end-to-end"].derived == Interval(3, 5)
         assert bounds["U[1,2]"].derived == Interval(2, 3)
 
-    def test_tournament_has_no_linear_bounds(self):
-        assert derived_bounds("tournament") == []
+    def test_tournament_width_2_first_entry_bound(self):
+        bounds = {b.label: b for b in derived_bounds("tournament")}
+        # Width 2 is Peterson: first CS entry in 3 * [s1, s2].
+        assert bounds["first-entry"].derived == Interval(3, 6)
+        assert bounds["first-entry"].agrees
 
     def test_bound_dicts_are_json_plain(self):
         import json

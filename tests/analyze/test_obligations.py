@@ -115,10 +115,27 @@ class TestClosedFormAndDeferred:
         assert only.verdict is Verdict.PROVED
         assert only.method == "closed-form"
 
-    def test_tournament_defers_to_exploration(self, all_results):
-        (only,) = all_results["tournament"]
-        assert only.verdict is Verdict.UNKNOWN
-        outcome = only.to_check_outcome()
+    def test_tournament_width_2_discharges_closed_form(self, all_results):
+        by_name = {o.obligation: o for o in all_results["tournament"]}
+        # The shipped bracket is width 2 (Peterson): both the FM lower
+        # bound and the closed-form entry bound discharge statically.
+        assert by_name["entry-lower"].verdict is Verdict.PROVED
+        assert by_name["entry-lower"].method == "fourier-motzkin"
+        assert by_name["entry-bound"].verdict is Verdict.PROVED
+        assert by_name["entry-bound"].method == "closed-form"
+
+    def test_tournament_width_4_defers_structured(self):
+        from repro.analyze import discharge_system
+
+        by_name = {
+            o.obligation: o for o in discharge_system("gen:tournament-4")
+        }
+        assert by_name["entry-lower"].verdict is Verdict.PROVED
+        deferred = by_name["entry-upper"]
+        assert deferred.verdict is Verdict.UNKNOWN
+        assert deferred.method == "deferred"
+        assert deferred.detail.startswith("deferred:")
+        outcome = deferred.to_check_outcome()
         # UNKNOWN maps to "did not refute, budget-style inconclusive",
         # never to a failure.
         assert outcome.ok

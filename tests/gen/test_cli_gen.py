@@ -1,0 +1,117 @@
+"""The ``repro gen`` CLI and gen: names on the sibling commands."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+class TestGenList:
+    def test_list_prints_every_family(self, capsys):
+        assert main(["gen", "list"]) == 0
+        out = capsys.readouterr().out
+        for family in ("fischer", "relay_line", "relay_ring",
+                       "relay_tree", "tournament"):
+            assert family in out
+
+    def test_list_json_roster(self, capsys):
+        assert main(["gen", "list", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert set(payload["families"]) == {
+            "fischer", "relay_line", "relay_ring", "relay_tree", "tournament",
+        }
+        assert payload["samples"]
+
+
+class TestGenEmit:
+    def test_emit_by_family_flags(self, capsys):
+        assert main(["gen", "emit", "relay_ring", "--k", "4"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["name"] == "gen:relay_ring-4"
+        assert set(payload["boundmap"]) == {
+            "PASS_0", "PASS_1", "PASS_2", "PASS_3",
+        }
+
+    def test_emit_by_full_name(self, capsys):
+        assert main(["gen", "emit", "gen:relay_tree-2x2"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["name"] == "gen:relay_tree-2x2"
+
+    def test_out_of_range_exits_2(self, capsys):
+        assert main(["gen", "emit", "fischer", "--n", "99"]) == 2
+        assert "feasible range" in capsys.readouterr().err
+
+    def test_missing_parameter_exits_2(self, capsys):
+        assert main(["gen", "emit", "fischer"]) == 2
+        assert "--n" in capsys.readouterr().err
+
+    def test_wrong_parameter_exits_2(self, capsys):
+        assert main(["gen", "emit", "fischer", "--n", "3", "--width", "2"]) == 2
+        assert "does not take" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("argv", [
+        ["gen", "emit", "fischer", "--n", "0"],
+        ["gen", "emit", "fischer", "--n", "-3"],
+        ["gen", "emit", "fischer", "--n", "three"],
+        ["gen", "emit", "relay_tree", "--depth", "0", "--fanout", "2"],
+        ["gen", "emit", "tournament", "--width", "nope"],
+        ["gen", "fuzz", "--count", "0"],
+        ["gen", "fuzz", "--count", "-5"],
+        ["gen", "fuzz", "--count", "lots"],
+        ["gen", "fuzz", "--start", "-1"],
+        ["run", "--fuzz-count", "0"],
+        ["run", "--fuzz-shard", "-1"],
+    ])
+    def test_nonsense_numerics_exit_2(self, capsys, argv):
+        with pytest.raises(SystemExit) as excinfo:
+            main(argv)
+        assert excinfo.value.code == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestGenFuzz:
+    def test_emit_only_prints_recipes(self, capsys):
+        assert main(["gen", "fuzz", "--count", "3", "--seed", "5",
+                     "--emit-only"]) == 0
+        recipes = json.loads(capsys.readouterr().out)
+        assert len(recipes) == 3
+        for recipe in recipes:
+            assert recipe["cells"]
+            assert recipe["claim"]["kind"] in (
+                "exact", "widen", "tighten", "shift",
+            )
+
+    def test_tiny_campaign_runs_clean(self, capsys):
+        assert main(["gen", "fuzz", "--count", "2", "--seed", "0",
+                     "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is True
+        assert payload["disagreements"] == []
+
+
+class TestGenNamesOnSiblingCommands:
+    def test_lint_accepts_gen_name(self, capsys):
+        assert main(["lint", "gen:relay_ring-2", "--no-cache"]) == 0
+        assert "verdict: ok" in capsys.readouterr().out
+
+    def test_analyze_accepts_gen_name(self, capsys):
+        assert main(["analyze", "gen:relay_line-2", "--strict",
+                     "--no-cache"]) == 0
+        assert "verdict: ok" in capsys.readouterr().out
+
+    def test_check_accepts_gen_name(self, capsys):
+        assert main(["check", "gen:relay_line-1", "--no-cache",
+                     "--seeds", "1", "--steps", "20"]) == 0
+        assert "verdict: ok" in capsys.readouterr().out
+
+    def test_malformed_gen_name_exits_2(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["check", "gen:bogus"])
+        assert excinfo.value.code == 2
+        assert "malformed" in capsys.readouterr().err
+
+    def test_infeasible_gen_name_exits_2(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["check", "gen:relay_tree-4x3"])
+        assert excinfo.value.code == 2

@@ -1,0 +1,91 @@
+"""Seed determinism across process boundaries.
+
+Everything the generator emits must be byte-identical for the same
+seed even across interpreter restarts (fresh hash randomisation, fresh
+module state): emitted bundles, fuzz recipes, campaign reports, and
+verdict-cache fingerprints.
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+
+def _run_python(code):
+    env = dict(os.environ)
+    src = os.path.abspath(
+        os.path.join(os.path.dirname(__file__), "..", "..", "src")
+    )
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    # Force a different hash seed per process so dict/set iteration
+    # differences would actually show up as byte differences.
+    env.pop("PYTHONHASHSEED", None)
+    proc = subprocess.run(
+        [sys.executable, "-c", code],
+        capture_output=True,
+        text=True,
+        timeout=300,
+        env=env,
+    )
+    assert proc.returncode == 0, proc.stderr
+    return proc.stdout
+
+
+def _twice(code):
+    return _run_python(code), _run_python(code)
+
+
+class TestEmitDeterminism:
+    def test_bundle_emit_is_byte_identical(self):
+        code = (
+            "import json; from repro.gen import build_bundle; "
+            "print(json.dumps(build_bundle('gen:relay_tree-2x2')"
+            ".describe_dict(), sort_keys=True))"
+        )
+        first, second = _twice(code)
+        assert first == second
+
+    def test_sampled_recipes_are_byte_identical_for_a_seed(self):
+        code = (
+            "import json; from repro.gen.fuzzer import _instance_rng, sample_recipe; "
+            "print(json.dumps([sample_recipe(_instance_rng(42, i)) "
+            "for i in range(10)], sort_keys=True))"
+        )
+        first, second = _twice(code)
+        assert first == second
+
+
+class TestCampaignDeterminism:
+    def test_campaign_report_is_byte_identical_for_a_seed(self):
+        code = (
+            "import json; from repro.gen.fuzzer import run_campaign; "
+            "r = run_campaign(2, seed=8); "
+            "print(json.dumps([i.to_dict() for i in r.instances], sort_keys=True)); "
+            "print(r.detail)"
+        )
+        first, second = _twice(code)
+        assert first == second
+
+
+class TestFingerprintDeterminism:
+    def test_gen_verdict_keys_are_identical_across_processes(self):
+        code = (
+            "from repro.cache.fingerprint import verdict_key; "
+            "from repro.gen import cache_parts; "
+            "names = ['gen:fischer-3', 'gen:relay_tree-3x2', 'gen:tournament-2']; "
+            "print('\\n'.join(verdict_key('check', n, cache_parts(n)) "
+            "for n in names))"
+        )
+        first, second = _twice(code)
+        assert first == second
+
+    def test_fuzz_job_cache_parts_are_identical_across_processes(self):
+        code = (
+            "import json; from repro.runner.jobs import fuzz_shards, job_cache_parts; "
+            "print(json.dumps([job_cache_parts(j) for j in "
+            "fuzz_shards(seed=4, count=100, shard=50)], sort_keys=True))"
+        )
+        first, second = _twice(code)
+        assert first == second
+        assert "gen_version" in first

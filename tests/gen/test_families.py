@@ -1,0 +1,92 @@
+"""Parametric family bundles: construction, discharge, integration."""
+
+import json
+
+import pytest
+
+from repro.gen import build_bundle, sample_names
+from repro.analyze import Verdict
+
+
+CHEAP = [
+    "gen:fischer-2",
+    "gen:relay_line-3",
+    "gen:relay_ring-4",
+    "gen:relay_tree-2x2",
+    "gen:tournament-2",
+]
+
+
+class TestBundles:
+    def test_build_bundle_memoizes(self):
+        assert build_bundle("gen:relay_ring-4") is build_bundle("gen:relay_ring-4")
+
+    @pytest.mark.parametrize("name", CHEAP)
+    def test_describe_dict_is_json_plain(self, name):
+        described = build_bundle(name).describe_dict()
+        json.dumps(described)
+        assert described["name"] == name
+
+    @pytest.mark.parametrize("name", CHEAP)
+    def test_obligations_discharge_clean(self, name):
+        for o in build_bundle(name).obligations():
+            assert o.verdict in (Verdict.PROVED, Verdict.UNKNOWN), o.obligation
+            assert o.verdict is not Verdict.REFUTED
+
+    @pytest.mark.parametrize("name", CHEAP)
+    def test_declared_bounds_agree_with_derived(self, name):
+        for bound in build_bundle(name).bounds():
+            assert bound.agrees, bound.label
+
+    @pytest.mark.parametrize("name", CHEAP)
+    def test_lint_target_is_clean(self, name):
+        from repro.lint.driver import lint_system
+
+        report = lint_system(build_bundle(name).lint_target())
+        assert not report.has_errors
+        assert not report.fails(strict=True)
+
+    def test_tournament_4_defers_upper_bound(self):
+        verdicts = {
+            o.obligation: o.verdict
+            for o in build_bundle("gen:tournament-4").obligations()
+        }
+        assert verdicts["entry-lower"] is Verdict.PROVED
+        assert verdicts["entry-upper"] is Verdict.UNKNOWN
+
+    def test_ring_lap_bound_is_k_scaled_hop(self):
+        from repro.timed import Interval
+
+        bounds = {b.label: b for b in build_bundle("gen:relay_ring-4").bounds()}
+        assert bounds["lap"].derived == Interval(4, 8)
+
+
+class TestToolchainIntegration:
+    @pytest.mark.parametrize("name", CHEAP)
+    def test_surface_builds_gen_systems(self, name):
+        from repro.par.surface import build_timed, mapping_specs
+
+        timed = build_timed(name)
+        assert timed.automaton is not None
+        for label, mapping, grid, horizon in mapping_specs(name):
+            assert label and grid > 0 and horizon > 0
+
+    def test_analyze_system_accepts_gen_names(self):
+        from repro.analyze import analyze_system
+
+        report = analyze_system("gen:relay_ring-4")
+        assert not report.fails(strict=True)
+        assert report.refuted == 0
+
+    def test_perturb_target_battery_passes_at_zero(self):
+        from fractions import Fraction
+
+        from repro.faults import Budget, build_perturb_target
+
+        target = build_perturb_target("gen:relay_ring-4", seeds=1, steps=30)
+        outcome = target.evaluate(Fraction(0), Budget(wall_time=60.0))
+        assert outcome.ok
+
+    def test_sample_names_all_build(self):
+        for name in sample_names():
+            assert build_bundle(name).timed() is not None

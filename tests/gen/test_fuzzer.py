@@ -1,0 +1,167 @@
+"""The differential fuzzer: well-formedness, oracle legs, reproducers."""
+
+import json
+import os
+import random
+
+import pytest
+
+from repro.errors import ReproError
+from repro.gen.fuzzer import (
+    GRID,
+    FuzzInstance,
+    build_instance,
+    check_recipe,
+    load_reproducer,
+    run_campaign,
+    sample_recipe,
+    write_reproducer,
+)
+from fractions import Fraction
+
+
+def _recipe(cells, claim_lo, claim_hi, kind="exact"):
+    return {
+        "gen_version": 1,
+        "cells": cells,
+        "claim": {"lo": claim_lo, "hi": claim_hi, "kind": kind},
+    }
+
+
+_ANCHOR = {"index": 0, "modulus": 2, "lo": "1", "hi": "2", "guard_on": None}
+
+
+class TestSampling:
+    def test_recipes_are_well_formed_by_construction(self):
+        for seed in range(60):
+            recipe = sample_recipe(random.Random(seed))
+            cells = recipe["cells"]
+            assert 1 <= len(cells) <= 3
+            for i, cell in enumerate(cells):
+                lo, hi = Fraction(cell["lo"]), Fraction(cell["hi"])
+                # Zero lower bounds would let the execution-tree legs
+                # go Zeno; every endpoint stays on the grid.
+                assert lo >= Fraction(1, 2)
+                assert hi >= lo
+                assert lo % GRID == 0 and hi % GRID == 0
+                if cell["guard_on"] is not None:
+                    assert 0 <= cell["guard_on"] < i
+            # The anchor cell is always unguarded.
+            assert cells[0]["guard_on"] is None
+
+    def test_claim_kinds_match_ground_truth(self):
+        for seed in range(60):
+            recipe = sample_recipe(random.Random(seed))
+            _system, _claim, expected = build_instance(recipe)
+            kind = recipe["claim"]["kind"]
+            if kind in ("exact", "widen"):
+                assert expected
+            elif kind in ("tighten", "shift"):
+                assert not expected
+
+
+class TestOracle:
+    def test_exact_claim_all_methods_agree_true(self):
+        inst = check_recipe(_recipe([_ANCHOR], "1", "2"))
+        assert inst.expected
+        assert inst.agree
+        assert set(inst.verdicts) == {"mapping", "semantic", "zones", "symbolic"}
+        for leg, verdict in inst.determinate.items():
+            assert verdict, leg
+
+    def test_tightened_claim_all_methods_agree_false(self):
+        inst = check_recipe(_recipe([_ANCHOR], "3/2", "2", kind="tighten"))
+        assert not inst.expected
+        assert inst.agree
+        for leg, verdict in inst.determinate.items():
+            assert not verdict, leg
+
+    def test_disagreement_detected(self):
+        inst = FuzzInstance(
+            index=0,
+            seed=0,
+            recipe=_recipe([_ANCHOR], "1", "2"),
+            expected=True,
+            verdicts={"mapping": True, "zones": False},
+        )
+        assert not inst.agree
+
+    def test_truncated_legs_are_not_determinate(self):
+        inst = FuzzInstance(
+            index=0,
+            seed=0,
+            recipe=_recipe([_ANCHOR], "1", "2"),
+            expected=True,
+            verdicts={"mapping": True, "semantic": True},
+            truncated=("semantic",),
+        )
+        assert "semantic" not in inst.determinate
+        assert inst.agree
+
+    def test_lint_errors_fail_the_instance(self):
+        inst = FuzzInstance(
+            index=0,
+            seed=0,
+            recipe=_recipe([_ANCHOR], "1", "2"),
+            expected=True,
+            verdicts={"mapping": True},
+            lint_errors=("R001: broken",),
+        )
+        assert not inst.agree
+
+
+class TestCampaign:
+    def test_small_campaign_has_zero_disagreements(self):
+        report = run_campaign(4, seed=1)
+        assert report.ok
+        assert len(report.instances) == 4
+        assert [i.index for i in report.instances] == [0, 1, 2, 3]
+        json.dumps(report.to_dict())
+
+    def test_sharding_partitions_exactly(self):
+        whole = run_campaign(4, seed=11)
+        first = run_campaign(2, seed=11, start=0)
+        second = run_campaign(2, seed=11, start=2)
+        joined = [i.to_dict() for i in first.instances + second.instances]
+        assert joined == [i.to_dict() for i in whole.instances]
+
+    def test_nonpositive_count_rejected(self):
+        with pytest.raises(ReproError):
+            run_campaign(0)
+
+    def test_disagreement_writes_reproducer(self, tmp_path, monkeypatch):
+        import repro.gen.fuzzer as fuzzer
+
+        def rigged(recipe, index=0, seed=0):
+            return FuzzInstance(
+                index=index,
+                seed=seed,
+                recipe=recipe,
+                expected=True,
+                verdicts={"mapping": True, "zones": False},
+            )
+
+        monkeypatch.setattr(fuzzer, "check_recipe", rigged)
+        report = fuzzer.run_campaign(1, seed=3, artifact_dir=str(tmp_path))
+        assert not report.ok
+        (artifact,) = os.listdir(tmp_path)
+        assert artifact == "fuzz-repro-seed3-idx0.json"
+        payload = json.loads((tmp_path / artifact).read_text())
+        assert payload["agree"] is False
+        assert payload["verdicts"] == {"mapping": True, "zones": False}
+
+
+class TestReproducers:
+    def test_round_trip_replays_identical_verdicts(self, tmp_path):
+        inst = check_recipe(_recipe([_ANCHOR], "1", "2"), index=7, seed=9)
+        path = write_reproducer(inst, str(tmp_path))
+        replayed = load_reproducer(path)
+        assert replayed.index == 7
+        assert replayed.verdicts == inst.verdicts
+        assert replayed.expected == inst.expected
+
+    def test_version_mismatch_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"gen_version": 999, "recipe": {}}))
+        with pytest.raises(ReproError, match="gen version"):
+            load_reproducer(str(path))

@@ -1,0 +1,90 @@
+"""The gen: name grammar: parsing, validation, cache identity."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.gen import (
+    GEN_VERSION,
+    cache_parts,
+    family_names,
+    family_specs,
+    is_gen_name,
+    parse,
+    sample_names,
+)
+
+
+class TestParse:
+    def test_every_family_round_trips(self):
+        for name in sample_names():
+            parsed = parse(name)
+            assert parsed.name == name
+            assert parsed.family in family_names()
+
+    def test_two_parameter_grammar(self):
+        parsed = parse("gen:relay_tree-3x2")
+        assert parsed.family == "relay_tree"
+        assert parsed.params == (3, 2)
+        assert parsed.params_dict() == {"depth": 3, "fanout": 2}
+
+    @pytest.mark.parametrize("bad", [
+        "gen:fischer",            # missing params
+        "gen:fischer-",           # empty params
+        "gen:fischer-2x3",        # too many params
+        "gen:relay_tree-3",       # too few params
+        "gen:nope-3",             # unknown family
+        "gen:FISCHER-3",          # case matters
+        "gen:fischer-0",          # below range
+        "gen:fischer-7",          # above range
+        "gen:relay_ring-1",       # below range
+        "gen:tournament-3",       # not a power of two
+        "gen:tournament-8",       # above the feasibility cap
+    ])
+    def test_malformed_and_out_of_range_rejected(self, bad):
+        with pytest.raises(ReproError):
+            parse(bad)
+
+    def test_infeasible_trees_rejected_by_state_count(self):
+        # 4x2 and 3x3 blow past the exploration cap by construction.
+        with pytest.raises(ReproError, match="reachable states"):
+            parse("gen:relay_tree-4x2")
+        with pytest.raises(ReproError, match="reachable states"):
+            parse("gen:relay_tree-3x3")
+        parse("gen:relay_tree-3x2")  # the biggest feasible binary tree
+
+    def test_is_gen_name_is_prefix_only(self):
+        assert is_gen_name("gen:anything")
+        assert not is_gen_name("fischer")
+        assert not is_gen_name(None)
+
+
+class TestCacheParts:
+    def test_parts_carry_family_params_and_version(self):
+        parts = cache_parts("gen:relay_tree-3x2")
+        assert parts == {
+            "gen_family": "relay_tree",
+            "gen_params": [3, 2],
+            "gen_version": GEN_VERSION,
+        }
+
+    def test_distinct_params_distinct_fingerprints(self):
+        from repro.cache.fingerprint import verdict_key
+
+        keys = {
+            verdict_key("check", name, cache_parts(name))
+            for name in ("gen:fischer-2", "gen:fischer-3", "gen:relay_ring-2")
+        }
+        assert len(keys) == 3
+
+
+class TestSpecs:
+    def test_specs_cover_every_family(self):
+        specs = family_specs()
+        assert set(specs) == set(family_names())
+        for spec in specs.values():
+            assert spec["params"]
+            assert len(spec["ranges"]) == len(spec["params"])
+
+    def test_samples_all_parse(self):
+        for name in sample_names():
+            parse(name)

@@ -42,10 +42,10 @@ def _report(records):
 
 
 class TestProfiles:
-    def test_all_seven_systems_registered(self):
+    def test_default_battery_registered(self):
         assert set(bench_names()) == {
             "rm", "relay", "chain", "fischer", "fischer-tight",
-            "peterson", "tournament",
+            "peterson", "tournament", "gen-scaling",
         }
 
     def test_unknown_profile_rejected(self):

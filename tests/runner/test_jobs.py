@@ -66,7 +66,26 @@ class TestCatalog:
 
     def test_kind_order_is_cheap_first(self):
         kinds = [job.kind for job in default_jobs(systems=["chain"])]
-        assert kinds == list(JOB_KINDS)
+        # Fuzz shards run against the synthetic "gen" system only, so a
+        # single-system campaign covers every other kind, in order.
+        assert kinds == [k for k in JOB_KINDS if k != "fuzz"]
+
+    def test_fuzz_shards_partition_the_campaign(self):
+        from repro.runner.jobs import FUZZ_SYSTEM, fuzz_shards
+
+        shards = fuzz_shards(seed=3, count=120, shard=50)
+        assert [job.params["count"] for job in shards] == [50, 50, 20]
+        assert [job.params["start"] for job in shards] == [0, 50, 100]
+        assert all(job.params["seed"] == 3 for job in shards)
+        assert all(job.system == FUZZ_SYSTEM for job in shards)
+        assert len({job.job_id for job in shards}) == 3
+
+    def test_gen_names_join_every_applicable_registry(self):
+        jobs = default_jobs(systems=["gen:relay_ring-4"])
+        assert {job.job_id for job in jobs} == {
+            "lint:gen:relay_ring-4", "analyze:gen:relay_ring-4",
+            "check:gen:relay_ring-4", "perturb:gen:relay_ring-4",
+        }
 
 
 class TestExecuteJob:

@@ -1,0 +1,42 @@
+"""Every ``examples/`` script must run clean.
+
+The examples double as integration tests of the public API surface: a
+script that crashes, asserts, or prints nothing means a documented
+workflow broke even if the unit suite stayed green.
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+_EXAMPLES_DIR = os.path.abspath(
+    os.path.join(os.path.dirname(__file__), "..", "examples")
+)
+_SCRIPTS = sorted(
+    name for name in os.listdir(_EXAMPLES_DIR) if name.endswith(".py")
+)
+
+
+def test_every_example_is_collected():
+    # The parametrized list below must cover the directory: adding an
+    # example without it running here would silently skip coverage.
+    assert _SCRIPTS, "no example scripts found"
+
+
+@pytest.mark.parametrize("script", _SCRIPTS)
+def test_example_runs_clean(script):
+    env = dict(os.environ)
+    src = os.path.abspath(os.path.join(_EXAMPLES_DIR, "..", "src"))
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.run(
+        [sys.executable, os.path.join(_EXAMPLES_DIR, script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+        env=env,
+        cwd=_EXAMPLES_DIR,
+    )
+    assert proc.returncode == 0, "{} failed:\n{}".format(script, proc.stderr)
+    assert proc.stdout.strip(), "{} printed nothing".format(script)
