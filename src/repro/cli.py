@@ -736,6 +736,17 @@ def cmd_run(args) -> int:
     try:
         if args.resume:
             state = load_ledger(args.resume)
+            if state.foreign_to():
+                # Resuming is still fine — verdicts are host-independent
+                # — but the operator should know the checkpoint they are
+                # continuing was written somewhere else.
+                print(
+                    "warning: ledger {!r} was written on host {!r} "
+                    "(pid {}); resuming on a different host".format(
+                        args.resume, state.host, state.pid
+                    ),
+                    file=sys.stderr,
+                )
             jobs = state.pending
             campaign_id = state.campaign_id
             prior = state.outcomes
@@ -762,22 +773,60 @@ def cmd_run(args) -> int:
     except ReproError as exc:
         print(str(exc), file=sys.stderr)
         return 2
-    with Ledger(ledger_path) as ledger:
-        supervisor = Supervisor(
-            jobs,
-            workers=args.workers,
-            timeout=float(args.timeout),
-            retry=RetryPolicy(max_retries=args.max_retries, seed=args.seed),
-            ledger=ledger,
-            chaos=args.chaos,
-            campaign_id=campaign_id,
-            prior_outcomes=prior,
-            write_header=write_header,
-            engine=args.engine,
-            engine_workers=args.engine_workers,
-            cache=False if args.no_cache else None,
-        )
-        report = supervisor.run()
+    if args.dist:
+        from repro.dist import DistConfig, DistCoordinator, parse_hosts
+
+        if args.chaos:
+            print(
+                "--chaos (the local worker self-test) does not combine "
+                "with --dist; use 'dist worker --chaos SPEC' for network "
+                "chaos instead",
+                file=sys.stderr,
+            )
+            return 2
+        try:
+            config = DistConfig(
+                hosts=parse_hosts(args.dist),
+                lease_ms=args.lease_ms,
+                heartbeat_ms=args.heartbeat_ms,
+                timeout=float(args.timeout),
+                fallback_workers=max(1, args.workers),
+            )
+        except ReproError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+        with Ledger(ledger_path) as ledger:
+            coordinator = DistCoordinator(
+                jobs,
+                config,
+                retry=RetryPolicy(max_retries=args.max_retries, seed=args.seed),
+                ledger=ledger,
+                campaign_id=campaign_id,
+                prior_outcomes=prior,
+                write_header=write_header,
+                cache=_cli_cache(args),
+                engine=args.engine,
+                engine_workers=args.engine_workers,
+                job_cache=False if args.no_cache else None,
+            )
+            report = coordinator.run()
+    else:
+        with Ledger(ledger_path) as ledger:
+            supervisor = Supervisor(
+                jobs,
+                workers=args.workers,
+                timeout=float(args.timeout),
+                retry=RetryPolicy(max_retries=args.max_retries, seed=args.seed),
+                ledger=ledger,
+                chaos=args.chaos,
+                campaign_id=campaign_id,
+                prior_outcomes=prior,
+                write_header=write_header,
+                engine=args.engine,
+                engine_workers=args.engine_workers,
+                cache=False if args.no_cache else None,
+            )
+            report = supervisor.run()
     if args.json:
         print(_json.dumps(report.to_dict(), indent=2, sort_keys=True))
     else:
@@ -932,6 +981,33 @@ def cmd_serve(args) -> int:
         seed=args.seed,
     )
     return serve_main(config)
+
+
+def cmd_dist_worker(args) -> int:
+    from repro.dist import DistWorker, parse_plan
+    from repro.errors import ReproError
+
+    plan = None
+    cache = None
+    try:
+        if args.chaos:
+            plan = parse_plan(args.chaos)
+        if args.backend:
+            from repro.serve.backends import backend_cache
+
+            cache = backend_cache(args.backend)
+    except ReproError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    worker = DistWorker(
+        host=args.host,
+        port=args.port,
+        isolation=not args.inline,
+        once=args.once,
+        chaos=plan,
+        cache=cache,
+    )
+    return worker.serve_forever()
 
 
 def _resolve_gen_name(args) -> str:
@@ -1354,6 +1430,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="self-test: inject a worker crash, hang, and malformed result",
     )
     run.add_argument(
+        "--dist", default=None, metavar="HOST:PORT,...",
+        help="distribute the campaign over these 'repro dist worker' "
+             "daemons (comma-separated); falls back to the local pool "
+             "when none are reachable",
+    )
+    run.add_argument(
+        "--lease-ms", type=_positive_int, default=5000,
+        help="dist: job lease duration; a lease not renewed by a "
+             "heartbeat within this window is reclaimed and reassigned",
+    )
+    run.add_argument(
+        "--heartbeat-ms", type=_positive_int, default=1000,
+        help="dist: worker heartbeat interval (must be < --lease-ms)",
+    )
+    run.add_argument(
         "--epsilon", type=_fraction, default=Fraction(1, 32),
         help="drift probed by 'perturb' jobs",
     )
@@ -1444,6 +1535,43 @@ def build_parser() -> argparse.ArgumentParser:
     )
     gen_fuzz.add_argument("--json", action="store_true", help="machine-readable report")
     gen_fuzz.set_defaults(func=cmd_gen)
+
+    dist = sub.add_parser(
+        "dist",
+        help="multi-host campaign distribution (leases, heartbeats, "
+             "partition-safe merge; see docs/distribution.md)",
+    )
+    dist_sub = dist.add_subparsers(dest="dist_command", required=True)
+    dist_worker = dist_sub.add_parser(
+        "worker",
+        help="campaign worker daemon: serves 'repro run --dist' "
+             "coordinators jobs-at-a-time over TCP",
+    )
+    dist_worker.add_argument("--host", default="127.0.0.1", help="bind address")
+    dist_worker.add_argument(
+        "--port", type=_nonneg_int, default=0,
+        help="TCP port (0 = ephemeral; the bound port is printed on start)",
+    )
+    dist_worker.add_argument(
+        "--inline", action="store_true",
+        help="execute attempts in-process (no subprocess isolation or "
+             "hang protection; tests and benchmarks)",
+    )
+    dist_worker.add_argument(
+        "--once", action="store_true",
+        help="exit after the first cleanly completed coordinator session",
+    )
+    dist_worker.add_argument(
+        "--chaos", default=None, metavar="SPEC",
+        help="deterministic network fault plan for outbound frames, "
+             "e.g. 'sever@result:2,dup@result:1' (see docs/distribution.md)",
+    )
+    dist_worker.add_argument(
+        "--backend", default=None, metavar="SPEC",
+        help="verdict-cache backend for warm-start sync (dir:<root> or "
+             "sqlite:<path>; default: no worker-side pool)",
+    )
+    dist_worker.set_defaults(func=cmd_dist_worker)
 
     serve = sub.add_parser(
         "serve",

@@ -1,0 +1,138 @@
+"""Time-bounded job leases with monotonic per-job epochs.
+
+A lease is the coordinator's claim check: job ``J`` belongs to worker
+``W`` until instant ``expires_at`` (monotonic clock), and the worker
+keeps it alive by heartbeating.  The part that makes distribution
+*safe* rather than merely fast is the **epoch**: every grant of a job
+— first assignment or reassignment after a crash/partition — bumps a
+per-job counter that never goes backwards, and every heartbeat and
+result the worker sends carries the epoch it was granted.  When a
+partitioned worker reappears and ships the result of work the
+coordinator already reassigned, the stale epoch identifies it and the
+ledger merge discards it instead of double-recording the job — the
+same stale-claim discipline the paper's mappings impose on timing
+claims: an assertion is only as good as the epoch it was proved in.
+
+The table is deliberately passive: it never reads the clock itself.
+Callers pass ``now`` (``time.monotonic()``) in, which keeps every
+expiry decision testable without sleeping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+__all__ = ["Lease", "LeaseTable"]
+
+
+@dataclass
+class Lease:
+    """One active claim: job → worker, bounded in time, stamped with
+    the grant epoch."""
+
+    job_id: str
+    worker_id: str
+    epoch: int
+    granted_at: float
+    expires_at: float
+    lease_s: float
+    renewals: int = 0
+
+    def current(self, now: float) -> bool:
+        return now < self.expires_at
+
+
+class LeaseTable:
+    """All active leases plus the per-job epoch counters.
+
+    Epochs survive release and expiry — they are the job's reassignment
+    history, not the lease's — so a result stamped with any epoch other
+    than the *latest grant's* is recognisably stale forever.
+    """
+
+    def __init__(self):
+        self._active: Dict[str, Lease] = {}
+        self._epochs: Dict[str, int] = {}
+
+    # -- grants --------------------------------------------------------
+
+    def grant(self, job_id: str, worker_id: str, lease_s: float, now: float) -> Lease:
+        """Lease ``job_id`` to ``worker_id``; bumps the job's epoch.
+
+        Granting over an existing active lease is a coordinator bug —
+        a job must be released (result) or expired (reclaim) first.
+        """
+        if lease_s <= 0:
+            raise ValueError("lease_s must be positive")
+        if job_id in self._active:
+            raise ValueError("job {!r} already has an active lease".format(job_id))
+        epoch = self._epochs.get(job_id, 0) + 1
+        self._epochs[job_id] = epoch
+        lease = Lease(
+            job_id=job_id,
+            worker_id=worker_id,
+            epoch=epoch,
+            granted_at=now,
+            expires_at=now + lease_s,
+            lease_s=lease_s,
+        )
+        self._active[job_id] = lease
+        return lease
+
+    def renew(self, job_id: str, worker_id: str, epoch: int, now: float) -> bool:
+        """Extend the lease on a heartbeat; ``False`` when the
+        heartbeat is stale (no active lease, a different worker's, an
+        old epoch, or already expired) — stale heartbeats must not
+        resurrect a reclaimed job."""
+        lease = self._active.get(job_id)
+        if (
+            lease is None
+            or lease.worker_id != worker_id
+            or lease.epoch != epoch
+            or not lease.current(now)
+        ):
+            return False
+        lease.expires_at = now + lease.lease_s
+        lease.renewals += 1
+        return True
+
+    def release(self, job_id: str) -> Optional[Lease]:
+        """Drop the active lease (job settled or reclaimed); the epoch
+        stays behind to date any late results."""
+        return self._active.pop(job_id, None)
+
+    # -- staleness -----------------------------------------------------
+
+    def is_current(
+        self, job_id: str, epoch: int, worker_id: Optional[str] = None
+    ) -> bool:
+        """Is (job, epoch[, worker]) the *latest grant*?  The ledger
+        merge admits a result only when this holds."""
+        lease = self._active.get(job_id)
+        if lease is None or lease.epoch != epoch:
+            return False
+        return worker_id is None or lease.worker_id == worker_id
+
+    def epoch(self, job_id: str) -> int:
+        """The job's latest grant epoch (0 = never granted)."""
+        return self._epochs.get(job_id, 0)
+
+    # -- expiry --------------------------------------------------------
+
+    def expired(self, now: float) -> List[Lease]:
+        """Active leases whose heartbeat window has lapsed, oldest
+        first.  The caller reclaims them (release + reassign)."""
+        lapsed = [l for l in self._active.values() if not l.current(now)]
+        return sorted(lapsed, key=lambda l: l.expires_at)
+
+    def held_by(self, worker_id: str) -> List[Lease]:
+        """Active leases held by one worker (reclaimed wholesale when
+        its connection dies)."""
+        return [l for l in self._active.values() if l.worker_id == worker_id]
+
+    def active(self) -> List[Lease]:
+        return list(self._active.values())
+
+    def __len__(self) -> int:
+        return len(self._active)

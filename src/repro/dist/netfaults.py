@@ -1,0 +1,215 @@
+"""Deterministic network fault injection for the dist transport.
+
+The chaos counterpart of :mod:`repro.faults` at the wire: a
+:class:`FaultyConnection` wraps a :class:`~repro.dist.protocol.
+FrameConnection` and perturbs its *outbound* frames according to an
+explicit :class:`FaultPlan` — no randomness in the hot path, so every
+chaos test replays exactly:
+
+- ``drop``     — swallow the frame (a lossy link);
+- ``dup``      — send the frame twice (a retransmitting link; the
+  coordinator's idempotent merge must discard the twin);
+- ``delay:MS`` — hold the frame ``MS`` milliseconds before sending
+  (congestion; leases must ride it out);
+- ``reorder``  — hold the frame and release it *after* the next one
+  (out-of-order delivery; epoch stamps must keep the merge correct);
+- ``sever``    — transmit only the first half of the encoded frame and
+  hard-close the socket (a partition mid-write; the reader sees a torn
+  frame, never a short parse).
+
+Plans address frames by **kind and ordinal**, not by global index —
+heartbeat cadence is timing-dependent, so ``sever@result:2`` ("sever
+while sending the second result") stays deterministic no matter how
+many heartbeats interleave.  Spec grammar, comma-separated::
+
+    op@kind:N[:arg]     e.g.  sever@result:2,dup@result:1,delay@heartbeat:3:150
+
+``python -m repro dist worker --chaos SPEC`` applies a plan to the
+worker's side of the wire, which is how CI's dist-smoke job proves a
+campaign survives a mid-frame partition with zero lost jobs.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.dist.protocol import ConnectionClosed, FrameConnection, encode_frame
+from repro.errors import ReproError
+
+__all__ = ["FAULT_OPS", "FaultPlan", "FaultyConnection", "parse_plan"]
+
+#: Recognised fault operations (``delay`` takes a milliseconds arg).
+FAULT_OPS = ("drop", "dup", "delay", "reorder", "sever")
+
+
+class FaultPlan:
+    """Which fault hits which outbound frame.
+
+    Keyed by ``(kind, ordinal)`` where the ordinal counts frames *of
+    that kind* sent so far (1-based).  One frame may carry at most one
+    op — chaos tests want attributable failures, not compound ones.
+    """
+
+    def __init__(self, ops: Optional[Dict[Tuple[str, int], Tuple[str, Optional[int]]]] = None):
+        self.ops: Dict[Tuple[str, int], Tuple[str, Optional[int]]] = dict(ops or {})
+
+    def add(self, op: str, kind: str, ordinal: int, arg: Optional[int] = None) -> "FaultPlan":
+        if op not in FAULT_OPS:
+            raise ReproError(
+                "unknown fault op {!r}; expected one of {}".format(
+                    op, ", ".join(FAULT_OPS)
+                )
+            )
+        if ordinal < 1:
+            raise ReproError("fault ordinal must be >= 1, got {}".format(ordinal))
+        if op == "delay" and (arg is None or arg < 0):
+            raise ReproError("delay needs a nonnegative milliseconds arg")
+        key = (kind, ordinal)
+        if key in self.ops:
+            raise ReproError(
+                "frame {}:{} already carries a fault".format(kind, ordinal)
+            )
+        self.ops[key] = (op, arg)
+        return self
+
+    def lookup(self, kind: str, ordinal: int) -> Optional[Tuple[str, Optional[int]]]:
+        return self.ops.get((kind, ordinal))
+
+    def __len__(self) -> int:
+        return len(self.ops)
+
+    def describe(self) -> str:
+        parts = []
+        for (kind, ordinal), (op, arg) in sorted(self.ops.items()):
+            spec = "{}@{}:{}".format(op, kind, ordinal)
+            if arg is not None:
+                spec += ":{}".format(arg)
+            parts.append(spec)
+        return ",".join(parts)
+
+
+def parse_plan(spec: str) -> FaultPlan:
+    """Parse ``op@kind:N[:arg]`` comma lists into a :class:`FaultPlan`.
+
+    Raises :class:`ReproError` on anything malformed — a typo'd chaos
+    spec must fail the run loudly, not silently test nothing.
+    """
+    plan = FaultPlan()
+    for chunk in spec.split(","):
+        chunk = chunk.strip()
+        if not chunk:
+            continue
+        op, sep, rest = chunk.partition("@")
+        if not sep or not rest:
+            raise ReproError(
+                "malformed fault spec {!r}; expected op@kind:N[:arg]".format(chunk)
+            )
+        fields = rest.split(":")
+        if len(fields) < 2 or len(fields) > 3:
+            raise ReproError(
+                "malformed fault spec {!r}; expected op@kind:N[:arg]".format(chunk)
+            )
+        kind = fields[0]
+        try:
+            ordinal = int(fields[1])
+        except ValueError:
+            raise ReproError(
+                "fault spec {!r}: ordinal {!r} is not an integer".format(
+                    chunk, fields[1]
+                )
+            )
+        arg = None
+        if len(fields) == 3:
+            try:
+                arg = int(fields[2])
+            except ValueError:
+                raise ReproError(
+                    "fault spec {!r}: arg {!r} is not an integer".format(
+                        chunk, fields[2]
+                    )
+                )
+        plan.add(op, kind, ordinal, arg)
+    if not len(plan):
+        raise ReproError("empty fault spec")
+    return plan
+
+
+class FaultyConnection(FrameConnection):
+    """A :class:`FrameConnection` whose sends obey a :class:`FaultPlan`.
+
+    Receiving is untouched — faults are injected where the *sender*
+    sits, so a worker under chaos perturbs exactly its own traffic and
+    the coordinator's recovery machinery is what gets tested.
+    """
+
+    def __init__(
+        self,
+        sock,
+        plan: FaultPlan,
+        counts: Optional[Dict[str, int]] = None,
+        injected: Optional[List[str]] = None,
+    ):
+        super().__init__(sock)
+        self.plan = plan
+        # ``counts``/``injected`` may be shared across connections (the
+        # dist worker passes daemon-lifetime dicts), so ``sever@result:2``
+        # means "the second result this *daemon* ever sends" and a
+        # severed worker recovers clean on the next session.
+        self._kind_counts: Dict[str, int] = counts if counts is not None else {}
+        self._held: Optional[Dict[str, Any]] = None
+        self.injected: List[str] = injected if injected is not None else []
+
+    def send(self, body: Dict[str, Any]) -> None:
+        kind = body.get("kind", "?")
+        ordinal = self._kind_counts.get(kind, 0) + 1
+        self._kind_counts[kind] = ordinal
+        fault = self.plan.lookup(kind, ordinal)
+        if fault is None:
+            super().send(body)
+            self._flush_held()
+            return
+        op, arg = fault
+        self.injected.append("{}@{}:{}".format(op, kind, ordinal))
+        if op == "drop":
+            return
+        if op == "dup":
+            super().send(body)
+            super().send(body)
+            self._flush_held()
+            return
+        if op == "delay":
+            time.sleep((arg or 0) / 1000.0)
+            super().send(body)
+            self._flush_held()
+            return
+        if op == "reorder":
+            # Held until the next outbound frame overtakes it.
+            self._held = dict(body)
+            return
+        if op == "sever":
+            self._sever(body)
+            return
+        raise AssertionError("unreachable fault op {!r}".format(op))
+
+    def _flush_held(self) -> None:
+        if self._held is not None:
+            held, self._held = self._held, None
+            super().send(held)
+
+    def _sever(self, body: Dict[str, Any]) -> None:
+        """Write half a frame, then kill the connection — the reader
+        must see a torn frame, never a plausible short one."""
+        raw = encode_frame(body)
+        half = raw[: max(1, len(raw) // 2)]
+        with self._send_lock:
+            self._closed = True
+            try:
+                self.sock.sendall(half)
+            except OSError:
+                pass
+            try:
+                self.sock.close()
+            except OSError:
+                pass
+        raise ConnectionClosed("chaos: severed mid-frame")

@@ -1,0 +1,222 @@
+"""The framed wire format between coordinator and dist workers.
+
+Frames are length-prefixed JSON: a 4-byte big-endian byte count, then
+that many bytes of UTF-8 JSON.  Length prefixing (rather than
+newline-delimited JSON) makes torn writes *detectable*: a reader that
+gets EOF mid-frame knows the frame is torn and treats the connection as
+lost, instead of parsing half a message as a smaller one.  The format
+deliberately carries only plain JSON — job bodies are
+``Job.to_dict()`` output and result payloads are ``execute_job``
+payloads, both already plain — so the transport never needs the tagged
+encoder.
+
+Message vocabulary (the ``kind`` field):
+
+- ``hello``      — coordinator → worker: campaign id, protocol version,
+  lease/heartbeat intervals;
+- ``register``   — worker → coordinator: worker id, host, pid, slots;
+- ``assign``     — coordinator → worker: one job body, its lease epoch
+  and attempt number, optionally a warm verdict-cache entry;
+- ``heartbeat``  — worker → coordinator while executing: renews the
+  job's lease (job id + epoch, so a stale worker's heartbeats are
+  recognisably stale);
+- ``result``     — worker → coordinator: the attempt's payload (or the
+  crash/timeout evidence), stamped with the lease epoch and worker
+  identity, optionally a cacheable verdict entry;
+- ``ping``/``pong`` — liveness probes;
+- ``bye``        — either side: clean shutdown of the session.
+
+Both sides reject a frame above :data:`MAX_FRAME_BYTES` (a corrupted
+length prefix must not allocate gigabytes) and refuse to speak to a
+peer announcing an unknown :data:`PROTOCOL_VERSION`.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+import threading
+from typing import Any, Dict, Optional
+
+from repro.errors import ReproError
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "MAX_FRAME_BYTES",
+    "ProtocolError",
+    "ConnectionClosed",
+    "encode_frame",
+    "decode_body",
+    "FrameConnection",
+]
+
+#: Version both sides announce in their opening message; a mismatch is
+#: refused up front rather than misparsed mid-campaign.
+PROTOCOL_VERSION = 1
+
+#: Hard cap on one frame's body.  Result payloads are a few KB; a
+#: length prefix beyond this means a corrupted or hostile stream.
+MAX_FRAME_BYTES = 32 * 1024 * 1024
+
+_HEADER = struct.Struct(">I")
+
+
+class ProtocolError(ReproError):
+    """The peer spoke something that is not this protocol."""
+
+
+class ConnectionClosed(ProtocolError):
+    """The connection ended — cleanly at a frame boundary, torn
+    mid-frame, or with a transport error; ``detail`` says which."""
+
+    def __init__(self, detail: str = "connection closed"):
+        super().__init__(detail)
+        self.detail = detail
+
+
+def encode_frame(body: Dict[str, Any]) -> bytes:
+    """One wire frame: 4-byte length prefix + UTF-8 JSON body."""
+    if not isinstance(body, dict) or "kind" not in body:
+        raise ProtocolError(
+            "a frame body must be a dict with a 'kind', got {!r}".format(body)
+        )
+    try:
+        raw = json.dumps(body, sort_keys=True).encode("utf-8")
+    except (TypeError, ValueError) as exc:
+        raise ProtocolError("frame body is not JSON-serialisable: {}".format(exc))
+    if len(raw) > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            "frame of {} bytes exceeds the {} byte cap".format(
+                len(raw), MAX_FRAME_BYTES
+            )
+        )
+    return _HEADER.pack(len(raw)) + raw
+
+
+def decode_body(raw: bytes) -> Dict[str, Any]:
+    """Parse one frame body; anything but a ``kind``-bearing JSON dict
+    is a protocol violation."""
+    try:
+        body = json.loads(raw.decode("utf-8"))
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise ProtocolError("frame body is not valid JSON: {}".format(exc))
+    if not isinstance(body, dict) or "kind" not in body:
+        raise ProtocolError(
+            "frame body is not a message dict: {!r}".format(body)[:200]
+        )
+    return body
+
+
+class FrameConnection:
+    """Framed messages over one TCP socket.
+
+    - :meth:`send` is thread-safe (a worker's heartbeat thread and its
+    result path share the connection) and never interleaves frames;
+    - :meth:`recv` buffers partial frames across calls, so a slow or
+    fault-injected peer delivering one byte at a time still yields
+    whole frames; ``None`` means the ``timeout`` elapsed with no
+    complete frame (poll again), :class:`ConnectionClosed` means the
+    stream ended — cleanly between frames or torn inside one.
+    """
+
+    def __init__(self, sock: socket.socket):
+        self.sock = sock
+        self._send_lock = threading.Lock()
+        self._buf = b""
+        self._closed = False
+        self.frames_sent = 0
+        self.frames_received = 0
+        try:
+            name = sock.getpeername()
+            if isinstance(name, tuple) and len(name) >= 2:
+                self.peer = "{}:{}".format(name[0], name[1])
+            else:  # AF_UNIX (socketpair in tests) has no host:port
+                self.peer = str(name) or "local"
+        except OSError:
+            self.peer = "?"
+
+    # -- sending -------------------------------------------------------
+
+    def send(self, body: Dict[str, Any]) -> None:
+        raw = encode_frame(body)
+        with self._send_lock:
+            if self._closed:
+                raise ConnectionClosed("send on a closed connection")
+            try:
+                self.sock.sendall(raw)
+            except OSError as exc:
+                self._closed = True
+                raise ConnectionClosed("send failed: {}".format(exc))
+            self.frames_sent += 1
+
+    # -- receiving -----------------------------------------------------
+
+    def recv(self, timeout: Optional[float] = None) -> Optional[Dict[str, Any]]:
+        """The next frame body, or ``None`` when ``timeout`` elapsed.
+
+        Raises :class:`ConnectionClosed` on EOF (``torn frame`` detail
+        when EOF landed inside a frame) and :class:`ProtocolError` on a
+        frame that violates the format (oversized, non-JSON).
+        """
+        if self._closed:
+            raise ConnectionClosed("recv on a closed connection")
+        try:
+            self.sock.settimeout(timeout)
+        except OSError:  # closed concurrently by another thread
+            self._closed = True
+            raise ConnectionClosed("recv on a closed connection")
+        while True:
+            if len(self._buf) >= _HEADER.size:
+                (length,) = _HEADER.unpack(self._buf[: _HEADER.size])
+                if length > MAX_FRAME_BYTES:
+                    self._closed = True
+                    raise ProtocolError(
+                        "peer announced a {} byte frame (cap {})".format(
+                            length, MAX_FRAME_BYTES
+                        )
+                    )
+                if len(self._buf) >= _HEADER.size + length:
+                    raw = self._buf[_HEADER.size : _HEADER.size + length]
+                    self._buf = self._buf[_HEADER.size + length :]
+                    self.frames_received += 1
+                    return decode_body(raw)
+            try:
+                chunk = self.sock.recv(65536)
+            except socket.timeout:
+                return None
+            except OSError as exc:
+                self._closed = True
+                raise ConnectionClosed("recv failed: {}".format(exc))
+            if not chunk:
+                self._closed = True
+                if self._buf:
+                    raise ConnectionClosed(
+                        "torn frame: EOF with {} buffered bytes".format(
+                            len(self._buf)
+                        )
+                    )
+                raise ConnectionClosed("peer closed the connection")
+            self._buf += chunk
+
+    # -- lifecycle -----------------------------------------------------
+
+    def close(self) -> None:
+        self._closed = True
+        try:
+            self.sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        try:
+            self.sock.close()
+        except OSError:
+            pass
+
+    def closed(self) -> bool:
+        return self._closed
+
+    def __enter__(self) -> "FrameConnection":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -21,6 +21,7 @@ it stopped instead of starting over.
 from __future__ import annotations
 
 import os
+import socket
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
@@ -33,13 +34,24 @@ __all__ = ["Ledger", "LedgerState", "load_ledger"]
 
 
 class Ledger:
-    """Append-only JSONL writer for one campaign's progress."""
+    """Append-only JSONL writer for one campaign's progress.
+
+    Every entry is stamped with the *writer's* identity (hostname +
+    pid): on a single host that is provenance, and in a distributed
+    campaign it makes the ledger a cross-host audit trail — and lets
+    ``run --resume`` notice it was handed a ledger written elsewhere.
+    """
 
     def __init__(self, path: str):
         self.path = path
         self._fh = None
+        self.host = socket.gethostname()
+        self.pid = os.getpid()
 
     def _write(self, entry: Dict[str, Any]) -> None:
+        entry = dict(entry)
+        entry.setdefault("host", self.host)
+        entry.setdefault("pid", self.pid)
         line = ledger_entry_to_line(entry)
         if self._fh is None:
             self._fh = open(self.path, "a")
@@ -70,8 +82,13 @@ class Ledger:
         detail: str,
         backoff: Optional[float] = None,
         budget_scale: int = 1,
+        extra: Optional[Dict[str, Any]] = None,
     ) -> None:
-        self._write(
+        """``extra`` carries layer-specific fields (the dist coordinator
+        adds worker identity and the lease epoch); reserved entry keys
+        cannot be overridden by it."""
+        entry = dict(extra or {})
+        entry.update(
             {
                 "kind": "attempt",
                 "job_id": job_id,
@@ -82,6 +99,7 @@ class Ledger:
                 "budget_scale": budget_scale,
             }
         )
+        self._write(entry)
 
     def done(self, outcome: JobOutcome) -> None:
         self._write(
@@ -113,6 +131,20 @@ class LedgerState:
     outcomes: Dict[str, JobOutcome] = field(default_factory=dict)
     attempts: Dict[str, int] = field(default_factory=dict)
     ended: bool = False
+    #: Identity of the host/process that wrote the campaign header
+    #: (``None`` for schema-1 ledgers, which predate stamping).
+    host: Optional[str] = None
+    pid: Optional[int] = None
+
+    def foreign_to(self, hostname: Optional[str] = None) -> bool:
+        """Was this ledger written on a different host?  ``False`` for
+        unstamped (schema-1) ledgers — absence of evidence is not
+        evidence of another host."""
+        if self.host is None:
+            return False
+        if hostname is None:
+            hostname = socket.gethostname()
+        return self.host != hostname
 
     @property
     def pending(self) -> List[Job]:
@@ -166,4 +198,6 @@ def load_ledger(path: str) -> LedgerState:
         outcomes=outcomes,
         attempts=attempts,
         ended=ended,
+        host=header.get("host"),
+        pid=header.get("pid"),
     )

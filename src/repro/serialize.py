@@ -38,6 +38,7 @@ __all__ = [
     "run_from_json",
     "events_to_jsonl",
     "events_from_jsonl",
+    "LEDGER_SCHEMAS_READABLE",
     "ledger_entry_to_line",
     "ledger_entries_from_jsonl",
     "CACHE_SCHEMA_VERSION",
@@ -51,7 +52,14 @@ TRACE_SCHEMA_VERSION = 1
 
 #: Version of the JSONL campaign-ledger entries written by
 #: :mod:`repro.runner.ledger`; bumped whenever the entry shape changes.
-LEDGER_SCHEMA_VERSION = 1
+#: Version 2 added writer-identity stamping (``host``/``pid`` on every
+#: entry) for cross-host audit of distributed campaigns.
+LEDGER_SCHEMA_VERSION = 2
+
+#: Ledger schema versions the reader accepts.  Version 1 entries are a
+#: strict subset of version 2 (no ``host``/``pid``), so old ledgers
+#: stay resumable; genuinely unknown shapes are still rejected.
+LEDGER_SCHEMAS_READABLE = frozenset({1, 2})
 
 #: Version of on-disk verdict-cache entries written by
 #: :mod:`repro.cache.store`; bumped whenever the entry shape changes.
@@ -254,10 +262,12 @@ def ledger_entries_from_jsonl(text: str, tolerate_torn_tail: bool = True) -> Lis
             raise SerializationError(
                 "ledger line {} is not an entry dict: {!r}".format(index + 1, line[:80])
             )
-        if body.get("schema") != LEDGER_SCHEMA_VERSION:
+        if body.get("schema") not in LEDGER_SCHEMAS_READABLE:
             raise SerializationError(
                 "unsupported ledger schema {!r} on line {} (supported: {})".format(
-                    body.get("schema"), index + 1, LEDGER_SCHEMA_VERSION
+                    body.get("schema"),
+                    index + 1,
+                    ", ".join(str(v) for v in sorted(LEDGER_SCHEMAS_READABLE)),
                 )
             )
         entries.append(body)

@@ -25,6 +25,7 @@ from __future__ import annotations
 import os
 import sqlite3
 import threading
+import time
 from typing import Optional
 
 from repro.cache.store import BackendError, DirBackend, VerdictCache
@@ -56,6 +57,14 @@ class SqliteBackend:
         " key TEXT PRIMARY KEY,"
         " body TEXT NOT NULL)"
     )
+
+    #: Upsert retries after sqlite's own busy timeout lapses.  WAL
+    #: mostly prevents writer/writer stalls, but a checkpoint or a
+    #: slow competing transaction can still surface SQLITE_BUSY after
+    #: the timeout; a few short-backoff retries turn "database is
+    #: locked" into a brief wait, which is what a cache write wants.
+    _BUSY_RETRIES = 4
+    _BUSY_BACKOFF_S = 0.05
 
     def __init__(self, path: str, busy_timeout_s: float = 5.0):
         self.path = path
@@ -94,17 +103,33 @@ class SqliteBackend:
             raise BackendError("sqlite get {}: {}".format(key[:12], exc))
         return None if row is None else row[0]
 
+    @staticmethod
+    def _is_busy(exc: sqlite3.Error) -> bool:
+        text = str(exc).lower()
+        return isinstance(exc, sqlite3.OperationalError) and (
+            "locked" in text or "busy" in text
+        )
+
     def put(self, key: str, text: str) -> None:
-        try:
-            conn = self._connection()
-            conn.execute(
-                "INSERT INTO verdicts (key, body) VALUES (?, ?) "
-                "ON CONFLICT(key) DO UPDATE SET body = excluded.body",
-                (key, text),
-            )
-            conn.commit()
-        except sqlite3.Error as exc:
-            raise BackendError("sqlite put {}: {}".format(key[:12], exc))
+        conn = self._connection()
+        for retry in range(self._BUSY_RETRIES + 1):
+            try:
+                conn.execute(
+                    "INSERT INTO verdicts (key, body) VALUES (?, ?) "
+                    "ON CONFLICT(key) DO UPDATE SET body = excluded.body",
+                    (key, text),
+                )
+                conn.commit()
+                return
+            except sqlite3.Error as exc:
+                try:
+                    conn.rollback()
+                except sqlite3.Error:
+                    pass
+                if self._is_busy(exc) and retry < self._BUSY_RETRIES:
+                    time.sleep(self._BUSY_BACKOFF_S * (2 ** retry))
+                    continue
+                raise BackendError("sqlite put {}: {}".format(key[:12], exc))
 
     def count(self) -> int:
         """Entries currently in the pool (stats endpoint)."""

@@ -1,0 +1,85 @@
+"""Lease semantics: epochs only grow, stale claims stay stale forever,
+expiry is a pure function of the clock the caller passes in."""
+
+import pytest
+
+from repro.dist.leases import LeaseTable
+
+
+def test_grant_bumps_epoch_and_tracks_lease():
+    table = LeaseTable()
+    lease = table.grant("j1", "w1", lease_s=5.0, now=100.0)
+    assert lease.epoch == 1
+    assert lease.expires_at == 105.0
+    assert table.is_current("j1", 1, "w1")
+    assert len(table) == 1
+
+
+def test_double_grant_is_a_bug():
+    table = LeaseTable()
+    table.grant("j1", "w1", 5.0, now=0.0)
+    with pytest.raises(ValueError):
+        table.grant("j1", "w2", 5.0, now=0.0)
+
+
+def test_epoch_survives_release_and_regrant_bumps_it():
+    table = LeaseTable()
+    table.grant("j1", "w1", 5.0, now=0.0)
+    table.release("j1")
+    assert table.epoch("j1") == 1
+    lease = table.grant("j1", "w2", 5.0, now=10.0)
+    assert lease.epoch == 2
+    # The partitioned first worker's claim is recognisably stale.
+    assert not table.is_current("j1", 1, "w1")
+    assert table.is_current("j1", 2, "w2")
+
+
+def test_renew_extends_only_the_current_grant():
+    table = LeaseTable()
+    table.grant("j1", "w1", 5.0, now=0.0)
+    assert table.renew("j1", "w1", 1, now=3.0)
+    assert table._active["j1"].expires_at == 8.0
+    # Wrong worker, wrong epoch, unknown job: all stale.
+    assert not table.renew("j1", "w2", 1, now=3.0)
+    assert not table.renew("j1", "w1", 2, now=3.0)
+    assert not table.renew("nope", "w1", 1, now=3.0)
+
+
+def test_stale_heartbeat_cannot_resurrect_an_expired_lease():
+    table = LeaseTable()
+    table.grant("j1", "w1", 5.0, now=0.0)
+    assert not table.renew("j1", "w1", 1, now=6.0)  # already lapsed
+    assert table.expired(now=6.0)[0].job_id == "j1"
+
+
+def test_expired_returns_lapsed_oldest_first():
+    table = LeaseTable()
+    table.grant("a", "w1", 2.0, now=0.0)
+    table.grant("b", "w2", 5.0, now=0.0)
+    table.grant("c", "w3", 1.0, now=0.0)
+    lapsed = table.expired(now=3.0)
+    assert [l.job_id for l in lapsed] == ["c", "a"]
+    assert table.is_current("b", 1)
+
+
+def test_held_by_collects_a_workers_leases():
+    table = LeaseTable()
+    table.grant("a", "w1", 5.0, now=0.0)
+    table.grant("b", "w1", 5.0, now=0.0)
+    table.grant("c", "w2", 5.0, now=0.0)
+    assert sorted(l.job_id for l in table.held_by("w1")) == ["a", "b"]
+
+
+def test_is_current_without_worker_checks_epoch_only():
+    table = LeaseTable()
+    table.grant("j1", "w1", 5.0, now=0.0)
+    assert table.is_current("j1", 1)
+    assert not table.is_current("j1", 0)
+    table.release("j1")
+    assert not table.is_current("j1", 1)
+
+
+def test_nonpositive_lease_rejected():
+    table = LeaseTable()
+    with pytest.raises(ValueError):
+        table.grant("j1", "w1", 0.0, now=0.0)

@@ -1,0 +1,105 @@
+"""Deterministic network faults: spec parsing and each op's effect on
+a real socket pair."""
+
+import socket
+
+import pytest
+
+from repro.dist.netfaults import FaultPlan, FaultyConnection, parse_plan
+from repro.dist.protocol import ConnectionClosed, FrameConnection
+from repro.errors import ReproError
+
+
+def chaos_pair(plan, counts=None):
+    a, b = socket.socketpair()
+    return FaultyConnection(a, plan, counts=counts), FrameConnection(b)
+
+
+class TestParsePlan:
+    def test_full_grammar(self):
+        plan = parse_plan("sever@result:2,dup@result:1,delay@heartbeat:3:150")
+        assert plan.lookup("result", 2) == ("sever", None)
+        assert plan.lookup("result", 1) == ("dup", None)
+        assert plan.lookup("heartbeat", 3) == ("delay", 150)
+        assert plan.lookup("result", 3) is None
+        assert plan.describe() == "delay@heartbeat:3:150,dup@result:1,sever@result:2"
+
+    @pytest.mark.parametrize(
+        "spec",
+        [
+            "",
+            "sever",
+            "sever@result",
+            "melt@result:1",
+            "sever@result:zero",
+            "sever@result:0",
+            "delay@result:1",  # delay without its ms arg
+            "delay@result:1:soon",
+            "sever@result:1:2:3",
+            "drop@result:1,dup@result:1",  # one op per frame
+        ],
+    )
+    def test_malformed_specs_rejected(self, spec):
+        with pytest.raises(ReproError):
+            parse_plan(spec)
+
+
+class TestFaultOps:
+    def test_drop_swallows_exactly_that_frame(self):
+        tx, rx = chaos_pair(FaultPlan().add("drop", "result", 2))
+        for i in range(3):
+            tx.send({"kind": "result", "i": i})
+        assert [rx.recv(timeout=1.0)["i"] for i in range(2)] == [0, 2]
+        assert tx.injected == ["drop@result:2"]
+
+    def test_dup_sends_the_frame_twice(self):
+        tx, rx = chaos_pair(FaultPlan().add("dup", "result", 1))
+        tx.send({"kind": "result", "i": 0})
+        assert rx.recv(timeout=1.0)["i"] == 0
+        assert rx.recv(timeout=1.0)["i"] == 0
+
+    def test_reorder_releases_after_the_next_frame(self):
+        tx, rx = chaos_pair(FaultPlan().add("reorder", "result", 1))
+        tx.send({"kind": "result", "i": 0})
+        assert rx.recv(timeout=0.05) is None  # held
+        tx.send({"kind": "result", "i": 1})
+        assert [rx.recv(timeout=1.0)["i"] for _ in range(2)] == [1, 0]
+
+    def test_delay_sleeps_then_delivers(self):
+        tx, rx = chaos_pair(FaultPlan().add("delay", "result", 1, arg=10))
+        tx.send({"kind": "result", "i": 0})
+        assert rx.recv(timeout=1.0)["i"] == 0
+
+    def test_sever_tears_mid_frame(self):
+        tx, rx = chaos_pair(FaultPlan().add("sever", "result", 1))
+        with pytest.raises(ConnectionClosed):
+            tx.send({"kind": "result", "payload": {"pad": "z" * 200}})
+        # The reader must see a *torn* frame, never a short parse.
+        with pytest.raises(ConnectionClosed) as excinfo:
+            while True:
+                rx.recv(timeout=1.0)
+        assert "torn frame" in str(excinfo.value)
+
+    def test_ordinals_count_per_kind_not_globally(self):
+        tx, rx = chaos_pair(FaultPlan().add("drop", "result", 1))
+        tx.send({"kind": "heartbeat"})
+        tx.send({"kind": "heartbeat"})
+        tx.send({"kind": "result", "i": 0})  # first *result* → dropped
+        tx.send({"kind": "result", "i": 1})
+        kinds = []
+        for _ in range(3):
+            kinds.append(rx.recv(timeout=1.0))
+        assert [f["kind"] for f in kinds] == ["heartbeat", "heartbeat", "result"]
+        assert kinds[-1]["i"] == 1
+
+    def test_shared_counts_span_connections(self):
+        # The dist worker shares one counts dict across sessions, so a
+        # one-shot fault fires once for the daemon's lifetime.
+        plan = FaultPlan().add("drop", "result", 1)
+        counts = {}
+        tx1, rx1 = chaos_pair(plan, counts=counts)
+        tx1.send({"kind": "result", "i": 0})  # dropped
+        assert rx1.recv(timeout=0.05) is None
+        tx2, rx2 = chaos_pair(plan, counts=counts)
+        tx2.send({"kind": "result", "i": 1})  # second result ever: clean
+        assert rx2.recv(timeout=1.0)["i"] == 1

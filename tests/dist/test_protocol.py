@@ -1,0 +1,144 @@
+"""The framed wire format: length prefixing, torn frames, thread-safe
+interleaving-free sends."""
+
+import socket
+import threading
+
+import pytest
+
+from repro.dist.protocol import (
+    MAX_FRAME_BYTES,
+    ConnectionClosed,
+    FrameConnection,
+    ProtocolError,
+    decode_body,
+    encode_frame,
+)
+
+
+def pair():
+    a, b = socket.socketpair()
+    return FrameConnection(a), FrameConnection(b)
+
+
+def test_roundtrip():
+    tx, rx = pair()
+    tx.send({"kind": "ping", "n": 7})
+    assert rx.recv(timeout=1.0) == {"kind": "ping", "n": 7}
+    assert tx.frames_sent == 1 and rx.frames_received == 1
+
+
+def test_many_frames_in_one_stream():
+    tx, rx = pair()
+    for i in range(20):
+        tx.send({"kind": "tick", "i": i})
+    got = [rx.recv(timeout=1.0)["i"] for _ in range(20)]
+    assert got == list(range(20))
+
+
+def test_recv_timeout_returns_none():
+    _tx, rx = pair()
+    assert rx.recv(timeout=0.05) is None
+
+
+def test_byte_at_a_time_delivery_still_frames(monkeypatch):
+    # A congested peer dribbling single bytes must still yield whole
+    # frames — partial reads buffer across recv calls.
+    a, b = socket.socketpair()
+    rx = FrameConnection(b)
+    raw = encode_frame({"kind": "slow", "ok": True})
+    for i in range(len(raw)):
+        a.sendall(raw[i : i + 1])
+    assert rx.recv(timeout=1.0) == {"kind": "slow", "ok": True}
+
+
+def test_eof_between_frames_is_clean_close():
+    tx, rx = pair()
+    tx.send({"kind": "bye"})
+    tx.sock.close()
+    assert rx.recv(timeout=1.0) == {"kind": "bye"}
+    with pytest.raises(ConnectionClosed) as excinfo:
+        rx.recv(timeout=1.0)
+    assert "torn" not in str(excinfo.value)
+
+
+def test_eof_mid_frame_is_a_torn_frame():
+    a, b = socket.socketpair()
+    rx = FrameConnection(b)
+    raw = encode_frame({"kind": "result", "payload": {"x": 1}})
+    a.sendall(raw[: len(raw) // 2])
+    a.close()
+    with pytest.raises(ConnectionClosed) as excinfo:
+        rx.recv(timeout=1.0)
+    assert "torn frame" in str(excinfo.value)
+
+
+def test_half_frame_never_parses_as_a_smaller_message():
+    # The length prefix guarantees a torn write is detected rather than
+    # some prefix of the JSON parsing as its own message.
+    a, b = socket.socketpair()
+    rx = FrameConnection(b)
+    raw = encode_frame({"kind": "result", "detail": "x" * 100})
+    a.sendall(raw[:30])
+    assert rx.recv(timeout=0.05) is None  # waiting for the rest, not parsing
+    a.close()
+    with pytest.raises(ConnectionClosed):
+        rx.recv(timeout=1.0)
+
+
+def test_oversized_announced_length_rejected():
+    a, b = socket.socketpair()
+    rx = FrameConnection(b)
+    import struct
+
+    a.sendall(struct.pack(">I", MAX_FRAME_BYTES + 1))
+    with pytest.raises(ProtocolError):
+        rx.recv(timeout=1.0)
+
+
+def test_encode_rejects_kindless_and_unserialisable():
+    with pytest.raises(ProtocolError):
+        encode_frame({"no": "kind"})
+    with pytest.raises(ProtocolError):
+        encode_frame({"kind": "x", "bad": object()})
+
+
+def test_decode_rejects_non_dict_bodies():
+    with pytest.raises(ProtocolError):
+        decode_body(b"[1, 2, 3]")
+    with pytest.raises(ProtocolError):
+        decode_body(b"not json at all")
+
+
+def test_send_after_close_raises():
+    tx, _rx = pair()
+    tx.close()
+    with pytest.raises(ConnectionClosed):
+        tx.send({"kind": "ping"})
+    with pytest.raises(ConnectionClosed):
+        tx.recv(timeout=0.05)
+
+
+def test_concurrent_sends_never_interleave():
+    # Two threads hammering one connection (the worker's heartbeat
+    # thread + result path): every frame must arrive intact.
+    tx, rx = pair()
+    n = 50
+
+    def pump(kind):
+        for i in range(n):
+            tx.send({"kind": kind, "i": i, "pad": "z" * 512})
+
+    threads = [
+        threading.Thread(target=pump, args=(k,)) for k in ("heartbeat", "result")
+    ]
+    for t in threads:
+        t.start()
+    got = [rx.recv(timeout=2.0) for _ in range(2 * n)]
+    for t in threads:
+        t.join()
+    by_kind = {"heartbeat": [], "result": []}
+    for frame in got:
+        by_kind[frame["kind"]].append(frame["i"])
+    assert by_kind["heartbeat"] == list(range(n))
+    assert by_kind["result"] == list(range(n))

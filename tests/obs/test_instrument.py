@@ -340,3 +340,93 @@ class TestMerge:
         rec.merge(snap)
         assert rec.timers["t"].total == pytest.approx(3.0)
         assert rec.timers["t"].calls == 6
+
+
+class TestMergeWorkerSnapshots:
+    """The dist coordinator's usage: many worker snapshots, arriving in
+    whatever order the network delivers them, some more than once."""
+
+    @staticmethod
+    def worker_snapshot(jobs, wall_each, depth):
+        worker = Recorder()
+        worker.incr("jobs", jobs)
+        worker.gauge("queue_depth", depth)
+        snap = worker.snapshot()
+        snap["timers"] = {"job": {"total_s": wall_each * jobs, "calls": jobs}}
+        return snap
+
+    def test_overlapping_keys_accumulate_across_workers(self):
+        parent = Recorder()
+        for snap in (
+            self.worker_snapshot(jobs=3, wall_each=0.5, depth=2),
+            self.worker_snapshot(jobs=5, wall_each=0.2, depth=7),
+            self.worker_snapshot(jobs=2, wall_each=1.0, depth=1),
+        ):
+            parent.merge(snap)
+        assert parent.counters["jobs"] == 10
+        assert parent.timers["job"].calls == 10
+        assert parent.timers["job"].total == pytest.approx(4.5)
+        stat = parent.gauges["queue_depth"]
+        assert (stat.lo, stat.hi) == (1, 7)
+        assert stat.updates == 3
+
+    def test_merge_order_does_not_change_the_aggregate(self):
+        # Results race in over sockets; whichever worker reports first
+        # must not change the campaign totals.
+        snaps = [
+            self.worker_snapshot(jobs=1, wall_each=0.1, depth=4),
+            self.worker_snapshot(jobs=6, wall_each=0.3, depth=9),
+            self.worker_snapshot(jobs=4, wall_each=0.7, depth=3),
+        ]
+        forward, backward = Recorder(), Recorder()
+        for snap in snaps:
+            forward.merge(snap)
+        for snap in reversed(snaps):
+            backward.merge(snap)
+        fs, bs = forward.snapshot(), backward.snapshot()
+        assert fs["counters"] == bs["counters"]
+        assert fs["timers"] == bs["timers"]
+        for name in fs["gauges"]:
+            assert fs["gauges"][name]["min"] == bs["gauges"][name]["min"]
+            assert fs["gauges"][name]["max"] == bs["gauges"][name]["max"]
+            assert fs["gauges"][name]["updates"] == bs["gauges"][name]["updates"]
+
+    def test_duplicate_snapshot_double_counts_by_design(self):
+        # merge() is additive, not idempotent: deduplicating duplicate
+        # deliveries is the *caller's* job (the dist coordinator admits
+        # one result per lease epoch before it ever merges telemetry).
+        parent = Recorder()
+        snap = self.worker_snapshot(jobs=3, wall_each=0.5, depth=2)
+        parent.merge(snap)
+        parent.merge(snap)
+        assert parent.counters["jobs"] == 6
+
+    def test_merge_snapshot_roundtrip_is_lossless_for_aggregates(self):
+        # parent.merge(w1).merge(w2) then snapshot → re-merge into a
+        # fresh recorder: totals survive serialization both hops.
+        parent = Recorder()
+        parent.merge(self.worker_snapshot(jobs=2, wall_each=0.25, depth=5))
+        parent.merge(self.worker_snapshot(jobs=3, wall_each=0.25, depth=8))
+        reloaded = Recorder()
+        reloaded.merge(parent.snapshot())
+        assert reloaded.counters["jobs"] == 5
+        assert reloaded.timers["job"].calls == 5
+        assert reloaded.gauges["queue_depth"].hi == 8
+
+    def test_concurrent_merges_lose_nothing(self):
+        import threading
+
+        parent = Recorder()
+        snaps = [
+            self.worker_snapshot(jobs=1, wall_each=0.01, depth=i)
+            for i in range(8)
+        ]
+        threads = [
+            threading.Thread(target=parent.merge, args=(s,)) for s in snaps
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert parent.counters["jobs"] == 8
+        assert parent.gauges["queue_depth"].updates == 8

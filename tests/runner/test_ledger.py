@@ -198,3 +198,99 @@ class TestResume:
         state = load_ledger(path)
         assert state.complete
         assert state.pending == []
+
+
+class TestWriterIdentity:
+    """Schema 2: every entry is stamped with the writing host and pid,
+    so a ledger moved between machines is detectable at resume time."""
+
+    def test_entries_carry_host_and_pid(self, tmp_path):
+        import os
+        import socket
+
+        path = str(tmp_path / "stamped.jsonl")
+        jobs = [Job(job_id="lint:chain", kind="lint", system="chain")]
+        with Ledger(path) as ledger:
+            ledger.begin("cafe", jobs, {})
+            ledger.attempt("lint:chain", 0, "ok", "")
+            ledger.end({"ok": True})
+        for entry in _entries(path):
+            assert entry["host"] == socket.gethostname()
+            assert entry["pid"] == os.getpid()
+
+    def test_attempt_extra_fields_survive_but_cannot_shadow(self, tmp_path):
+        path = str(tmp_path / "extra.jsonl")
+        with Ledger(path) as ledger:
+            ledger.begin(
+                "cafe", [Job(job_id="lint:chain", kind="lint", system="chain")], {}
+            )
+            ledger.attempt(
+                "lint:chain",
+                0,
+                "crash",
+                "lost worker",
+                extra={"worker": "w-1", "epoch": 3, "classification": "ok"},
+            )
+        attempt = next(e for e in _entries(path) if e["kind"] == "attempt")
+        assert attempt["worker"] == "w-1"
+        assert attempt["epoch"] == 3
+        # Reserved keys win over extra: the classification is "crash".
+        assert attempt["classification"] == "crash"
+
+    def test_foreign_ledger_detected(self, tmp_path):
+        path = str(tmp_path / "foreign.jsonl")
+        jobs = [Job(job_id="lint:chain", kind="lint", system="chain")]
+        with Ledger(path) as ledger:
+            ledger.begin("cafe", jobs, {})
+        state = load_ledger(path)
+        assert state.host is not None and state.pid is not None
+        assert not state.foreign_to()  # same machine
+        assert state.foreign_to("some-other-box")
+        assert not state.foreign_to(state.host)
+
+    def test_schema_1_ledger_still_loads_and_is_never_foreign(self, tmp_path):
+        # Pre-stamping ledgers carry no writer identity; they must load
+        # (read compatibility) and never trigger the foreign-host path.
+        path = tmp_path / "v1.jsonl"
+        lines = [
+            {
+                "schema": 1,
+                "kind": "campaign",
+                "campaign_id": "old",
+                "jobs": [{"job_id": "lint:chain", "kind": "lint",
+                          "system": "chain", "params": {}}],
+                "options": {},
+            },
+            {"schema": 1, "kind": "end", "summary": {"ok": True}},
+        ]
+        path.write_text("".join(json.dumps(l) + "\n" for l in lines))
+        state = load_ledger(str(path))
+        assert state.campaign_id == "old"
+        assert state.host is None and state.pid is None
+        assert not state.foreign_to()
+        assert not state.foreign_to("anything")
+
+    def test_resume_on_foreign_host_warns(self, tmp_path, capsys, monkeypatch):
+        from repro.cli import main
+
+        path = str(tmp_path / "moved.jsonl")
+        assert main(["run", "chain", "--kinds", "lint", "--workers", "0",
+                     "--ledger", path, "--no-cache"]) == 0
+        capsys.readouterr()
+        # Pretend this machine is not the one that wrote the ledger.
+        monkeypatch.setattr("socket.gethostname", lambda: "elsewhere")
+        assert main(["run", "chain", "--kinds", "lint", "--workers", "0",
+                     "--resume", path, "--no-cache"]) == 0
+        err = capsys.readouterr().err
+        assert "different host" in err
+
+    def test_resume_on_same_host_is_quiet(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = str(tmp_path / "home.jsonl")
+        assert main(["run", "chain", "--kinds", "lint", "--workers", "0",
+                     "--ledger", path, "--no-cache"]) == 0
+        capsys.readouterr()
+        assert main(["run", "chain", "--kinds", "lint", "--workers", "0",
+                     "--resume", path, "--no-cache"]) == 0
+        assert "different host" not in capsys.readouterr().err

@@ -167,3 +167,84 @@ def test_backend_error_counts_not_raises(tmp_path, monkeypatch):
     assert cache.lookup("check", "rm", {}) is None  # degraded to a miss
     assert not cache.store("check", "rm", {}, {"ok": True, "job_id": "w"})
     assert cache.stats()["errors"] == 2
+
+
+class TestSqliteBusyRetry:
+    """Lock contention: SQLITE_BUSY upserts retry with backoff instead
+    of surfacing to the caller; a genuinely stuck database still fails."""
+
+    @staticmethod
+    def _busy_then_ok(backend, failures, error="database is locked"):
+        # sqlite3.Connection attributes are read-only, so interpose a
+        # delegating proxy in the backend's per-thread connection slot.
+        conn = backend._connection()
+        state = {"left": failures, "calls": 0}
+
+        class FlakyConn:
+            def execute(self, sql, *params):
+                if sql.startswith("INSERT"):
+                    state["calls"] += 1
+                    if state["left"] > 0:
+                        state["left"] -= 1
+                        raise sqlite3.OperationalError(error)
+                return conn.execute(sql, *params)
+
+            def __getattr__(self, name):
+                return getattr(conn, name)
+
+        backend._local.conn = FlakyConn()
+        return state
+
+    def test_transient_busy_is_retried_to_success(self, tmp_path, monkeypatch):
+        monkeypatch.setattr(SqliteBackend, "_BUSY_BACKOFF_S", 0.001)
+        backend = SqliteBackend(str(tmp_path / "pool.db"))
+        state = self._busy_then_ok(backend, failures=2)
+        backend.put("a" * 16, '{"ok": true}')
+        assert state["calls"] == 3  # two busy failures, one success
+        assert backend.get("a" * 16) == '{"ok": true}'
+
+    def test_exhausted_retries_surface_backend_error(self, tmp_path, monkeypatch):
+        monkeypatch.setattr(SqliteBackend, "_BUSY_BACKOFF_S", 0.001)
+        backend = SqliteBackend(str(tmp_path / "pool.db"))
+        state = self._busy_then_ok(backend, failures=100)
+        with pytest.raises(BackendError, match="locked"):
+            backend.put("b" * 16, "{}")
+        assert state["calls"] == backend._BUSY_RETRIES + 1
+
+    def test_non_busy_errors_do_not_retry(self, tmp_path):
+        backend = SqliteBackend(str(tmp_path / "pool.db"))
+        state = self._busy_then_ok(
+            backend, failures=100, error="no such table: verdicts"
+        )
+        with pytest.raises(BackendError):
+            backend.put("c" * 16, "{}")
+        assert state["calls"] == 1  # schema errors fail fast
+
+    def test_connection_sets_busy_timeout_pragma(self, tmp_path):
+        backend = SqliteBackend(str(tmp_path / "pool.db"), busy_timeout_s=2.5)
+        (ms,) = backend._connection().execute("PRAGMA busy_timeout").fetchone()
+        assert ms == 2500
+
+    def test_contended_writers_all_land(self, tmp_path):
+        # Two threads, two connections, one file: every write survives.
+        path = str(tmp_path / "pool.db")
+        backend = SqliteBackend(path)
+        errors = []
+
+        def writer(prefix):
+            try:
+                own = SqliteBackend(path)
+                for i in range(25):
+                    own.put("{}{:02d}".format(prefix, i).ljust(16, "0"), "{}")
+            except BackendError as exc:
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=writer, args=(p,)) for p in ("aa", "bb")
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert backend.count() == 50

@@ -38,6 +38,14 @@ from repro.cli import main
         ["serve", "--breaker-threshold", "0"],
         ["serve", "--breaker-cooldown", "0"],
         ["serve", "--drain-grace", "-1"],
+        # dist: lease/heartbeat intervals and the worker port
+        ["run", "rm", "--lease-ms", "0"],
+        ["run", "rm", "--lease-ms", "-5"],
+        ["run", "rm", "--lease-ms", "soon"],
+        ["run", "rm", "--heartbeat-ms", "0"],
+        ["run", "rm", "--heartbeat-ms", "-100"],
+        ["dist", "worker", "--port", "-1"],
+        ["dist", "worker", "--port", "http"],
     ],
 )
 def test_nonsense_numerics_exit_2(capsys, argv):
@@ -45,6 +53,32 @@ def test_nonsense_numerics_exit_2(capsys, argv):
         main(argv)
     assert excinfo.value.code == 2
     assert "error" in capsys.readouterr().err
+
+
+@pytest.mark.parametrize(
+    "argv, fragment",
+    [
+        # A heartbeat that cannot beat inside the lease reclaims healthy
+        # jobs; refused before any socket is dialed.
+        (
+            ["run", "rm", "--dist", "127.0.0.1:1", "--lease-ms", "100",
+             "--heartbeat-ms", "100"],
+            "heartbeat_ms",
+        ),
+        # Malformed worker address lists must not silently shrink the fleet.
+        (["run", "rm", "--dist", "nonsense"], "host:port"),
+        (["run", "rm", "--dist", "host:notaport"], "not an integer"),
+        (["run", "rm", "--dist", "host:99999"], "out of range"),
+        # The local chaos self-test and network chaos are different knobs.
+        (["run", "rm", "--chaos", "--dist", "127.0.0.1:1"], "--chaos"),
+        # A typo'd chaos plan must fail the worker loudly, not test nothing.
+        (["dist", "worker", "--chaos", "bogus"], "op@kind:N"),
+        (["dist", "worker", "--chaos", "melt@result:1"], "unknown fault op"),
+    ],
+)
+def test_dist_semantic_validation_exits_2(capsys, argv, fragment):
+    assert main(argv) == 2
+    assert fragment in capsys.readouterr().err
 
 
 def test_valid_values_still_parse(capsys):
