@@ -1,46 +1,119 @@
 """Content-addressing for the verdict cache.
 
 A cached verdict is only reusable while *nothing that produced it*
-changed.  The fingerprint therefore hashes the entire ``repro`` package
-source (every ``.py`` under the installed package root, sorted by
-relative path, path and bytes both fed to SHA-256) together with
-:data:`ENGINE_VERSION` — a manual escape hatch for when semantics
-change without a source diff (e.g. a data-file format).  Any edit to
-any module invalidates every entry at once: coarse, but sound, and
-exactly the key CI uses for its ``actions/cache`` restore.
+changed.  Verdict keys therefore fold in a **dependency-closure
+fingerprint**: every module is hashed individually, an AST-level import
+graph is extracted once per process, and each ``(kind, system)`` pair
+is fingerprinted over just the modules its computation can actually
+reach — the kind's engine modules (:data:`KIND_ROOTS`), the system's
+defining modules (:data:`SYSTEM_SEEDS`), and everything they
+transitively import.  Editing ``repro.serve`` no longer invalidates a
+cached ``check rm`` verdict; editing ``repro.systems.resource_manager``
+or ``repro.zones.dbm`` still does.
 
-:func:`verdict_key` then derives one entry's address from the
-fingerprint plus the job's own identity: kind, system, and canonical
-JSON of the parameters that feed the check (budget caps, seeds, grid…).
-The *engine* (serial/parallel) is deliberately **not** part of the key:
-the engines are byte-identical by construction (and tested to be), so
-either may consume a verdict the other produced.
+Three properties keep this sound:
+
+* **Name-level resolution through the systems package.**  Registry
+  modules (``repro.par.surface``, ``repro.lint.targets``, …) import
+  *every* system, which at module granularity would weld all systems
+  together.  Imports into ``repro.systems``'s package ``__init__``\\ s
+  are resolved per-name to the defining submodule, and edges into
+  system modules are then admitted only for the system under test
+  (plus its genuine intra-``systems`` dependencies, which are followed
+  transitively — e.g. ``interrupt`` depends on ``resource_manager``).
+* **Whole-package fallback.**  An unknown kind or system (a bench
+  profile like ``serve-throughput``, a fuzz shard) falls back to the
+  closure over *all* modules — exactly the old whole-package key, so
+  unknown work is never under-keyed.
+* **ENGINE_VERSION escape hatch.**  Orchestration-only modules
+  (``repro.cli``, ``repro.runner``, ``repro.serve``, ``repro.dist``)
+  are deliberately outside the closures of the kinds they drive; a
+  semantic change there (or in any non-``.py`` input) must bump
+  :data:`ENGINE_VERSION`, which invalidates every entry at once.
+
+:func:`source_fingerprint` (the old whole-package hash) is retained —
+CI still uses it as its ``actions/cache`` restore key, and it remains
+the fallback fingerprint.  :func:`verdict_key` derives one entry's
+address from the closure fingerprint plus the job's own identity:
+kind, system, and canonical JSON of the parameters that feed the check
+(budget caps, seeds, grid…).  The *engine* (serial/parallel) is
+deliberately **not** part of the key: the engines are byte-identical
+by construction (and tested to be), so either may consume a verdict
+the other produced.
 """
 
 from __future__ import annotations
 
+import ast
 import hashlib
 import json
 import os
+import re
 from fractions import Fraction
-from typing import Any, Dict, Optional
+from typing import Any, Dict, FrozenSet, Iterable, Optional, Set, Tuple
 
-__all__ = ["ENGINE_VERSION", "source_fingerprint", "verdict_key"]
+__all__ = [
+    "ENGINE_VERSION",
+    "KIND_ROOTS",
+    "SYSTEM_SEEDS",
+    "closure_fingerprint",
+    "dependency_closure",
+    "source_fingerprint",
+    "verdict_key",
+]
 
 #: Bump to invalidate every cached verdict without touching source.
-ENGINE_VERSION = 1
+#: v2: flat-matrix zone engine + dependency-closure fingerprints.
+ENGINE_VERSION = 2
+
+#: ``kind -> package-relative module/package roots`` of the computation
+#: that produces the verdict.  A root naming a package pulls in every
+#: module under it.  Kinds absent here fall back to the whole package.
+KIND_ROOTS: Dict[str, Tuple[str, ...]] = {
+    "lint": ("lint",),
+    "analyze": ("analyze",),
+    "analyze-mapping": ("analyze",),
+    "check": ("analyze", "core", "faults", "ioa", "par.surface"),
+    "perturb": ("faults",),
+    "bench": ("obs.bench",),
+    "fuzz": ("gen",),
+}
+
+#: ``system -> package-relative modules defining it`` inside the
+#: partitioned ``systems`` package.  Intra-``systems`` imports of these
+#: seeds are followed transitively, so only entry modules are listed.
+#: ``gen:*`` names are handled structurally (see :func:`_allowed`);
+#: systems absent here fall back to the whole package.
+SYSTEM_SEEDS: Dict[str, Tuple[str, ...]] = {
+    "rm": ("systems.resource_manager", "systems.mappings_rm"),
+    "relay": ("systems.signal_relay", "systems.mappings_relay"),
+    "fischer": ("systems.extensions.fischer",),
+    "fischer-tight": ("systems.extensions.fischer",),
+    "peterson": ("systems.extensions.peterson",),
+    "tournament": ("systems.extensions.tournament",),
+    "chain": ("systems.extensions.chain",),
+    "request-grant": ("systems.extensions.request_grant",),
+    "interrupt": ("systems.extensions.interrupt_manager",),
+}
 
 #: ``source root -> hex digest`` memo; the package source cannot change
 #: under a running process, so one walk per process suffices.
 _FINGERPRINTS: Dict[str, str] = {}
 
+#: ``(root, kind-or-*, system-class) -> hex digest`` memo for closures.
+_CLOSURE_FINGERPRINTS: Dict[Tuple[str, str, str], str] = {}
+
+#: ``root -> scan`` memo (module hashes + import graph).
+_SCANS: Dict[str, "_Scan"] = {}
+
 
 def source_fingerprint(root: Optional[str] = None) -> str:
-    """SHA-256 over the ``repro`` package source + engine version."""
-    if root is None:
-        import repro
+    """SHA-256 over the ``repro`` package source + engine version.
 
-        root = os.path.dirname(os.path.abspath(repro.__file__))
+    The whole-package hash: any edit anywhere changes it.  Still used
+    as CI's ``actions/cache`` restore key and as the fallback
+    fingerprint for unknown kinds/systems."""
+    root = _default_root(root)
     cached = _FINGERPRINTS.get(root)
     if cached is not None:
         return cached
@@ -63,6 +136,358 @@ def source_fingerprint(root: Optional[str] = None) -> str:
     return _FINGERPRINTS[root]
 
 
+# ----------------------------------------------------------------------
+# Module scan: per-module hashes + AST import graph
+# ----------------------------------------------------------------------
+
+
+class _Scan:
+    """One walk of a package root: per-module content hashes, the
+    intra-package import graph (name-resolved through the partitioned
+    ``systems`` ``__init__``\\ s), and the partition metadata."""
+
+    __slots__ = (
+        "package",
+        "hashes",
+        "edges",
+        "barrier_inits",
+        "opaque_inits",
+    )
+
+    def __init__(self, package: str):
+        self.package = package
+        #: dotted module name -> sha256 hex of its source bytes
+        self.hashes: Dict[str, str] = {}
+        #: dotted module name -> imported dotted module names
+        self.edges: Dict[str, Set[str]] = {}
+        #: partitioned package ``__init__``\\ s whose re-exports were
+        #: all name-resolved — their own edges need not be followed.
+        self.barrier_inits: Set[str] = set()
+        #: partitioned ``__init__``\\ s with at least one unresolved
+        #: import — followed conservatively.
+        self.opaque_inits: Set[str] = set()
+
+    # -- partition helpers ------------------------------------------------
+
+    @property
+    def systems_prefix(self) -> str:
+        return self.package + ".systems"
+
+    def partitioned(self, module: str) -> bool:
+        """True for modules inside the per-system partition (everything
+        under ``<pkg>.systems``, the package ``__init__``\\ s included)."""
+        prefix = self.systems_prefix
+        return module == prefix or module.startswith(prefix + ".")
+
+    def under(self, prefix: str) -> Tuple[str, ...]:
+        """All scanned modules at or under a dotted prefix."""
+        return tuple(
+            name
+            for name in self.hashes
+            if name == prefix or name.startswith(prefix + ".")
+        )
+
+
+def _default_root(root: Optional[str]) -> str:
+    if root is None:
+        import repro
+
+        return os.path.dirname(os.path.abspath(repro.__file__))
+    return os.path.abspath(root)
+
+
+def _module_name(package: str, relpath: str) -> str:
+    parts = relpath.replace(os.sep, "/").split("/")
+    if parts[-1] == "__init__.py":
+        parts = parts[:-1]
+    else:
+        parts[-1] = parts[-1][: -len(".py")]
+    return ".".join([package] + parts)
+
+
+def _scan(root: str) -> _Scan:
+    cached = _SCANS.get(root)
+    if cached is not None:
+        return cached
+    package = os.path.basename(root.rstrip(os.sep)) or "repro"
+    scan = _Scan(package)
+    paths: Dict[str, str] = {}
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = sorted(d for d in dirnames if d != "__pycache__")
+        for filename in filenames:
+            if not filename.endswith(".py"):
+                continue
+            path = os.path.join(dirpath, filename)
+            name = _module_name(package, os.path.relpath(path, root))
+            paths[name] = path
+    for name, path in paths.items():
+        with open(path, "rb") as fh:
+            source = fh.read()
+        scan.hashes[name] = hashlib.sha256(source).hexdigest()
+        scan.edges[name] = set()
+        tree = _import_tree(source, path)
+        if tree is None:
+            # Unparseable sources can't contribute edges; the content
+            # hash still tracks them wherever they land in a closure.
+            continue
+        _collect_edges(scan, name, tree)
+    # Resolve re-exports through partitioned package __init__s so a
+    # registry's `from <pkg>.systems import X` points at X's defining
+    # module instead of welding every system together.
+    _resolve_init_edges(scan)
+    _SCANS[root] = scan
+    return scan
+
+
+#: Lines that can *start* an import statement (indentation included:
+#: lazy in-function imports count — they still affect behaviour).
+_IMPORT_LINE = re.compile(rb"^\s*(?:from|import)\s")
+
+
+def _import_tree(source: bytes, path: str) -> Optional[ast.Module]:
+    """The module's import statements as a (tiny) parsed AST.
+
+    Parsing whole files just to read their imports costs ~0.4s over
+    the package — 100x the hashing itself — so candidate lines are
+    sliced out lexically first (an ``import``/``from`` line plus its
+    parenthesised or backslash continuations) and only those are
+    parsed.  A docstring line that merely *looks* like an import
+    either parses (adding a phantom edge — sound, closures only grow)
+    or fails, which demotes the module to a full parse: lexical
+    shortcuts can only ever widen a closure, never drop a real import.
+    """
+    statements = []
+    lines = source.splitlines()
+    index, total = 0, len(lines)
+    while index < total:
+        line = lines[index]
+        index += 1
+        if not _IMPORT_LINE.match(line):
+            continue
+        statement = [line.strip()]
+        depth = line.count(b"(") - line.count(b")")
+        while (depth > 0 or statement[-1].endswith(b"\\")) and index < total:
+            if statement[-1].endswith(b"\\"):
+                statement[-1] = statement[-1][:-1]
+            extra = lines[index]
+            index += 1
+            depth += extra.count(b"(") - extra.count(b")")
+            statement.append(extra.strip())
+        statements.append(b" ".join(statement))
+    nodes = []
+    for statement in statements:
+        try:
+            parsed = ast.parse(statement.decode("utf-8", "replace"))
+        except SyntaxError:
+            # Not actually an import (docstring text, broken slice):
+            # re-parse the whole module rather than risk dropping one.
+            try:
+                return ast.parse(source, filename=path)
+            except SyntaxError:
+                return None
+        nodes.extend(parsed.body)
+    return ast.Module(body=nodes, type_ignores=[])
+
+
+def _collect_edges(scan: _Scan, name: str, tree: ast.AST) -> None:
+    """Raw intra-package import edges of one module (whole AST: lazy
+    in-function imports count — they still affect behaviour)."""
+    package, edges = scan.package, scan.edges[name]
+    prefix = package + "."
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                target = alias.name
+                if target == package or target.startswith(prefix):
+                    edges.add(target)
+        elif isinstance(node, ast.ImportFrom):
+            # Package sources use absolute imports throughout; a
+            # relative import (level>0) is resolved against `name`.
+            base = node.module or ""
+            if node.level:
+                anchor = name.split(".")
+                anchor = anchor[: len(anchor) - node.level + 1]
+                base = ".".join(anchor + ([base] if base else []))
+            if not (base == package or base.startswith(prefix)):
+                continue
+            edges.add(base)
+            for alias in node.names:
+                # `from P import sub` where P.sub is a module.
+                edges.add("{}.{}".format(base, alias.name))
+
+
+def _resolve_init_edges(scan: _Scan) -> None:
+    """Split each edge into real-module edges; name-resolve edges that
+    point *through* a partitioned ``__init__`` at a re-exported name."""
+    modules = scan.hashes
+    # Export maps of partitioned package __init__s: name -> module.
+    exports: Dict[str, Dict[str, str]] = {}
+    for init in [m for m in modules if scan.partitioned(m) and scan.under(m) != (m,)]:
+        table: Dict[str, str] = {}
+        ok = True
+        # The __init__'s own raw edges look like `P.sub.Name` for
+        # `from P.sub import Name`; invert them via the AST again —
+        # cheaper to reuse the speculative edges: `P.sub` is a module,
+        # `P.sub.Name` is not, so map Name -> P.sub.
+        for edge in scan.edges.get(init, ()):
+            if edge in modules:
+                continue
+            owner, _, exported = edge.rpartition(".")
+            if owner in modules and owner != init:
+                table[exported] = owner
+            else:
+                ok = False
+        exports[init] = table
+        (scan.barrier_inits if ok else scan.opaque_inits).add(init)
+    for name, raw in scan.edges.items():
+        resolved: Set[str] = set()
+        for edge in raw:
+            if edge in modules:
+                resolved.add(edge)
+                continue
+            owner, _, leaf = edge.rpartition(".")
+            if owner not in modules:
+                continue
+            resolved.add(owner)
+            mapped = exports.get(owner, {}).get(leaf)
+            if mapped is not None:
+                resolved.add(mapped)
+            elif owner in scan.barrier_inits and scan.partitioned(owner):
+                # A name the export map doesn't know: stop treating
+                # this __init__ as a barrier.
+                scan.barrier_inits.discard(owner)
+                scan.opaque_inits.add(owner)
+        scan.edges[name] = resolved
+
+
+# ----------------------------------------------------------------------
+# Closures
+# ----------------------------------------------------------------------
+
+
+def _allowed(scan: _Scan, system: str) -> Optional[FrozenSet[str]]:
+    """The partitioned modules admissible for one system: its seeds
+    plus their transitive intra-``systems`` dependencies, plus the
+    (barrier) package ``__init__``\\ s.  ``None`` = unknown system →
+    caller falls back to the whole package."""
+    seeds: Iterable[str]
+    if system.startswith("gen:"):
+        # Generated systems are built by <pkg>.gen, whose families
+        # import their building-block systems directly — those edges
+        # *are* the seed set.
+        gen_modules = scan.under(scan.package + ".gen")
+        if not gen_modules:
+            return None
+        seeds = {
+            edge
+            for mod in gen_modules
+            for edge in scan.edges.get(mod, ())
+            if scan.partitioned(edge)
+        }
+    else:
+        relative = SYSTEM_SEEDS.get(system)
+        if relative is None:
+            return None
+        seeds = ["{}.{}".format(scan.package, mod) for mod in relative]
+        if any(seed not in scan.hashes for seed in seeds):
+            return None
+    allowed: Set[str] = set()
+    frontier = [s for s in seeds if s in scan.hashes]
+    while frontier:
+        module = frontier.pop()
+        if module in allowed:
+            continue
+        allowed.add(module)
+        if module in scan.barrier_inits:
+            continue
+        frontier.extend(
+            e for e in scan.edges.get(module, ()) if scan.partitioned(e)
+        )
+    # The package __init__s are thin re-export shims every import path
+    # crosses; keep them in-key so editing them stays invalidating.
+    for init in (scan.systems_prefix, scan.systems_prefix + ".extensions"):
+        if init in scan.hashes:
+            allowed.add(init)
+    return frozenset(allowed)
+
+
+def dependency_closure(
+    kind: str, system: str, root: Optional[str] = None
+) -> Tuple[str, ...]:
+    """The sorted module names whose content keys a ``(kind, system)``
+    verdict.  Unknown kinds/systems close over the whole package."""
+    root = _default_root(root)
+    scan = _scan(root)
+    roots = KIND_ROOTS.get(kind)
+    allowed = _allowed(scan, system)
+    if roots is None or allowed is None:
+        return tuple(sorted(scan.hashes))
+    frontier: Set[str] = set(allowed)
+    for rel in roots:
+        absolute = "{}.{}".format(scan.package, rel)
+        expanded = scan.under(absolute)
+        if not expanded:
+            # A kind root that no longer exists: the map is stale —
+            # fall back to the whole package rather than under-key.
+            return tuple(sorted(scan.hashes))
+        frontier.update(expanded)
+    if system.startswith("gen:"):
+        frontier.update(scan.under(scan.package + ".gen"))
+    # The package root __init__ configures import-time behaviour for
+    # everything; it is always in-key.
+    frontier.add(scan.package)
+    closure: Set[str] = set()
+    stack = [m for m in frontier if m in scan.hashes]
+    while stack:
+        module = stack.pop()
+        if module in closure:
+            continue
+        closure.add(module)
+        if module in scan.barrier_inits:
+            # Fully name-resolved re-export shim: every import through
+            # it already points at the defining submodule.
+            continue
+        for edge in scan.edges.get(module, ()):
+            if scan.partitioned(edge) and edge not in allowed:
+                continue
+            if edge in scan.hashes and edge not in closure:
+                stack.append(edge)
+    return tuple(sorted(closure))
+
+
+def closure_fingerprint(
+    kind: str, system: str, root: Optional[str] = None
+) -> str:
+    """SHA-256 over engine version + the ``(module, hash)`` pairs of
+    the ``(kind, system)`` dependency closure."""
+    root = _default_root(root)
+    # All gen systems share one closure; unknowns share the fallback.
+    if kind in KIND_ROOTS:
+        if system.startswith("gen:"):
+            system_class = "gen:*"
+        elif system in SYSTEM_SEEDS:
+            system_class = system
+        else:
+            system_class = "*"
+        memo_kind = kind
+    else:
+        memo_kind, system_class = "*", "*"
+    memo_key = (root, memo_kind, system_class)
+    cached = _CLOSURE_FINGERPRINTS.get(memo_key)
+    if cached is not None:
+        return cached
+    scan = _scan(root)
+    digest = hashlib.sha256()
+    digest.update("engine:{}".format(ENGINE_VERSION).encode("ascii"))
+    for module in dependency_closure(kind, system, root):
+        digest.update(b"\x00")
+        digest.update(module.encode("utf-8"))
+        digest.update(b"\x00")
+        digest.update(scan.hashes[module].encode("ascii"))
+    _CLOSURE_FINGERPRINTS[memo_key] = digest.hexdigest()
+    return _CLOSURE_FINGERPRINTS[memo_key]
+
+
 def _canonical(value: Any) -> Any:
     """Project key parts to canonical plain JSON: exact fractions as
     ``"p/q"`` strings, dicts sorted by :func:`json.dumps` later, any
@@ -81,10 +506,10 @@ def _canonical(value: Any) -> Any:
 
 
 def verdict_key(kind: str, system: str, parts: Dict[str, Any]) -> str:
-    """The content address of one verdict: SHA-256 of the source
-    fingerprint + kind + system + canonical parameter JSON."""
+    """The content address of one verdict: SHA-256 of the dependency-
+    closure fingerprint + kind + system + canonical parameter JSON."""
     body = {
-        "fingerprint": source_fingerprint(),
+        "fingerprint": closure_fingerprint(kind, system),
         "kind": kind,
         "system": system,
         "parts": _canonical(parts),

@@ -674,7 +674,16 @@ def cmd_bench(args) -> int:
     out_path = args.out or _bench.next_bench_path(args.root)
     comparison = None
     if previous_path is not None and os.path.exists(previous_path):
-        comparison = _bench.compare_reports(_bench.load_report(previous_path), report)
+        previous = _bench.load_report(previous_path)
+        if systems is not None:
+            # An explicit subset was benched: profiles deliberately not
+            # run this time must not read as "missing" regressions —
+            # compare only against the requested names.
+            requested = set(systems)
+            previous.records = [
+                r for r in previous.records if r.system in requested
+            ]
+        comparison = _bench.compare_reports(previous, report)
     _bench.write_report(report, out_path)
     if args.json:
         payload = {

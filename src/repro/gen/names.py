@@ -63,7 +63,10 @@ _NAME_RE = re.compile(r"^gen:([a-z_]+)-(\d+)(?:x(\d+))?$")
 
 #: The largest untimed state space a generated tree may have — combos
 #: past this would truncate exploration and fail ``check`` by design.
-_TREE_STATE_CAP = 100_000
+#: 500k admits every depth≤4 tree with fanout ≤ 2 (relay_tree-4x2 has
+#: 458,330 states; its checks ride the spine so verification stays
+#: cheap) while still rejecting the 389-million-state relay_tree-3x3.
+_TREE_STATE_CAP = 500_000
 
 
 @dataclass(frozen=True)

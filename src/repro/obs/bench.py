@@ -68,6 +68,11 @@ WALL_FLOOR_S = 0.05
 COUNTER_THRESHOLD = 0.10
 COUNTER_FLOOR = 10
 
+#: Named timers (``zones.query``, ``analyze.discharge``, …) are gated
+#: like wall time but with a tighter absolute floor — they isolate one
+#: engine, so they are far less noisy than whole-profile wall clock.
+TIMER_FLOOR_S = 0.02
+
 _BENCH_RE = re.compile(r"^BENCH_(\d+)\.json$")
 
 #: Default number of seeded simulation iterations per profile.
@@ -1013,6 +1018,11 @@ def compare_reports(
     under fixed seeds, so growth means the engine got less efficient.
     When the new run used fewer iterations than the old one (a CI
     smoke), counters can only shrink, so only wall time is gated.
+
+    Named timers (``timer:<name>`` deltas over ``total_s``) are gated
+    like wall time but over :data:`TIMER_FLOOR_S` — and only when the
+    two runs made the same number of calls to the timer, so a profile
+    that legitimately changed shape is not misread as a regression.
     """
     comparison = Comparison()
     new_names = {r.system for r in new.records}
@@ -1052,6 +1062,28 @@ def compare_reports(
                         same_workload
                         and after - before > COUNTER_FLOOR
                         and after > before * (1 + counter_threshold)
+                    ),
+                )
+            )
+        for name in sorted(set(previous.timers) & set(record.timers)):
+            old_timer, new_timer = previous.timers[name], record.timers[name]
+            old_s = float(old_timer.get("total_s", 0.0))
+            new_s = float(new_timer.get("total_s", 0.0))
+            comparable = (
+                same_workload
+                and old_timer.get("calls") == new_timer.get("calls")
+            )
+            comparison.deltas.append(
+                MetricDelta(
+                    system=record.system,
+                    metric="timer:" + name,
+                    old=old_s,
+                    new=new_s,
+                    regressed=(
+                        comparable
+                        and old_s > 0
+                        and new_s - old_s > TIMER_FLOOR_S
+                        and new_s > old_s * (1 + wall_threshold)
                     ),
                 )
             )

@@ -15,9 +15,12 @@ from repro.zones.dbm import (
     INF_BOUND,
     ZERO_BOUND,
     bound_add,
+    decode_bound,
+    encode_bound,
     le_bound,
     lt_bound,
 )
+from repro.zones.dbm_reference import ReferenceDBM
 from repro.zones.verify import ConditionReport, Verdict, verify_event_condition
 from repro.zones.zone_graph import (
     FiringRecord,
@@ -28,12 +31,15 @@ from repro.zones.zone_graph import (
 
 __all__ = [
     "DBM",
+    "ReferenceDBM",
     "Bound",
     "INF_BOUND",
     "ZERO_BOUND",
     "le_bound",
     "lt_bound",
     "bound_add",
+    "encode_bound",
+    "decode_bound",
     "Observer",
     "FiringRecord",
     "ZoneGraphResult",

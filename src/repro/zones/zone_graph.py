@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import math
 from collections import deque
+from fractions import Fraction
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, FrozenSet, Hashable, Iterable, List, Optional, Sequence, Tuple
 
@@ -36,6 +37,20 @@ from repro.timed.boundmap import TimedAutomaton
 from repro.zones.dbm import Bound, DBM, INF_BOUND, le_bound
 
 __all__ = ["Observer", "FiringRecord", "ZoneGraphResult", "explore_zone_graph"]
+
+
+def _scale_hint(intervals) -> int:
+    """The lcm of every denominator the exploration's constraints will
+    use — pre-sizing the flat DBM's rational grid once up front means
+    no matrix ever rescales mid-flight."""
+    scale = 1
+    for interval in intervals:
+        for value in (interval.lo, interval.hi):
+            if isinstance(value, float):
+                continue  # ±inf contributes no grid refinement
+            den = Fraction(value).denominator
+            scale = scale * den // math.gcd(scale, den)
+    return scale
 
 
 @dataclass(frozen=True)
@@ -95,6 +110,7 @@ def explore_zone_graph(
     watch=None,
     stop_on_watch: bool = False,
     budget: Optional["Budget"] = None,
+    dbm_cls=DBM,
 ) -> ZoneGraphResult:
     """Forward zone reachability of ``(A, b)``.
 
@@ -117,6 +133,12 @@ def explore_zone_graph(
     (deduplicated), enabling exact timed safety checks — e.g. "no state
     with two processes critical is reachable".  With ``stop_on_watch``
     the search returns at the first match.
+
+    ``dbm_cls`` selects the zone substrate: the flat encoded-integer
+    :class:`~repro.zones.dbm.DBM` (default) or the object-based
+    :class:`~repro.zones.dbm_reference.ReferenceDBM` oracle — the
+    ``zone_equivalence`` differential suite runs both and asserts
+    identical results.
     """
     automaton = timed.automaton
     partition = automaton.partition
@@ -195,7 +217,16 @@ def explore_zone_graph(
         return zone
 
     result = ZoneGraphResult(nodes=0, transitions=0, truncated=False, firings={})
-    initial_zone = DBM.zero(total_clocks)
+    if dbm_cls is DBM:
+        # Flat engine: fix the rational grid once so no successor ever
+        # pays a mid-flight rescale.
+        initial_zone = DBM.zero(
+            total_clocks,
+            _scale_hint(timed.class_interval(cls) for cls in classes),
+        )
+    else:
+        initial_zone = dbm_cls.zero(total_clocks)
+    batch_reset = hasattr(initial_zone, "reset_many")
     zero_counts = tuple(0 for _ in counters)
 
     watched_seen = set()
@@ -211,6 +242,10 @@ def explore_zone_graph(
 
     rec = _telemetry._ACTIVE
     visited = set()
+    # Canonical zone keys are interned: zone-graph nodes that share a
+    # zone share one key object, so the visited set dedupes by identity
+    # and repeated keys cost no extra memory.
+    interned: Dict[Hashable, Hashable] = {}
     frontier: deque = deque()
     if rec is not None:
         rec.incr("zones.canonicalize")
@@ -276,31 +311,40 @@ def explore_zone_graph(
                     lo, hi = fire_zone.clock_bounds(observer_index[obs.name])
                     record.merge(obs.name, lo, hi)
 
-            expand = True
             if occurrence is not None and occurrence >= counters[counter_index][2]:
-                expand = False  # record made; branch horizon reached
+                continue  # record made; branch horizon reached
 
             for post_astate in automaton.transitions(astate, action):
-                post_zone = fire_zone.copy()
                 post_enabled = enabled_classes(post_astate)
-                post_zone.reset(class_index[cls.name])
+                # Incremental successor construction: reuse the parent's
+                # canonical matrix and touch only the rows/columns of
+                # the clocks that actually reset (the fired class,
+                # pinned trivial classes, (re-)disabled or re-enabled
+                # classes, and triggered observers).
+                resets = [class_index[cls.name]]
                 for i, other in enumerate(classes):
                     if other.name == cls.name:
                         continue
                     if other.name in trivial:
-                        post_zone.reset(class_index[other.name])
+                        resets.append(class_index[other.name])
                     elif post_enabled[i] and not pre_enabled[i]:
-                        post_zone.reset(class_index[other.name])
+                        resets.append(class_index[other.name])
                     elif not post_enabled[i]:
-                        post_zone.reset(class_index[other.name])
+                        resets.append(class_index[other.name])
                 for obs in observers:
                     if action in obs.reset_on:
-                        post_zone.reset(observer_index[obs.name])
-                if not expand:
-                    continue
+                        resets.append(observer_index[obs.name])
+                post_zone = fire_zone.copy()
+                if batch_reset:
+                    post_zone.reset_many(resets)
+                else:
+                    for clock in resets:
+                        post_zone.reset(clock)
                 if rec is not None:
                     rec.incr("zones.canonicalize")
-                key = (post_astate, new_counts, post_zone.key())
+                zone_key = post_zone.key()
+                zone_key = interned.setdefault(zone_key, zone_key)
+                key = (post_astate, new_counts, zone_key)
                 if key in visited:
                     if rec is not None:
                         rec.incr("zones.cache_hits")

@@ -1,0 +1,146 @@
+"""Dependency-closure fingerprints (:mod:`repro.cache.fingerprint`).
+
+The invariant under test: a ``(kind, system)`` verdict key moves iff a
+module *inside* that pair's dependency closure changes.  Editing
+``repro.serve`` must leave ``check rm`` warm; editing the system's own
+module — or the zone engine everything rides on — must invalidate it.
+"""
+
+import os
+import shutil
+
+from repro.cache.fingerprint import (
+    KIND_ROOTS,
+    SYSTEM_SEEDS,
+    closure_fingerprint,
+    dependency_closure,
+    source_fingerprint,
+)
+
+
+def _package_root():
+    import repro
+
+    return os.path.dirname(os.path.abspath(repro.__file__))
+
+
+def _edited_copy(tmp_path, relpath, name="edited"):
+    """A copy of the installed package with one module touched."""
+    root = tmp_path / name / "repro"
+    shutil.copytree(
+        _package_root(), root, ignore=shutil.ignore_patterns("__pycache__")
+    )
+    target = root / relpath
+    target.write_text(target.read_text() + "\n# touched\n")
+    return str(root)
+
+
+def _pristine_copy(tmp_path):
+    root = tmp_path / "pristine" / "repro"
+    shutil.copytree(
+        _package_root(), root, ignore=shutil.ignore_patterns("__pycache__")
+    )
+    return str(root)
+
+
+class TestClosureContents:
+    def test_engine_kinds_exclude_orchestration(self):
+        for kind in ("check", "lint", "analyze", "perturb"):
+            mods = dependency_closure(kind, "rm")
+            assert not any(m.startswith("repro.serve") for m in mods), kind
+            assert not any(m.startswith("repro.dist") for m in mods), kind
+            assert "repro.cli" not in mods, kind
+
+    def test_system_partition(self):
+        rm = dependency_closure("check", "rm")
+        relay = dependency_closure("check", "relay")
+        assert "repro.systems.resource_manager" in rm
+        assert "repro.systems.mappings_rm" in rm
+        assert "repro.systems.signal_relay" not in rm
+        assert "repro.systems.signal_relay" in relay
+        assert "repro.systems.resource_manager" not in relay
+
+    def test_intra_system_dependencies_followed(self):
+        # interrupt builds on the resource manager — a genuine
+        # cross-system dependency the closure must keep.
+        mods = dependency_closure("lint", "interrupt")
+        assert "repro.systems.extensions.interrupt_manager" in mods
+        assert "repro.systems.resource_manager" in mods
+
+    def test_zone_engine_always_in_engine_closures(self):
+        for kind in ("check", "lint", "analyze", "perturb", "bench"):
+            mods = dependency_closure(kind, "rm")
+            assert "repro.zones.dbm" in mods, kind
+
+    def test_unknown_kind_falls_back_to_whole_package(self):
+        everything = dependency_closure("nonsense", "rm")
+        assert any(m.startswith("repro.serve") for m in everything)
+        assert any(m.startswith("repro.dist") for m in everything)
+        assert set(dependency_closure("check", "rm")) < set(everything)
+
+    def test_unknown_system_falls_back_to_whole_package(self):
+        everything = dependency_closure("check", "mystery-box")
+        assert any(m.startswith("repro.serve") for m in everything)
+
+    def test_gen_systems_share_generator_closure(self):
+        mods = dependency_closure("check", "gen:fischer-3")
+        assert any(m.startswith("repro.gen") for m in mods)
+        assert "repro.systems.extensions.fischer" in mods
+        assert mods == dependency_closure("check", "gen:relay_line-4")
+
+    def test_kind_and_seed_maps_name_real_modules(self):
+        mods = set(dependency_closure("nonsense", "rm"))  # the full roster
+        for kind, roots in KIND_ROOTS.items():
+            for root in roots:
+                absolute = "repro." + root
+                assert any(
+                    m == absolute or m.startswith(absolute + ".") for m in mods
+                ), (kind, root)
+        for system, seeds in SYSTEM_SEEDS.items():
+            for seed in seeds:
+                assert "repro." + seed in mods, (system, seed)
+
+
+class TestInvalidation:
+    def test_edit_outside_closure_preserves_fingerprint(self, tmp_path):
+        before = closure_fingerprint("check", "rm", _pristine_copy(tmp_path))
+        after = closure_fingerprint(
+            "check", "rm", _edited_copy(tmp_path, "serve/app.py")
+        )
+        assert before == after
+
+    def test_edit_system_module_moves_fingerprint(self, tmp_path):
+        before = closure_fingerprint("check", "rm", _pristine_copy(tmp_path))
+        after = closure_fingerprint(
+            "check", "rm", _edited_copy(tmp_path, "systems/resource_manager.py")
+        )
+        assert before != after
+
+    def test_edit_zone_engine_moves_fingerprint(self, tmp_path):
+        before = closure_fingerprint("check", "rm", _pristine_copy(tmp_path))
+        after = closure_fingerprint(
+            "check", "rm", _edited_copy(tmp_path, "zones/dbm.py", name="edited-zones")
+        )
+        assert before != after
+
+    def test_edit_other_system_preserves_fingerprint(self, tmp_path):
+        before = closure_fingerprint("check", "rm", _pristine_copy(tmp_path))
+        after = closure_fingerprint(
+            "check", "rm", _edited_copy(tmp_path, "systems/signal_relay.py")
+        )
+        assert before == after
+
+    def test_whole_package_fingerprint_still_total(self, tmp_path):
+        # The legacy whole-package hash moves on *any* edit — CI's
+        # actions/cache restore key relies on that.
+        before = source_fingerprint(_pristine_copy(tmp_path))
+        after = source_fingerprint(_edited_copy(tmp_path, "serve/app.py"))
+        assert before != after
+
+    def test_closure_fingerprints_memoised(self):
+        assert closure_fingerprint("check", "rm") == closure_fingerprint(
+            "check", "rm"
+        )
+        assert closure_fingerprint("check", "rm") != closure_fingerprint(
+            "check", "relay"
+        )

@@ -45,12 +45,28 @@ class TestParse:
             parse(bad)
 
     def test_infeasible_trees_rejected_by_state_count(self):
-        # 4x2 and 3x3 blow past the exploration cap by construction.
-        with pytest.raises(ReproError, match="reachable states"):
-            parse("gen:relay_tree-4x2")
+        # 3x3 (389 million states) blows past the exploration cap by
+        # construction; every depth≤4 binary tree is now feasible.
         with pytest.raises(ReproError, match="reachable states"):
             parse("gen:relay_tree-3x3")
-        parse("gen:relay_tree-3x2")  # the biggest feasible binary tree
+        parse("gen:relay_tree-3x2")
+        parse("gen:relay_tree-4x2")  # the biggest feasible binary tree
+
+    def test_previously_rejected_deep_tree_now_verifies(self):
+        # gen:relay_tree-4x2 (458,330 untimed states) was rejected under
+        # the old 100k cap.  Its checks ride the spine, so admitting it
+        # keeps verification cheap: the lint target builds, and every
+        # static obligation discharges.
+        from repro.gen import build_bundle
+
+        parsed = parse("gen:relay_tree-4x2")
+        assert parsed.params == (4, 2)
+        bundle = build_bundle("gen:relay_tree-4x2")
+        assert bundle.max_states >= 2 * 458_330
+        obligations = bundle.obligations()
+        assert obligations
+        for result in obligations:
+            assert result.discharged, result
 
     def test_is_gen_name_is_prefix_only(self):
         assert is_gen_name("gen:anything")

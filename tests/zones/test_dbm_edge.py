@@ -75,7 +75,8 @@ class TestCanonicalisation:
     def test_zero_clock_count(self):
         z = DBM.zero(0)
         assert not z.is_empty()
-        assert z.key() == ((ZERO_BOUND,),)
+        assert z.key() == DBM.zero(0).key()
+        assert z.m == [[ZERO_BOUND]]
 
 
 class TestRepr:
